@@ -1,0 +1,241 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// per table/figure (Table 2, Table 3 per design × flow, Figure 8) plus the
+// ablations of DESIGN.md and micro-benchmarks of the hot kernels.
+//
+// The full-fidelity experiment run is `go run ./cmd/dtgp-bench -experiment
+// all`; these benchmarks use smaller scales so `go test -bench=.` finishes
+// in minutes.
+package dtgp
+
+import (
+	"fmt"
+	"testing"
+
+	"dtgp/internal/core"
+	"dtgp/internal/gen"
+	"dtgp/internal/place"
+	"dtgp/internal/timing"
+)
+
+// benchScale keeps bench designs small (superblue1/2048 ≈ 590 cells).
+const benchScale = 2048
+
+func benchDesign(b *testing.B, preset string) (*Design, *Constraints) {
+	b.Helper()
+	d, con, err := GenerateBenchmark(preset, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, con
+}
+
+// BenchmarkTable2Stats regenerates Table 2: benchmark synthesis plus
+// statistics for the whole suite.
+func BenchmarkTable2Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range BenchmarkNames() {
+			d, _, err := GenerateBenchmark(name, benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := d.Stats()
+			if s.Cells == 0 || s.Nets == 0 {
+				b.Fatal("empty stats")
+			}
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates one (design, flow) cell of Table 3 per
+// sub-benchmark: full global placement + legalization + final STA.
+func BenchmarkTable3(b *testing.B) {
+	flows := []struct {
+		name string
+		mode Flow
+	}{
+		{"dreamplace16", FlowWirelength},
+		{"netweight24", FlowNetWeight},
+		{"ours", FlowDiffTiming},
+	}
+	for _, preset := range []string{"superblue4", "superblue18"} {
+		d0, con, err := GenerateBenchmark(preset, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Calibrate the clock once per design from a WL run.
+		dCal := d0.Clone()
+		resCal, err := Place(dCal, con, FlowWirelength, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		con.Period = 0.7 * resCal.STA.CriticalDelay()
+		for _, f := range flows {
+			b.Run(fmt.Sprintf("%s/%s", preset, f.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					d := d0.Clone()
+					res, err := Place(d, con, f.mode, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = res.WNS
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure8Trace regenerates the Figure 8 data: a traced run
+// (per-iteration HPWL/overflow, periodic exact WNS/TNS) of the
+// differentiable-timing flow.
+func BenchmarkFigure8Trace(b *testing.B) {
+	d0, con := benchDesign(b, "superblue4")
+	if err := CalibratePeriod(d0, con, 0.5); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		d := d0.Clone()
+		opts := DefaultPlaceOptions(FlowDiffTiming)
+		opts.TraceTiming = true
+		opts.TracePeriod = 10
+		res, err := Place(d, con, FlowDiffTiming, &opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Trace) == 0 {
+			b.Fatal("no trace")
+		}
+	}
+}
+
+// timerBed builds a differentiable timer over a bench design.
+func timerBed(b *testing.B, gamma float64, steinerPeriod int) *core.Timer {
+	b.Helper()
+	d, con := benchDesign(b, "superblue4")
+	if err := CalibratePeriod(d, con, 0.7); err != nil {
+		b.Fatal(err)
+	}
+	g, err := timing.NewGraph(d, con)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewTimer(g, core.Options{Gamma: gamma, SteinerPeriod: steinerPeriod})
+}
+
+// BenchmarkAblationSteinerPeriod measures the §3.6 design choice: cost of a
+// differentiable-timer evaluation as a function of the Steiner rebuild
+// period (period 1 = rebuild every evaluation, as [24]-style flows must).
+func BenchmarkAblationSteinerPeriod(b *testing.B) {
+	for _, period := range []int{1, 5, 10, 20, 1 << 30} {
+		name := fmt.Sprintf("period-%d", period)
+		if period == 1<<30 {
+			name = "period-inf"
+		}
+		b.Run(name, func(b *testing.B) {
+			tm := timerBed(b, 100, period)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tm.Evaluate(0.01, 0.001)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGamma measures evaluation cost and records smoothed-vs-
+// hard metric gaps across the §3.2 smoothing strengths.
+func BenchmarkAblationGamma(b *testing.B) {
+	for _, gamma := range []float64{10, 50, 100, 200, 500} {
+		b.Run(fmt.Sprintf("gamma-%g", gamma), func(b *testing.B) {
+			tm := timerBed(b, gamma, 10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tm.Evaluate(0.01, 0.001)
+			}
+			b.ReportMetric(tm.SmWNS-tm.EstWNS, "wns-smoothing-gap-ps")
+		})
+	}
+}
+
+// BenchmarkAblationObjectiveWeights compares gradient evaluation with the
+// Eq. 6 terms toggled.
+func BenchmarkAblationObjectiveWeights(b *testing.B) {
+	configs := []struct {
+		name   string
+		t1, t2 float64
+	}{
+		{"tns+wns", 0.01, 0.001},
+		{"tns-only", 0.01, 0},
+		{"wns-only", 0, 0.001},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			tm := timerBed(b, 100, 10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tm.Evaluate(cfg.t1, cfg.t2)
+			}
+		})
+	}
+}
+
+// --- micro-benchmarks of the kernels behind the tables ---
+
+// BenchmarkDiffTimerForwardBackward is one full differentiable STA pass
+// (the per-iteration cost added by the paper's method).
+func BenchmarkDiffTimerForwardBackward(b *testing.B) {
+	tm := timerBed(b, 100, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Evaluate(0.01, 0.001)
+	}
+}
+
+// BenchmarkExactSTA is one full exact STA (the per-update cost of the
+// net-weighting baseline).
+func BenchmarkExactSTA(b *testing.B) {
+	d, con := benchDesign(b, "superblue4")
+	if err := CalibratePeriod(d, con, 0.7); err != nil {
+		b.Fatal(err)
+	}
+	g, err := timing.NewGraph(d, con)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := timing.Analyze(g)
+		_ = res.WNS
+	}
+}
+
+// BenchmarkSteinerBuild is the FLUTE-replacement cost over all nets.
+func BenchmarkSteinerBuild(b *testing.B) {
+	d, con := benchDesign(b, "superblue4")
+	g, err := timing.NewGraph(d, con)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nets := timing.BuildNetStates(g)
+		_ = nets
+	}
+}
+
+// BenchmarkPlacementIteration approximates one wirelength+density gradient
+// iteration of the substrate placer.
+func BenchmarkPlacementIteration(b *testing.B) {
+	d, con := benchDesign(b, "superblue4")
+	opts := DefaultPlaceOptions(FlowWirelength)
+	opts.MaxIters = 1
+	opts.SkipLegalize = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dd := d.Clone()
+		if _, err := Place(dd, con, FlowWirelength, &opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = gen.Presets // documentation anchor: presets drive every benchmark
+var _ = place.ModeWirelength

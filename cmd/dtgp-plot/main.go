@@ -1,0 +1,61 @@
+// Command dtgp-plot renders a saved benchmark's placement as an SVG,
+// optionally coloured by setup slack.
+//
+// Usage:
+//
+//	dtgp-plot -design bench/superblue4 -out sb4.svg [-nets 4] [-noslack]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dtgp"
+	"dtgp/internal/viz"
+)
+
+func main() {
+	var (
+		design  = flag.String("design", "", "path prefix of the benchmark (dir/base)")
+		out     = flag.String("out", "placement.svg", "output SVG path")
+		nets    = flag.Int("nets", 0, "draw flylines for nets up to this degree (0 = off)")
+		noslack = flag.Bool("noslack", false, "skip STA; colour by cell class only")
+		width   = flag.Float64("width", 900, "SVG width in pixels")
+	)
+	flag.Parse()
+	if *design == "" {
+		fmt.Fprintln(os.Stderr, "dtgp-plot: -design is required")
+		os.Exit(2)
+	}
+	dir, base := filepath.Split(*design)
+	if dir == "" {
+		dir = "."
+	}
+	d, con, err := dtgp.LoadBenchmark(dir, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtgp-plot:", err)
+		os.Exit(1)
+	}
+	opts := viz.PlacementOptions{WidthPx: *width, ShowNetsMaxDegree: *nets}
+	if !*noslack && con != nil {
+		sta, err := dtgp.AnalyzeTiming(d, con)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtgp-plot:", err)
+			os.Exit(1)
+		}
+		opts.Timing = sta
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtgp-plot:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := viz.WritePlacementSVG(f, d, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "dtgp-plot:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,61 @@
+// Command dtgp-sta runs exact static timing analysis on a saved benchmark
+// and prints WNS/TNS plus the worst paths.
+//
+// Usage:
+//
+//	dtgp-sta -design bench/superblue4 [-paths 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dtgp"
+)
+
+func main() {
+	var (
+		design    = flag.String("design", "", "path prefix of the benchmark (dir/base, no extension)")
+		paths     = flag.Int("paths", 3, "number of worst paths to print")
+		enumerate = flag.Bool("enumerate", false, "use k-worst global path enumeration instead of per-endpoint worst paths")
+	)
+	flag.Parse()
+	if *design == "" {
+		fmt.Fprintln(os.Stderr, "dtgp-sta: -design is required")
+		os.Exit(2)
+	}
+	dir, base := filepath.Split(*design)
+	if dir == "" {
+		dir = "."
+	}
+	d, con, err := dtgp.LoadBenchmark(dir, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtgp-sta:", err)
+		os.Exit(1)
+	}
+	if con == nil {
+		fmt.Fprintln(os.Stderr, "dtgp-sta: benchmark has no .sdc constraints")
+		os.Exit(1)
+	}
+	res, err := dtgp.AnalyzeTiming(d, con)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtgp-sta:", err)
+		os.Exit(1)
+	}
+	if *enumerate {
+		for i, p := range res.KWorstPaths(*paths) {
+			fmt.Printf("Path %d (slack %.3f ps, %d pins)\n", i+1, p.Slack, len(p.Steps))
+			for _, st := range p.Steps {
+				fmt.Printf("  %-32s %-4s  incr %8.3f  at %9.3f\n",
+					d.PinName(st.Pin), st.Transition, st.Incr, st.AT)
+			}
+		}
+		return
+	}
+	if err := dtgp.WriteTimingReport(os.Stdout, res, *paths); err != nil {
+		fmt.Fprintln(os.Stderr, "dtgp-sta:", err)
+		os.Exit(1)
+	}
+}

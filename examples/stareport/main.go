@@ -1,0 +1,77 @@
+// Stareport: use the exact STA engine directly — build a small circuit
+// programmatically against the synthetic Liberty library, run setup/hold
+// analysis, and print a classic timing report with the critical path.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dtgp"
+	"dtgp/internal/geom"
+	"dtgp/internal/netlist"
+	"dtgp/internal/sdc"
+)
+
+func main() {
+	lib := dtgp.DefaultLibrary()
+
+	// in0 ─▶ NAND2 ─▶ INV ─▶ DFF ─▶ out0, plus clock.
+	b := netlist.NewBuilder("stademo", lib)
+	b.SetDie(geom.NewRect(0, 0, 600, 600))
+	b.AddRowsFilling()
+	clk := b.AddInputPort("clk", geom.Point{X: 0, Y: 300})
+	in0 := b.AddInputPort("in0", geom.Point{X: 0, Y: 96})
+	in1 := b.AddInputPort("in1", geom.Point{X: 0, Y: 204})
+	out0 := b.AddOutputPort("out0", geom.Point{X: 600, Y: 96})
+	g0 := b.AddCell("g0", "NAND2_X1")
+	g1 := b.AddCell("g1", "INV_X1")
+	ff := b.AddCell("ff", "DFF_X1")
+
+	nclk := b.AddNet("nclk")
+	b.Connect(nclk, clk, "").Connect(nclk, ff, "CK")
+	n0 := b.AddNet("n0")
+	b.Connect(n0, in0, "").Connect(n0, g0, "A")
+	n1 := b.AddNet("n1")
+	b.Connect(n1, in1, "").Connect(n1, g0, "B")
+	n2 := b.AddNet("n2")
+	b.Connect(n2, g0, "Z").Connect(n2, g1, "A")
+	n3 := b.AddNet("n3")
+	b.Connect(n3, g1, "Z").Connect(n3, ff, "D")
+	n4 := b.AddNet("n4")
+	b.Connect(n4, ff, "Q").Connect(n4, out0, "")
+
+	design, err := b.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Spread the gates across the die so wire delay matters.
+	design.Cells[design.CellByName("g0")].Pos = geom.Point{X: 150, Y: 96}
+	design.Cells[design.CellByName("g1")].Pos = geom.Point{X: 320, Y: 204}
+	design.Cells[design.CellByName("ff")].Pos = geom.Point{X: 480, Y: 96}
+
+	con := sdc.New()
+	con.ClockName, con.ClockPort, con.Period = "clk", "clk", 300
+	con.InputDelay["in0"] = 20
+	con.InputDelay["in1"] = 35
+	con.OutputDelay["out0"] = 25
+	con.PortLoad["out0"] = 4
+
+	res, err := dtgp.AnalyzeTiming(design, con)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dtgp.WriteTimingReport(os.Stdout, res, 2); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nslack histogram (ps buckets):")
+	edges := []float64{-100, -50, 0, 50, 100}
+	counts := res.SlackHistogram(edges)
+	fmt.Printf("  < %v: %d endpoints\n", edges[0], counts[0])
+	for i := 1; i < len(edges); i++ {
+		fmt.Printf("  [%v, %v): %d endpoints\n", edges[i-1], edges[i], counts[i])
+	}
+	fmt.Printf("  >= %v: %d endpoints\n", edges[len(edges)-1], counts[len(edges)])
+}

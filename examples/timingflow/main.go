@@ -1,0 +1,55 @@
+// Timingflow: the paper's headline experiment in miniature — the same
+// design through all three flows (wirelength-driven DREAMPlace [16],
+// momentum-based net weighting [24], and the differentiable-timing flow),
+// compared on WNS/TNS/HPWL/runtime like one row of Table 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtgp"
+)
+
+func main() {
+	base, con, err := dtgp.GenerateBenchmark("superblue4", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %s: %d cells\n", base.Name, base.Stats().Cells)
+
+	// Flow 1 — wirelength only; it also calibrates the clock for the
+	// comparison: 70% of the critical delay this flow achieves.
+	dWL := base.Clone()
+	resWL, err := dtgp.Place(dWL, con, dtgp.FlowWirelength, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	con.Period = 0.7 * resWL.STA.CriticalDelay()
+	staWL, err := dtgp.AnalyzeTiming(dWL, con)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clock period calibrated to %.0f ps\n\n", con.Period)
+	fmt.Printf("%-22s %10s %14s %12s %10s\n", "flow", "WNS (ps)", "TNS (ps)", "HPWL", "runtime")
+	fmt.Printf("%-22s %10.1f %14.1f %12.4g %10s\n",
+		"DREAMPlace [16]", staWL.WNS, staWL.TNS, resWL.HPWL, resWL.Runtime.Round(1e7))
+
+	// Flow 2 — net weighting [24].
+	dNW := base.Clone()
+	resNW, err := dtgp.Place(dNW, con, dtgp.FlowNetWeight, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %10.1f %14.1f %12.4g %10s\n",
+		"Net weighting [24]", resNW.WNS, resNW.TNS, resNW.HPWL, resNW.Runtime.Round(1e7))
+
+	// Flow 3 — ours (differentiable timing).
+	dDT := base.Clone()
+	resDT, err := dtgp.Place(dDT, con, dtgp.FlowDiffTiming, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %10.1f %14.1f %12.4g %10s\n",
+		"Differentiable (ours)", resDT.WNS, resDT.TNS, resDT.HPWL, resDT.Runtime.Round(1e7))
+}

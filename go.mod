@@ -1,0 +1,3 @@
+module dtgp
+
+go 1.22

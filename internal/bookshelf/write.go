@@ -1,0 +1,174 @@
+// Package bookshelf reads and writes the Bookshelf physical-design format
+// (.aux/.nodes/.nets/.pl/.scl/.wts) used by the ICCAD 2015 contest, plus
+// whole-design save/load that bundles the Bookshelf files with the Verilog
+// netlist, Liberty library and SDC constraints — the complete contest file
+// set.
+package bookshelf
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dtgp/internal/liberty"
+	"dtgp/internal/netlist"
+	"dtgp/internal/sdc"
+	"dtgp/internal/verilog"
+)
+
+// WriteNodes emits the .nodes file. Ports are terminals.
+func WriteNodes(w io.Writer, d *netlist.Design) error {
+	var b strings.Builder
+	b.WriteString("UCLA nodes 1.0\n\n")
+	n, terms := 0, 0
+	for ci := range d.Cells {
+		if d.Cells[ci].Class == netlist.ClassFiller {
+			continue
+		}
+		n++
+		if d.Cells[ci].Fixed() {
+			terms++
+		}
+	}
+	fmt.Fprintf(&b, "NumNodes : %d\nNumTerminals : %d\n", n, terms)
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.Class == netlist.ClassFiller {
+			continue
+		}
+		if c.Fixed() {
+			fmt.Fprintf(&b, "  %s %g %g terminal\n", c.Name, c.W, c.H)
+		} else {
+			fmt.Fprintf(&b, "  %s %g %g\n", c.Name, c.W, c.H)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteNets emits the .nets file. Pin offsets are relative to the cell
+// center, per the Bookshelf convention.
+func WriteNets(w io.Writer, d *netlist.Design) error {
+	var b strings.Builder
+	b.WriteString("UCLA nets 1.0\n\n")
+	pins := 0
+	for ni := range d.Nets {
+		pins += len(d.Nets[ni].Pins)
+	}
+	fmt.Fprintf(&b, "NumNets : %d\nNumPins : %d\n", len(d.Nets), pins)
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		fmt.Fprintf(&b, "NetDegree : %d %s\n", len(net.Pins), net.Name)
+		for _, pid := range net.Pins {
+			pin := &d.Pins[pid]
+			c := &d.Cells[pin.Cell]
+			dir := "I"
+			if pin.Dir == netlist.PinOutput {
+				dir = "O"
+			}
+			fmt.Fprintf(&b, "  %s %s : %g %g\n", c.Name, dir,
+				pin.Offset.X-c.W/2, pin.Offset.Y-c.H/2)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePl emits the .pl placement file.
+func WritePl(w io.Writer, d *netlist.Design) error {
+	var b strings.Builder
+	b.WriteString("UCLA pl 1.0\n\n")
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.Class == netlist.ClassFiller {
+			continue
+		}
+		suffix := ""
+		if c.Fixed() {
+			suffix = " /FIXED"
+		}
+		fmt.Fprintf(&b, "%s %g %g : N%s\n", c.Name, c.Pos.X, c.Pos.Y, suffix)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteScl emits the .scl rows file.
+func WriteScl(w io.Writer, d *netlist.Design) error {
+	var b strings.Builder
+	b.WriteString("UCLA scl 1.0\n\n")
+	fmt.Fprintf(&b, "NumRows : %d\n", len(d.Rows))
+	for _, r := range d.Rows {
+		b.WriteString("CoreRow Horizontal\n")
+		fmt.Fprintf(&b, "  Coordinate : %g\n", r.Origin.Y)
+		fmt.Fprintf(&b, "  Height : %g\n", r.Height)
+		fmt.Fprintf(&b, "  Sitewidth : %g\n", r.SiteWidth)
+		fmt.Fprintf(&b, "  Sitespacing : %g\n", r.SiteWidth)
+		b.WriteString("  Siteorient : N\n  Sitesymmetry : Y\n")
+		fmt.Fprintf(&b, "  SubrowOrigin : %g NumSites : %d\n", r.Origin.X, r.NumSites)
+		b.WriteString("End\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteWts emits the .wts net-weight file.
+func WriteWts(w io.Writer, d *netlist.Design) error {
+	var b strings.Builder
+	b.WriteString("UCLA wts 1.0\n\n")
+	for ni := range d.Nets {
+		fmt.Fprintf(&b, "%s %g\n", d.Nets[ni].Name, d.Nets[ni].Weight)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Save writes the complete benchmark file set into dir with the given base
+// name: .aux, .nodes, .nets, .pl, .scl, .wts, .v, .lib and .sdc.
+func Save(dir, base string, d *netlist.Design, con *sdc.Constraints) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(ext string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, base+ext))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return fmt.Errorf("bookshelf: writing %s%s: %w", base, ext, err)
+		}
+		return f.Close()
+	}
+	steps := []struct {
+		ext string
+		fn  func(io.Writer) error
+	}{
+		{".nodes", func(w io.Writer) error { return WriteNodes(w, d) }},
+		{".nets", func(w io.Writer) error { return WriteNets(w, d) }},
+		{".pl", func(w io.Writer) error { return WritePl(w, d) }},
+		{".scl", func(w io.Writer) error { return WriteScl(w, d) }},
+		{".wts", func(w io.Writer) error { return WriteWts(w, d) }},
+		{".v", func(w io.Writer) error { return verilog.Write(w, d) }},
+		{".lib", func(w io.Writer) error { return liberty.Write(w, d.Lib) }},
+		{".aux", func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "RowBasedPlacement : %s.nodes %s.nets %s.wts %s.pl %s.scl\n",
+				base, base, base, base, base)
+			return err
+		}},
+	}
+	if con != nil {
+		steps = append(steps, struct {
+			ext string
+			fn  func(io.Writer) error
+		}{".sdc", func(w io.Writer) error { return sdc.Write(w, con) }})
+	}
+	for _, s := range steps {
+		if err := write(s.ext, s.fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

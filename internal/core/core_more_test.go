@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dtgp/internal/timing"
+)
+
+// TestGammaMonotoneConservatism: larger γ makes the smoothed WNS more
+// conservative (LSE over-estimates arrivals more), so SmWNS decreases
+// monotonically in γ on a fixed design.
+func TestGammaMonotoneConservatism(t *testing.T) {
+	g := makeTestBed(t, 300, 81)
+	prev := math.Inf(1)
+	for _, gamma := range []float64{10, 50, 100, 300} {
+		tm := NewTimer(g, Options{Gamma: gamma, SteinerPeriod: 10})
+		tm.Evaluate(0.01, 0.001)
+		if tm.SmWNS > prev+1e-6 {
+			t.Fatalf("SmWNS not monotone in γ: %v at γ=%v (prev %v)", tm.SmWNS, gamma, prev)
+		}
+		prev = tm.SmWNS
+	}
+}
+
+// TestHardEstimateGammaInvariant: the hard-max estimate from the same pass
+// should barely move with γ (only via slew smoothing), unlike SmWNS.
+func TestHardEstimateGammaInvariant(t *testing.T) {
+	g := makeTestBed(t, 300, 82)
+	tm1 := NewTimer(g, Options{Gamma: 10, SteinerPeriod: 10})
+	tm1.Evaluate(0.01, 0.001)
+	tm2 := NewTimer(g, Options{Gamma: 300, SteinerPeriod: 10})
+	tm2.Evaluate(0.01, 0.001)
+	smGap := math.Abs(tm1.SmWNS - tm2.SmWNS)
+	estGap := math.Abs(tm1.EstWNS - tm2.EstWNS)
+	if estGap > smGap {
+		t.Errorf("hard estimate moved more (%v) than the smoothed value (%v) across γ", estGap, smGap)
+	}
+}
+
+// TestObjectiveWeightsScale: doubling t1 doubles the TNS part of the
+// objective (f is linear in the weights).
+func TestObjectiveWeightsScale(t *testing.T) {
+	g := makeTestBed(t, 250, 83)
+	tm := NewTimer(g, DefaultOptions())
+	f1 := tm.EvaluateValueOnly(0.01, 0)
+	tm2 := NewTimer(g, DefaultOptions())
+	f2 := tm2.EvaluateValueOnly(0.02, 0)
+	if math.Abs(f2-2*f1) > 1e-9*(1+math.Abs(f2)) {
+		t.Errorf("objective not linear in t1: %v vs 2×%v", f2, f1)
+	}
+}
+
+// TestExactResultSharesInterconnect: the timer's ExactResult must agree
+// with a fresh timing.Analyze when trees were just rebuilt.
+func TestExactResultSharesInterconnect(t *testing.T) {
+	g := makeTestBed(t, 300, 84)
+	tm := NewTimer(g, DefaultOptions())
+	tm.Evaluate(0.01, 0.001) // first call rebuilds trees
+	fromTimer := tm.ExactResult()
+	scratch := timing.Analyze(g)
+	if math.Abs(fromTimer.WNS-scratch.WNS) > 1e-6 {
+		t.Errorf("ExactResult WNS %v vs scratch %v", fromTimer.WNS, scratch.WNS)
+	}
+	if math.Abs(fromTimer.TNS-scratch.TNS) > 1e-6 {
+		t.Errorf("ExactResult TNS %v vs scratch %v", fromTimer.TNS, scratch.TNS)
+	}
+}
+
+// TestGradDirectionDominantlyDescending: for a design with violations, the
+// negative gradient direction must reduce the objective for most sampled
+// scalings (sanity beyond the single-step test).
+func TestGradDirectionDominantlyDescending(t *testing.T) {
+	g := makeTestBed(t, 250, 85)
+	d := g.D
+	tm := NewTimer(g, Options{Gamma: 100, SteinerPeriod: 1 << 30})
+	f0 := tm.Evaluate(0.01, 0.001)
+	if f0 <= 0 {
+		t.Skip("no violations")
+	}
+	norm := 0.0
+	for ci := range tm.CellGradX {
+		norm = math.Max(norm, math.Max(math.Abs(tm.CellGradX[ci]), math.Abs(tm.CellGradY[ci])))
+	}
+	if norm == 0 {
+		t.Fatal("zero gradient")
+	}
+	gradX := append([]float64(nil), tm.CellGradX...)
+	gradY := append([]float64(nil), tm.CellGradY...)
+	improved := 0
+	steps := []float64{0.5, 1, 2, 4}
+	for _, s := range steps {
+		step := s / norm
+		for ci := range d.Cells {
+			if d.Cells[ci].Movable() {
+				d.Cells[ci].Pos.X -= step * gradX[ci]
+				d.Cells[ci].Pos.Y -= step * gradY[ci]
+			}
+		}
+		if tm.EvaluateValueOnly(0.01, 0.001) < f0 {
+			improved++
+		}
+		for ci := range d.Cells {
+			if d.Cells[ci].Movable() {
+				d.Cells[ci].Pos.X += step * gradX[ci]
+				d.Cells[ci].Pos.Y += step * gradY[ci]
+			}
+		}
+	}
+	if improved < len(steps)-1 {
+		t.Errorf("descent improved only %d/%d step sizes", improved, len(steps))
+	}
+}

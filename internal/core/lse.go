@@ -1,0 +1,114 @@
+// Package core implements the paper's contribution: a differentiable static
+// timing engine (§3) that computes smoothed TNS/WNS objectives and their
+// exact analytic gradients with respect to every cell location, by
+// backpropagating through the levelized timing graph (Eq. 10, 12), the
+// Elmore delay model (Eq. 8) and the Steiner-tree geometry (Fig. 4).
+package core
+
+import "math"
+
+// LSE computes the log-sum-exp smooth maximum (Eq. 5)
+//
+//	LSE_γ(x…) = γ·log Σ exp(x_i/γ)
+//
+// in the numerically stable shifted form. γ must be positive.
+func LSE(gamma float64, xs ...float64) float64 {
+	v, _ := lseShifted(gamma, xs)
+	return v
+}
+
+// lseShifted returns the LSE value and the shifted partition function
+// Σ exp((x_i−m)/γ) together with... the max is recoverable as v − γ·log(z).
+func lseShifted(gamma float64, xs []float64) (val, z float64) {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m, 0
+	}
+	for _, x := range xs {
+		z += math.Exp((x - m) / gamma)
+	}
+	return m + gamma*math.Log(z), z
+}
+
+// LSEGrad returns LSE_γ(xs) and the softmax weights ∂LSE/∂x_i, which are
+// the gradient factors ∇_input LSE in Eq. 12a–12c.
+func LSEGrad(gamma float64, xs ...float64) (float64, []float64) {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	w := make([]float64, len(xs))
+	if math.IsInf(m, -1) {
+		return m, w
+	}
+	z := 0.0
+	for i, x := range xs {
+		w[i] = math.Exp((x - m) / gamma)
+		z += w[i]
+	}
+	for i := range w {
+		w[i] /= z
+	}
+	return m + gamma*math.Log(z), w
+}
+
+// SoftMin is the smooth minimum: −LSE_γ(−x…) ("we transform min to the max
+// of the inverse value of operands", §3.2).
+func SoftMin(gamma float64, xs ...float64) float64 {
+	neg := make([]float64, len(xs))
+	for i, x := range xs {
+		neg[i] = -x
+	}
+	return -LSE(gamma, neg...)
+}
+
+// SoftMinGrad returns the smooth minimum and its gradient weights (which
+// are non-negative and sum to 1, concentrated on the smallest inputs).
+func SoftMinGrad(gamma float64, xs ...float64) (float64, []float64) {
+	neg := make([]float64, len(xs))
+	for i, x := range xs {
+		neg[i] = -x
+	}
+	v, w := LSEGrad(gamma, neg...)
+	return -v, w
+}
+
+// SoftNeg is the smooth version of min(0, s) used inside the TNS objective:
+//
+//	softneg_γ(s) = −γ·log(1 + exp(−s/γ))
+//
+// It approaches s for s ≪ 0 and 0 for s ≫ 0.
+func SoftNeg(gamma, s float64) float64 {
+	return -gamma * softplus(-s/gamma)
+}
+
+// SoftNegGrad returns softneg and d softneg/ds = σ(−s/γ) ∈ (0, 1).
+func SoftNegGrad(gamma, s float64) (float64, float64) {
+	return SoftNeg(gamma, s), sigmoid(-s / gamma)
+}
+
+// softplus computes log(1+exp(x)) without overflow.
+func softplus(x float64) float64 {
+	if x > 30 {
+		return x
+	}
+	if x < -30 {
+		return math.Exp(x)
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

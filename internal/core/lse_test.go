@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLSEBounds(t *testing.T) {
+	// max(x) ≤ LSE_γ(x) ≤ max(x) + γ·ln n.
+	f := func(a, b, c float64) bool {
+		a, b, c = math.Mod(a, 1e4), math.Mod(b, 1e4), math.Mod(c, 1e4)
+		gamma := 50.0
+		v := LSE(gamma, a, b, c)
+		m := math.Max(a, math.Max(b, c))
+		return v >= m-1e-9 && v <= m+gamma*math.Log(3)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLSEApproachesMax(t *testing.T) {
+	xs := []float64{10, 42, -7}
+	prev := math.Inf(1)
+	for _, gamma := range []float64{100, 10, 1, 0.1, 0.01} {
+		v := LSE(gamma, xs...)
+		if v > prev+1e-12 {
+			t.Errorf("LSE not decreasing in γ: %v at γ=%v", v, gamma)
+		}
+		prev = v
+	}
+	if math.Abs(LSE(0.01, xs...)-42) > 1e-6 {
+		t.Errorf("LSE(γ→0) = %v, want 42", LSE(0.01, xs...))
+	}
+}
+
+func TestLSEGradWeights(t *testing.T) {
+	_, w := LSEGrad(25, 1, 2, 3, 4)
+	sum := 0.0
+	for _, wi := range w {
+		if wi < 0 || wi > 1 {
+			t.Errorf("weight %v out of [0,1]", wi)
+		}
+		sum += wi
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	// Largest input gets the largest weight.
+	if !(w[3] > w[2] && w[2] > w[1] && w[1] > w[0]) {
+		t.Errorf("weights not ordered: %v", w)
+	}
+}
+
+func TestLSEGradFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const h = 1e-6
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		gamma := 10 + rng.Float64()*100
+		_, w := LSEGrad(gamma, xs...)
+		for i := range xs {
+			up := append([]float64(nil), xs...)
+			dn := append([]float64(nil), xs...)
+			up[i] += h
+			dn[i] -= h
+			fd := (LSE(gamma, up...) - LSE(gamma, dn...)) / (2 * h)
+			if math.Abs(fd-w[i]) > 1e-5 {
+				t.Fatalf("trial %d: dLSE/dx%d analytic %v vs fd %v", trial, i, w[i], fd)
+			}
+		}
+	}
+}
+
+func TestSoftMin(t *testing.T) {
+	v := SoftMin(0.01, 5, 2, 9)
+	if math.Abs(v-2) > 1e-6 {
+		t.Errorf("SoftMin(γ→0) = %v, want 2", v)
+	}
+	// SoftMin is a lower bound of min.
+	f := func(a, b float64) bool {
+		a, b = math.Mod(a, 1e4), math.Mod(b, 1e4)
+		return SoftMin(30, a, b) <= math.Min(a, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	_, w := SoftMinGrad(10, 1, 100)
+	if w[0] < 0.99 {
+		t.Errorf("SoftMin weight should concentrate on the min: %v", w)
+	}
+}
+
+func TestSoftNeg(t *testing.T) {
+	// Bounds: min(0,s) − γ·ln2 ≤ softneg(s) ≤ min(0,s).
+	f := func(s float64) bool {
+		s = math.Mod(s, 1e4)
+		gamma := 40.0
+		v := SoftNeg(gamma, s)
+		lo := math.Min(0, s) - gamma*math.Log(2)
+		return v <= math.Min(0, s)+1e-9 && v >= lo-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Asymptotics.
+	if math.Abs(SoftNeg(10, -500)-(-500)) > 1e-6 {
+		t.Error("softneg(s≪0) should be ≈ s")
+	}
+	if math.Abs(SoftNeg(10, 500)) > 1e-6 {
+		t.Error("softneg(s≫0) should be ≈ 0")
+	}
+	// Gradient check.
+	const h = 1e-6
+	for _, s := range []float64{-80, -5, 0, 3, 90} {
+		_, g := SoftNegGrad(25, s)
+		fd := (SoftNeg(25, s+h) - SoftNeg(25, s-h)) / (2 * h)
+		if math.Abs(g-fd) > 1e-6 {
+			t.Errorf("softneg grad at %v: %v vs fd %v", s, g, fd)
+		}
+		if g < 0 || g > 1 {
+			t.Errorf("softneg grad %v out of [0,1]", g)
+		}
+	}
+}
+
+func TestSoftplusStability(t *testing.T) {
+	if v := softplus(1000); v != 1000 {
+		t.Errorf("softplus(1000) = %v", v)
+	}
+	if v := softplus(-1000); v != 0 {
+		t.Errorf("softplus(-1000) = %v (want exact 0 via exp underflow)", v)
+	}
+	if math.IsNaN(softplus(0)) || math.Abs(softplus(0)-math.Ln2) > 1e-12 {
+		t.Error("softplus(0) wrong")
+	}
+	if sigmoid(0) != 0.5 {
+		t.Error("sigmoid(0) != 0.5")
+	}
+	if sigmoid(100) > 1 || sigmoid(-100) < 0 {
+		t.Error("sigmoid out of range")
+	}
+}

@@ -1,0 +1,719 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dtgp/internal/liberty"
+	"dtgp/internal/parallel"
+	"dtgp/internal/rctree"
+	"dtgp/internal/timing"
+)
+
+// Options configure the differentiable timer.
+type Options struct {
+	// Gamma is the LSE smoothing strength (Eq. 5), in ps. The paper sets
+	// it "to around 100".
+	Gamma float64
+	// SteinerPeriod is how often Steiner-tree topologies are rebuilt; in
+	// between, stored Steiner points ride along with their pins (§3.6,
+	// "every 10 iterations").
+	SteinerPeriod int
+}
+
+// DefaultOptions mirrors the paper's §4 hyperparameters.
+func DefaultOptions() Options {
+	return Options{Gamma: 100, SteinerPeriod: 10}
+}
+
+// Timer is the differentiable STA engine (Fig. 3). A single Evaluate call
+// runs the full forward propagation (pin locations → Steiner/Elmore → level
+// by level arrival/slew → smoothed slacks → TNS_γ, WNS_γ) and the full
+// backward pass to per-cell location gradients.
+type Timer struct {
+	G    *timing.Graph
+	Opts Options
+
+	// Nets carries the Steiner/RC state; rebuilt every SteinerPeriod
+	// evaluations and coordinate-refreshed otherwise.
+	Nets []timing.NetState
+
+	// Forward state per (pin, transition) index; smoothed late analysis.
+	AT, Slew []float64
+	Valid    []bool
+	// HardAT tracks the exact max alongside the LSE so WNS/TNS estimates
+	// are available without a separate exact pass.
+	HardAT []float64
+	// Stored LSE partition state for weight recomputation in backward.
+	atMax, atZ, slMax, slZ []float64
+
+	// Backward accumulators.
+	gAT, gSlew []float64
+	gDelayNode [][]float64 // per net, per Steiner node: ∂f/∂Delay
+	gImpSq     [][]float64 // per net, per node: ∂f/∂Impulse²
+	gLoadRoot  []float64   // per net: ∂f/∂Load(root)
+	netGrads   []*rctree.Grad
+
+	// Early-mode (hold) state, allocated on first EvaluateHold.
+	hold            *holdState
+	gDelayNodeEarly [][]float64
+	gImpSqEarly     [][]float64
+	gLoadRootEarly  []float64
+
+	// Outputs of Evaluate.
+	CellGradX, CellGradY []float64
+	// SmTNS/SmWNS are the smoothed objective values TNS_γ, WNS_γ;
+	// EstTNS/EstWNS are hard-max estimates from the same pass. SmTHS and
+	// EstTHS report the hold objective when EvaluateHold is used.
+	SmTNS, SmWNS   float64
+	EstTNS, EstWNS float64
+	SmTHS, EstTHS  float64
+
+	evalCount int
+
+	// Precomputed structure.
+	netOfSink, posOfSink []int32
+	// Per level: cell-output pins grouped by owning cell, and net-sink
+	// pins grouped by net, so backward distribution within a group is
+	// single-writer per fan-in location.
+	cellGroups [][][]int32
+	netGroups  [][][]int32
+
+	clockSlew float64
+	period    float64
+}
+
+// NewTimer builds a differentiable timer over a timing graph.
+func NewTimer(g *timing.Graph, opts Options) *Timer {
+	if opts.Gamma <= 0 {
+		opts.Gamma = 100
+	}
+	if opts.SteinerPeriod <= 0 {
+		opts.SteinerPeriod = 10
+	}
+	n2 := 2 * len(g.D.Pins)
+	t := &Timer{
+		G:         g,
+		Opts:      opts,
+		AT:        make([]float64, n2),
+		Slew:      make([]float64, n2),
+		Valid:     make([]bool, n2),
+		HardAT:    make([]float64, n2),
+		atMax:     make([]float64, n2),
+		atZ:       make([]float64, n2),
+		slMax:     make([]float64, n2),
+		slZ:       make([]float64, n2),
+		gAT:       make([]float64, n2),
+		gSlew:     make([]float64, n2),
+		gLoadRoot: make([]float64, len(g.D.Nets)),
+		netGrads:  make([]*rctree.Grad, len(g.D.Nets)),
+		CellGradX: make([]float64, len(g.D.Cells)),
+		CellGradY: make([]float64, len(g.D.Cells)),
+		clockSlew: 20,
+		period:    math.Inf(1),
+	}
+	if g.Con != nil {
+		t.clockSlew = g.Con.ClockSlew
+		if g.Con.Period > 0 {
+			t.period = g.Con.Period
+		}
+	}
+	t.netOfSink = make([]int32, len(g.D.Pins))
+	t.posOfSink = make([]int32, len(g.D.Pins))
+	for i := range t.netOfSink {
+		t.netOfSink[i] = -1
+	}
+	d := g.D
+	for ni := range d.Nets {
+		if g.IsClockNet[ni] {
+			continue
+		}
+		net := &d.Nets[ni]
+		if net.Driver < 0 || len(net.Pins) < 2 {
+			continue
+		}
+		for k, pid := range net.Pins {
+			if pid != net.Driver {
+				t.netOfSink[pid] = int32(ni)
+				t.posOfSink[pid] = int32(k)
+			}
+		}
+	}
+	t.buildGroups()
+	return t
+}
+
+func (t *Timer) buildGroups() {
+	g := t.G
+	d := g.D
+	t.cellGroups = make([][][]int32, len(g.Levels))
+	t.netGroups = make([][][]int32, len(g.Levels))
+	for li, level := range g.Levels {
+		cells := map[int32][]int32{}
+		nets := map[int32][]int32{}
+		for _, pid := range level {
+			switch {
+			case g.IsStart[pid]:
+			case g.IsNetSink[pid]:
+				if ni := t.netOfSink[pid]; ni >= 0 {
+					nets[ni] = append(nets[ni], pid)
+				}
+			case g.IsCellOut[pid]:
+				ci := d.Pins[pid].Cell
+				cells[ci] = append(cells[ci], pid)
+			}
+		}
+		for _, pins := range cells {
+			t.cellGroups[li] = append(t.cellGroups[li], pins)
+		}
+		for _, pins := range nets {
+			t.netGroups[li] = append(t.netGroups[li], pins)
+		}
+	}
+}
+
+// Evaluate runs one forward+backward pass. t1 and t2 weight the TNS and WNS
+// objectives (Eq. 6). It returns the timing objective value
+// f = −t1·TNS_γ − t2·WNS_γ (non-negative when violations exist); its
+// gradient with respect to cell positions is left in CellGradX/CellGradY.
+func (t *Timer) Evaluate(t1, t2 float64) float64 {
+	// Stage 1-2 (Fig. 3): Steiner trees and Elmore state.
+	if t.Nets == nil || t.evalCount%t.Opts.SteinerPeriod == 0 {
+		t.Nets = timing.BuildNetStates(t.G)
+	} else {
+		timing.RefreshNetStates(t.G, t.Nets)
+	}
+	t.evalCount++
+	timing.ForwardAll(t.Nets)
+
+	t.forward()
+	return t.backward(t1, t2)
+}
+
+// EvaluateValueOnly runs just the forward pass (for tests and finite
+// difference checks) and returns f without touching gradients.
+func (t *Timer) EvaluateValueOnly(t1, t2 float64) float64 {
+	if t.Nets == nil || t.evalCount%t.Opts.SteinerPeriod == 0 {
+		t.Nets = timing.BuildNetStates(t.G)
+	} else {
+		timing.RefreshNetStates(t.G, t.Nets)
+	}
+	t.evalCount++
+	timing.ForwardAll(t.Nets)
+	t.forward()
+	f, _ := t.objective(t1, t2, nil)
+	return f
+}
+
+// ExactResult runs the exact STA engine on the timer's current Steiner/RC
+// state (sharing the interconnect model, so exact and smoothed metrics are
+// directly comparable).
+func (t *Timer) ExactResult() *timing.Result {
+	if t.Nets == nil {
+		t.Nets = timing.BuildNetStates(t.G)
+		timing.ForwardAll(t.Nets)
+	}
+	return timing.AnalyzeWithNets(t.G, t.Nets)
+}
+
+// ---------------------------------------------------------------------------
+// Forward pass (§3.3 steps 3-4).
+
+func (t *Timer) forward() {
+	g := t.G
+	d := g.D
+	ninf := math.Inf(-1)
+	for i := range t.AT {
+		t.AT[i] = ninf
+		t.HardAT[i] = ninf
+		t.Slew[i] = 0
+		t.Valid[i] = false
+		t.atZ[i] = 0
+		t.slZ[i] = 0
+	}
+
+	// Starts.
+	for pi := range d.Pins {
+		pid := int32(pi)
+		if !g.IsStart[pid] {
+			continue
+		}
+		var at, slew float64
+		if g.IsClockPin[pid] {
+			at, slew = 0, t.clockSlew
+		} else {
+			cell := &d.Cells[d.Pins[pid].Cell]
+			if g.Con != nil {
+				at = g.Con.InputDelayOf(cell.Name)
+				slew = g.Con.InputSlewOf(cell.Name)
+			} else {
+				slew = 30
+			}
+		}
+		for tr := timing.Rise; tr <= timing.Fall; tr++ {
+			ti := timing.TIdx(pid, tr)
+			t.AT[ti], t.HardAT[ti] = at, at
+			t.Slew[ti] = slew
+			t.Valid[ti] = true
+		}
+	}
+
+	for _, level := range g.Levels {
+		level := level
+		parallel.For(len(level), func(i int) {
+			pid := level[i]
+			switch {
+			case g.IsStart[pid]:
+			case g.IsNetSink[pid]:
+				t.forwardNetSink(pid)
+			case g.IsCellOut[pid]:
+				t.forwardCellOut(pid)
+			}
+		})
+	}
+}
+
+// forwardNetSink applies Eq. 9 per transition.
+func (t *Timer) forwardNetSink(pid int32) {
+	ni := t.netOfSink[pid]
+	if ni < 0 {
+		return
+	}
+	ns := &t.Nets[ni]
+	if ns.Tree == nil {
+		return
+	}
+	driver := t.G.D.Nets[ni].Driver
+	k := int(t.posOfSink[pid])
+	delay := ns.SinkDelay(k)
+	imp := ns.SinkImpulse(k)
+	for tr := timing.Rise; tr <= timing.Fall; tr++ {
+		u, v := timing.TIdx(driver, tr), timing.TIdx(pid, tr)
+		if !t.Valid[u] {
+			continue
+		}
+		t.AT[v] = t.AT[u] + delay
+		t.HardAT[v] = t.HardAT[u] + delay
+		t.Slew[v] = math.Sqrt(t.Slew[u]*t.Slew[u] + imp*imp)
+		t.Valid[v] = true
+	}
+}
+
+// forwardCellOut applies Eq. 11: LUT delays aggregated with LSE over all
+// (input pin, input transition) candidates.
+func (t *Timer) forwardCellOut(pid int32) {
+	gamma := t.Opts.Gamma
+	load := t.driverLoadOf(pid)
+	for outTr := timing.Rise; outTr <= timing.Fall; outTr++ {
+		v := timing.TIdx(pid, outTr)
+		// Two-pass stable LSE: max first, then partition sums.
+		atM, slM := math.Inf(-1), math.Inf(-1)
+		hardBest := math.Inf(-1)
+		any := false
+		t.eachCandidate(pid, outTr, load, func(u int32, at, slew float64) {
+			any = true
+			if at > atM {
+				atM = at
+			}
+			if slew > slM {
+				slM = slew
+			}
+			if h := t.HardAT[u] + (at - t.AT[u]); h > hardBest {
+				hardBest = h
+			}
+		})
+		if !any {
+			continue
+		}
+		var atZ, slZ float64
+		t.eachCandidate(pid, outTr, load, func(u int32, at, slew float64) {
+			atZ += math.Exp((at - atM) / gamma)
+			slZ += math.Exp((slew - slM) / gamma)
+		})
+		t.AT[v] = atM + gamma*math.Log(atZ)
+		t.Slew[v] = slM + gamma*math.Log(slZ)
+		t.HardAT[v] = hardBest
+		t.atMax[v], t.atZ[v] = atM, atZ
+		t.slMax[v], t.slZ[v] = slM, slZ
+		t.Valid[v] = true
+	}
+}
+
+// eachCandidate enumerates the (fan-in, transition) delay candidates of a
+// cell output transition: fn(u, AT(u)+Delay_u(v), Slew_u(v)).
+func (t *Timer) eachCandidate(pid int32, outTr timing.Transition, load float64, fn func(u int32, at, slew float64)) {
+	g := t.G
+	for ai := range g.ArcsInto[pid] {
+		ar := &g.ArcsInto[pid][ai]
+		dl, tl := delayTables(ar.Arc, outTr)
+		for _, inTr := range inputTransitions(ar.Arc.Unate, outTr) {
+			if inTr < 0 {
+				continue
+			}
+			u := timing.TIdx(ar.FromPin, timing.Transition(inTr))
+			if !t.Valid[u] {
+				continue
+			}
+			d := dl.Eval(t.Slew[u], load)
+			s := tl.Eval(t.Slew[u], load)
+			fn(u, t.AT[u]+d, s)
+		}
+	}
+}
+
+func delayTables(arc *liberty.TimingArc, out timing.Transition) (delay, trans *liberty.LUT) {
+	if out == timing.Rise {
+		return arc.CellRise, arc.RiseTransition
+	}
+	return arc.CellFall, arc.FallTransition
+}
+
+func inputTransitions(u liberty.Unateness, out timing.Transition) [2]int8 {
+	switch u {
+	case liberty.PositiveUnate:
+		return [2]int8{int8(out), -1}
+	case liberty.NegativeUnate:
+		return [2]int8{int8(1 - out), -1}
+	default:
+		return [2]int8{0, 1}
+	}
+}
+
+func (t *Timer) driverLoadOf(pid int32) float64 {
+	net := t.G.D.Pins[pid].Net
+	if net < 0 || t.Nets[net].Tree == nil {
+		return 0
+	}
+	return t.Nets[net].DriverLoad()
+}
+
+// ---------------------------------------------------------------------------
+// Objective and backward pass (§3.3 step 5).
+
+// endpointSlacks computes, for each (endpoint, transition), the smoothed
+// setup slack; seed != nil additionally receives ∂f/∂slack seeds to spread
+// into gAT/gSlew.
+func (t *Timer) objective(t1, t2 float64, seed func(ti int32, dfds float64, ep *timing.Endpoint, tr timing.Transition)) (float64, bool) {
+	g := t.G
+	gamma := t.Opts.Gamma
+
+	type epState struct {
+		s    [2]float64 // per transition slack (smoothed ATs)
+		hard [2]float64 // hard-AT slack estimate
+		ok   [2]bool
+		sEp  float64
+		wTr  [2]float64
+	}
+	states := make([]epState, len(g.Endpoints))
+	for ei := range g.Endpoints {
+		ep := &g.Endpoints[ei]
+		st := &states[ei]
+		for tr := timing.Rise; tr <= timing.Fall; tr++ {
+			ti := timing.TIdx(ep.Pin, tr)
+			if !t.Valid[ti] {
+				continue
+			}
+			rat, ok := t.requiredAt(ep, tr, ti)
+			if !ok {
+				continue
+			}
+			st.s[tr] = rat - t.AT[ti]
+			st.hard[tr] = rat - t.HardAT[ti]
+			st.ok[tr] = true
+		}
+		switch {
+		case st.ok[0] && st.ok[1]:
+			v, w := SoftMinGrad(gamma, st.s[0], st.s[1])
+			st.sEp = v
+			st.wTr[0], st.wTr[1] = w[0], w[1]
+		case st.ok[0]:
+			st.sEp, st.wTr[0] = st.s[0], 1
+		case st.ok[1]:
+			st.sEp, st.wTr[1] = st.s[1], 1
+		default:
+			st.sEp = math.Inf(1)
+		}
+	}
+
+	// Smoothed TNS (Σ softneg) and WNS (softmin over endpoints), plus the
+	// hard estimates.
+	smTNS, estTNS := 0.0, 0.0
+	estWNS := math.Inf(1)
+	var sEps []float64
+	var epIdx []int
+	for ei := range states {
+		st := &states[ei]
+		if math.IsInf(st.sEp, 1) {
+			continue
+		}
+		sn, _ := SoftNegGrad(gamma, st.sEp)
+		smTNS += sn
+		sEps = append(sEps, st.sEp)
+		epIdx = append(epIdx, ei)
+		hardEp := math.Inf(1)
+		for tr := 0; tr < 2; tr++ {
+			if st.ok[tr] && st.hard[tr] < hardEp {
+				hardEp = st.hard[tr]
+			}
+		}
+		if hardEp < estWNS {
+			estWNS = hardEp
+		}
+		if hardEp < 0 {
+			estTNS += hardEp
+		}
+	}
+	if len(sEps) == 0 {
+		t.SmTNS, t.SmWNS, t.EstTNS, t.EstWNS = 0, 0, 0, 0
+		return 0, false
+	}
+	smWNS, wEp := SoftMinGrad(gamma, sEps...)
+	t.SmTNS, t.SmWNS = smTNS, smWNS
+	t.EstTNS, t.EstWNS = estTNS, estWNS
+
+	f := -t1*smTNS - t2*smWNS
+	if seed != nil {
+		for k, ei := range epIdx {
+			st := &states[ei]
+			_, dTNS := SoftNegGrad(gamma, st.sEp)
+			dfdsEp := -t1*dTNS - t2*wEp[k]
+			for tr := timing.Rise; tr <= timing.Fall; tr++ {
+				if !st.ok[tr] {
+					continue
+				}
+				ti := timing.TIdx(g.Endpoints[ei].Pin, tr)
+				seed(ti, dfdsEp*st.wTr[tr], &g.Endpoints[ei], tr)
+			}
+		}
+	}
+	return f, true
+}
+
+// requiredAt returns the (differentiable) required arrival time of an
+// endpoint transition. For register endpoints the setup requirement depends
+// on the data slew through the constraint LUT, so the returned value is a
+// function of placement and the backward pass must chain through it.
+func (t *Timer) requiredAt(ep *timing.Endpoint, tr timing.Transition, ti int32) (float64, bool) {
+	switch ep.Kind {
+	case timing.EndFFData:
+		if ep.Setup == nil {
+			return 0, false
+		}
+		lut := constraintTable(ep.Setup.Arc, tr)
+		return t.period - lut.Eval(t.clockSlew, t.Slew[ti]), true
+	default:
+		od := 0.0
+		if t.G.Con != nil {
+			od = t.G.Con.OutputDelayOf(ep.PortName)
+		}
+		return t.period - od, true
+	}
+}
+
+func constraintTable(arc *liberty.TimingArc, dataTr timing.Transition) *liberty.LUT {
+	if dataTr == timing.Rise {
+		return arc.RiseConstraint
+	}
+	return arc.FallConstraint
+}
+
+// backward seeds endpoint gradients and sweeps the levels in reverse,
+// applying Eq. 12 (cell arcs), Eq. 10 (net arcs) and Eq. 8 (Elmore), then
+// maps Steiner-node gradients onto cells via pin attribution (Fig. 4).
+func (t *Timer) backward(t1, t2 float64) float64 {
+	g := t.G
+	d := g.D
+
+	for i := range t.gAT {
+		t.gAT[i] = 0
+		t.gSlew[i] = 0
+	}
+	for i := range t.gLoadRoot {
+		t.gLoadRoot[i] = 0
+		t.netGrads[i] = nil
+	}
+	if t.gDelayNode == nil {
+		t.gDelayNode = make([][]float64, len(d.Nets))
+		t.gImpSq = make([][]float64, len(d.Nets))
+	}
+	for ni := range t.Nets {
+		ns := &t.Nets[ni]
+		if ns.Tree == nil {
+			t.gDelayNode[ni] = nil
+			t.gImpSq[ni] = nil
+			continue
+		}
+		n := ns.Tree.NumNodes()
+		if cap(t.gDelayNode[ni]) < n {
+			t.gDelayNode[ni] = make([]float64, n)
+			t.gImpSq[ni] = make([]float64, n)
+		} else {
+			t.gDelayNode[ni] = t.gDelayNode[ni][:n]
+			t.gImpSq[ni] = t.gImpSq[ni][:n]
+			for j := 0; j < n; j++ {
+				t.gDelayNode[ni][j] = 0
+				t.gImpSq[ni][j] = 0
+			}
+		}
+	}
+	for i := range t.CellGradX {
+		t.CellGradX[i] = 0
+		t.CellGradY[i] = 0
+	}
+
+	f, any := t.objective(t1, t2, func(ti int32, dfds float64, ep *timing.Endpoint, tr timing.Transition) {
+		// slack = RAT − AT with RAT = T − setup(clockSlew, Slew).
+		t.gAT[ti] -= dfds
+		if ep.Kind == timing.EndFFData && ep.Setup != nil {
+			lut := constraintTable(ep.Setup.Arc, tr)
+			_, _, dRdSlew := lut.EvalGrad(t.clockSlew, t.Slew[ti])
+			t.gSlew[ti] -= dRdSlew * dfds
+		}
+	})
+	if !any {
+		return f
+	}
+
+	// Reverse level sweep. Groups keep each fan-in location single-writer.
+	for li := len(g.Levels) - 1; li >= 0; li-- {
+		cg, ng := t.cellGroups[li], t.netGroups[li]
+		parallel.For(len(ng), func(i int) {
+			for _, pid := range ng[i] {
+				t.backwardNetSink(pid)
+			}
+		})
+		parallel.For(len(cg), func(i int) {
+			for _, pid := range cg[i] {
+				t.backwardCellOut(pid)
+			}
+		})
+	}
+
+	// Elmore backward per net (Eq. 8), then Fig. 4 redistribution.
+	parallel.For(len(t.Nets), func(ni int) {
+		ns := &t.Nets[ni]
+		if ns.Tree == nil {
+			return
+		}
+		if t.gLoadRoot[ni] == 0 && allZero(t.gDelayNode[ni]) && allZero(t.gImpSq[ni]) {
+			return
+		}
+		t.netGrads[ni] = ns.RC.Backward(t.gDelayNode[ni], t.gImpSq[ni], t.gLoadRoot[ni])
+	})
+	for ni := range t.Nets {
+		gr := t.netGrads[ni]
+		if gr == nil {
+			continue
+		}
+		ns := &t.Nets[ni]
+		net := &d.Nets[ni]
+		tree := ns.Tree
+		for j := 0; j < tree.NumNodes(); j++ {
+			if gr.X[j] != 0 {
+				pid := net.Pins[tree.XPin[j]]
+				t.CellGradX[d.Pins[pid].Cell] += gr.X[j]
+			}
+			if gr.Y[j] != 0 {
+				pid := net.Pins[tree.YPin[j]]
+				t.CellGradY[d.Pins[pid].Cell] += gr.Y[j]
+			}
+		}
+	}
+	return f
+}
+
+func allZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// backwardNetSink applies Eq. 10 for every sink transition of a pin.
+func (t *Timer) backwardNetSink(pid int32) {
+	ni := t.netOfSink[pid]
+	if ni < 0 || t.Nets[ni].Tree == nil {
+		return
+	}
+	ns := &t.Nets[ni]
+	driver := t.G.D.Nets[ni].Driver
+	node := ns.Node[t.posOfSink[pid]]
+	for tr := timing.Rise; tr <= timing.Fall; tr++ {
+		u, v := timing.TIdx(driver, tr), timing.TIdx(pid, tr)
+		if !t.Valid[v] || !t.Valid[u] {
+			continue
+		}
+		gat, gsl := t.gAT[v], t.gSlew[v]
+		if gat == 0 && gsl == 0 {
+			continue
+		}
+		// Eq. 10a/10b.
+		t.gAT[u] += gat
+		t.gDelayNode[ni][node] += gat
+		// Eq. 10c/10d; Slew(v) ≥ Slew(u) > 0 for valid pins, but guard
+		// against a degenerate zero slew anyway.
+		if sv := t.Slew[v]; sv > 1e-9 {
+			t.gSlew[u] += t.Slew[u] / sv * gsl
+			t.gImpSq[ni][node] += gsl / (2 * sv)
+		}
+	}
+}
+
+// backwardCellOut applies Eq. 12 for every output transition of a pin.
+func (t *Timer) backwardCellOut(pid int32) {
+	gamma := t.Opts.Gamma
+	netID := t.G.D.Pins[pid].Net
+	load := t.driverLoadOf(pid)
+	for outTr := timing.Rise; outTr <= timing.Fall; outTr++ {
+		v := timing.TIdx(pid, outTr)
+		if !t.Valid[v] {
+			continue
+		}
+		gat, gsl := t.gAT[v], t.gSlew[v]
+		if gat == 0 && gsl == 0 {
+			continue
+		}
+		atM, atZ := t.atMax[v], t.atZ[v]
+		slM, slZ := t.slMax[v], t.slZ[v]
+		if atZ == 0 || slZ == 0 {
+			continue
+		}
+		g := t.G
+		for ai := range g.ArcsInto[pid] {
+			ar := &g.ArcsInto[pid][ai]
+			dl, tl := delayTables(ar.Arc, outTr)
+			for _, inTr := range inputTransitions(ar.Arc.Unate, outTr) {
+				if inTr < 0 {
+					continue
+				}
+				u := timing.TIdx(ar.FromPin, timing.Transition(inTr))
+				if !t.Valid[u] {
+					continue
+				}
+				dv, dDds, dDdl := dl.EvalGrad(t.Slew[u], load)
+				sv, dSds, dSdl := tl.EvalGrad(t.Slew[u], load)
+				wAT := math.Exp((t.AT[u]+dv-atM)/gamma) / atZ
+				wSL := math.Exp((sv-slM)/gamma) / slZ
+				// Eq. 12a/12b: arrival candidates.
+				gA := wAT * gat
+				t.gAT[u] += gA
+				// Eq. 12c: slew candidates.
+				gS := wSL * gsl
+				// Eq. 12d: input slew via both LUTs.
+				t.gSlew[u] += dDds*gA + dSds*gS
+				// Eq. 12e: output load via both LUTs.
+				if netID >= 0 {
+					t.gLoadRoot[netID] += dDdl*gA + dSdl*gS
+				}
+			}
+		}
+	}
+}
+
+// String summarises the timer state for logs.
+func (t *Timer) String() string {
+	return fmt.Sprintf("difftimer{γ=%g steiner=%d evals=%d smWNS=%.1f smTNS=%.1f}",
+		t.Opts.Gamma, t.Opts.SteinerPeriod, t.evalCount, t.SmWNS, t.SmTNS)
+}

@@ -1,0 +1,163 @@
+package defio
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dtgp/internal/gen"
+	"dtgp/internal/timing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d, con, err := gen.Generate(gen.DefaultParams("defrt", 400, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Read(sb.String(), d.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumCells() != d.NumCells() || d2.NumNets() != d.NumNets() || d2.NumPins() != d.NumPins() {
+		t.Fatalf("sizes changed: %d/%d/%d vs %d/%d/%d",
+			d2.NumCells(), d2.NumNets(), d2.NumPins(), d.NumCells(), d.NumNets(), d.NumPins())
+	}
+	// Positions survive to DEF precision (1e-3 DBU).
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		c2i := d2.CellByName(c.Name)
+		if c2i < 0 {
+			t.Fatalf("cell %s lost", c.Name)
+		}
+		c2 := &d2.Cells[c2i]
+		if math.Abs(c.Pos.X-c2.Pos.X) > 1e-3 || math.Abs(c.Pos.Y-c2.Pos.Y) > 1e-3 {
+			t.Fatalf("cell %s moved: %v vs %v", c.Name, c.Pos, c2.Pos)
+		}
+		if c.Class != c2.Class {
+			t.Fatalf("cell %s class %v → %v", c.Name, c.Class, c2.Class)
+		}
+	}
+	// Rows and die survive.
+	if len(d2.Rows) != len(d.Rows) {
+		t.Fatalf("rows %d vs %d", len(d2.Rows), len(d.Rows))
+	}
+	if math.Abs(d2.Die.W()-d.Die.W()) > 1e-3 {
+		t.Fatal("die changed")
+	}
+	// Timing of the reconstructed design matches (same library, same
+	// connectivity, near-identical positions).
+	g1, err := timing.NewGraph(d, con)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := timing.NewGraph(d2, con)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := timing.Analyze(g1), timing.Analyze(g2)
+	if math.Abs(r1.WNS-r2.WNS) > 0.5 {
+		t.Fatalf("WNS changed: %v vs %v", r1.WNS, r2.WNS)
+	}
+}
+
+func TestReadHandWritten(t *testing.T) {
+	lib := gen.DefaultParams("x", 64, 1) // only for the library
+	_ = lib
+	d, _, err := gen.Generate(gen.DefaultParams("tiny", 64, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+VERSION 5.8 ;
+DESIGN hand ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 240000 240000 ) ;
+ROW r0 CoreSite 0 0 N DO 240 BY 1 STEP 1000 0 ;
+COMPONENTS 2 ;
+  - u1 INV_X1 + PLACED ( 10000 0 ) N ;
+  - u2 BUF_X1 + FIXED ( 50000 12000 ) N ;
+END COMPONENTS
+PINS 2 ;
+  - a + NET n_in + DIRECTION INPUT + FIXED ( 0 0 ) N ;
+  - y + NET n_out + DIRECTION OUTPUT + FIXED ( 240000 0 ) N ;
+END PINS
+NETS 3 ;
+  - n_in ( PIN a ) ( u1 A ) ;
+  - n_mid ( u1 Z ) ( u2 A ) ;
+  - n_out ( u2 Z ) ( PIN y ) ;
+END NETS
+END DESIGN
+`
+	got, err := Read(src, d.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "hand" {
+		t.Errorf("name %q", got.Name)
+	}
+	if got.NumCells() != 4 || got.NumNets() != 3 {
+		t.Errorf("sizes: %d cells, %d nets", got.NumCells(), got.NumNets())
+	}
+	u1 := got.CellByName("u1")
+	if got.Cells[u1].Pos.X != 10 || got.Cells[u1].Pos.Y != 0 {
+		t.Errorf("u1 at %v", got.Cells[u1].Pos)
+	}
+	u2 := got.CellByName("u2")
+	if !got.Cells[u2].Fixed() {
+		t.Error("u2 not fixed")
+	}
+	if len(got.Rows) != 1 || got.Rows[0].NumSites != 240 {
+		t.Errorf("rows: %+v", got.Rows)
+	}
+	if got.Die.Hi.X != 240 {
+		t.Errorf("die: %v", got.Die)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	d, _, err := gen.Generate(gen.DefaultParams("tiny", 64, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, src string
+	}{
+		{"no design", "VERSION 5.8 ;\n"},
+		{"bad units", "DESIGN d ;\nUNITS DISTANCE MICRONS abc ;\n"},
+		{"unknown component in net", `DESIGN d ;
+NETS 1 ;
+  - n1 ( nosuch A ) ;
+END NETS
+END DESIGN`},
+		{"unknown pin in net", `DESIGN d ;
+NETS 1 ;
+  - n1 ( PIN nosuch ) ;
+END NETS
+END DESIGN`},
+		{"unterminated components", "DESIGN d ;\nCOMPONENTS 1 ;\n  - u1 INV_X1"},
+	}
+	for _, c := range cases {
+		if _, err := Read(c.src, d.Lib); err == nil {
+			t.Errorf("%s: error expected", c.name)
+		}
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	d, _, err := gen.Generate(gen.DefaultParams("tiny", 64, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "# full line comment\nDESIGN c ; # trailing comment\nEND DESIGN\n"
+	got, err := Read(src, d.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "c" {
+		t.Errorf("name %q", got.Name)
+	}
+}

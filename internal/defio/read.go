@@ -1,0 +1,392 @@
+package defio
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dtgp/internal/geom"
+	"dtgp/internal/liberty"
+	"dtgp/internal/netlist"
+)
+
+// Read parses DEF text and reconstructs a placed design against the given
+// Liberty library. COMPONENTS, PINS, NETS, ROW and DIEAREA are honoured;
+// other sections are skipped.
+func Read(src string, lib *liberty.Library) (*netlist.Design, error) {
+	toks := tokenize(src)
+	p := &defParser{toks: toks, lib: lib}
+	return p.parse()
+}
+
+func tokenize(src string) []string {
+	// DEF is whitespace-separated with ( ) ; as standalone tokens; strip
+	// # comments.
+	var toks []string
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.ReplaceAll(line, "(", " ( ")
+		line = strings.ReplaceAll(line, ")", " ) ")
+		line = strings.ReplaceAll(line, ";", " ; ")
+		toks = append(toks, strings.Fields(line)...)
+	}
+	return toks
+}
+
+type defParser struct {
+	toks []string
+	pos  int
+	lib  *liberty.Library
+
+	name    string
+	scale   float64 // DEF units per DBU
+	die     geom.Rect
+	haveDie bool
+	rows    []netlist.Row
+
+	comps []defComp
+	pins  []defPin
+	nets  []defNet
+}
+
+type defComp struct {
+	name, master string
+	x, y         float64
+	fixed        bool
+}
+
+type defPin struct {
+	name, net, dir string
+	x, y           float64
+}
+
+type defNet struct {
+	name  string
+	conns [][2]string // {"PIN", portName} or {cellName, pinName}
+}
+
+func (p *defParser) next() string {
+	if p.pos < len(p.toks) {
+		t := p.toks[p.pos]
+		p.pos++
+		return t
+	}
+	return ""
+}
+
+func (p *defParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+// skipStatement consumes tokens through the next ';'.
+func (p *defParser) skipStatement() {
+	for {
+		t := p.next()
+		if t == ";" || t == "" {
+			return
+		}
+	}
+}
+
+func (p *defParser) coord(tok string) (float64, error) {
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("defio: bad coordinate %q", tok)
+	}
+	return v / p.scale, nil
+}
+
+func (p *defParser) parse() (*netlist.Design, error) {
+	p.scale = unitsPerDBU
+	for {
+		switch t := p.next(); t {
+		case "":
+			return p.build()
+		case "DESIGN":
+			p.name = p.next()
+			p.skipStatement()
+		case "UNITS":
+			// UNITS DISTANCE MICRONS n ;
+			if p.next() == "DISTANCE" && p.next() == "MICRONS" {
+				v, err := strconv.ParseFloat(p.next(), 64)
+				if err != nil || v <= 0 {
+					return nil, fmt.Errorf("defio: bad UNITS")
+				}
+				p.scale = v
+			}
+			p.skipStatement()
+		case "DIEAREA":
+			if err := p.parseDieArea(); err != nil {
+				return nil, err
+			}
+		case "ROW":
+			if err := p.parseRow(); err != nil {
+				return nil, err
+			}
+		case "COMPONENTS":
+			if err := p.parseComponents(); err != nil {
+				return nil, err
+			}
+		case "PINS":
+			if err := p.parsePins(); err != nil {
+				return nil, err
+			}
+		case "NETS":
+			if err := p.parseNets(); err != nil {
+				return nil, err
+			}
+		case "END":
+			p.next() // DESIGN / section name
+		default:
+			// VERSION, DIVIDERCHAR, … skip through ';' unless the token
+			// itself is a separator.
+			if t != ";" && t != "(" && t != ")" {
+				p.skipStatement()
+			}
+		}
+	}
+}
+
+func (p *defParser) parseDieArea() error {
+	var coords []float64
+	for {
+		t := p.next()
+		switch t {
+		case "(", ")":
+		case ";", "":
+			if len(coords) < 4 {
+				return fmt.Errorf("defio: DIEAREA needs two points")
+			}
+			p.die = geom.NewRect(coords[0], coords[1], coords[2], coords[3])
+			p.haveDie = true
+			return nil
+		default:
+			v, err := p.coord(t)
+			if err != nil {
+				return err
+			}
+			coords = append(coords, v)
+		}
+	}
+}
+
+func (p *defParser) parseRow() error {
+	// ROW name site x y orient DO n BY m STEP sx sy ;
+	_ = p.next() // row name
+	_ = p.next() // site name
+	x, err := p.coord(p.next())
+	if err != nil {
+		return err
+	}
+	y, err := p.coord(p.next())
+	if err != nil {
+		return err
+	}
+	row := netlist.Row{Origin: geom.Point{X: x, Y: y}, Height: liberty.RowHeight, SiteWidth: 1, NumSites: 0}
+	for {
+		t := p.next()
+		switch t {
+		case "DO":
+			n, err := strconv.Atoi(p.next())
+			if err != nil {
+				return fmt.Errorf("defio: bad ROW DO count")
+			}
+			row.NumSites = n
+		case "STEP":
+			sx, err := p.coord(p.next())
+			if err != nil {
+				return err
+			}
+			if sx > 0 {
+				row.SiteWidth = sx
+			}
+			_ = p.next() // sy
+		case ";", "":
+			p.rows = append(p.rows, row)
+			return nil
+		}
+	}
+}
+
+func (p *defParser) parseComponents() error {
+	p.skipStatement() // count ;
+	for {
+		t := p.next()
+		switch t {
+		case "-":
+			c := defComp{name: p.next(), master: p.next()}
+			for {
+				tt := p.next()
+				switch tt {
+				case "FIXED":
+					c.fixed = true
+				case "(":
+					x, err := p.coord(p.next())
+					if err != nil {
+						return err
+					}
+					y, err := p.coord(p.next())
+					if err != nil {
+						return err
+					}
+					c.x, c.y = x, y
+				case ";", "":
+					p.comps = append(p.comps, c)
+					goto nextComp
+				}
+			}
+		case "END":
+			p.next() // COMPONENTS
+			return nil
+		case "":
+			return fmt.Errorf("defio: unterminated COMPONENTS")
+		}
+	nextComp:
+	}
+}
+
+func (p *defParser) parsePins() error {
+	p.skipStatement()
+	for {
+		t := p.next()
+		switch t {
+		case "-":
+			pin := defPin{name: p.next()}
+			for {
+				tt := p.next()
+				switch tt {
+				case "NET":
+					pin.net = p.next()
+				case "DIRECTION":
+					pin.dir = p.next()
+				case "(":
+					x, err := p.coord(p.next())
+					if err != nil {
+						return err
+					}
+					y, err := p.coord(p.next())
+					if err != nil {
+						return err
+					}
+					pin.x, pin.y = x, y
+				case ";", "":
+					p.pins = append(p.pins, pin)
+					goto nextPin
+				}
+			}
+		case "END":
+			p.next()
+			return nil
+		case "":
+			return fmt.Errorf("defio: unterminated PINS")
+		}
+	nextPin:
+	}
+}
+
+func (p *defParser) parseNets() error {
+	p.skipStatement()
+	for {
+		t := p.next()
+		switch t {
+		case "-":
+			n := defNet{name: p.next()}
+			for {
+				tt := p.next()
+				switch tt {
+				case "(":
+					a := p.next()
+					b := p.next()
+					if p.next() != ")" {
+						return fmt.Errorf("defio: bad net connection in %s", n.name)
+					}
+					n.conns = append(n.conns, [2]string{a, b})
+				case ";", "":
+					p.nets = append(p.nets, n)
+					goto nextNet
+				}
+			}
+		case "END":
+			p.next()
+			return nil
+		case "":
+			return fmt.Errorf("defio: unterminated NETS")
+		}
+	nextNet:
+	}
+}
+
+func (p *defParser) build() (*netlist.Design, error) {
+	if p.name == "" {
+		return nil, fmt.Errorf("defio: no DESIGN statement")
+	}
+	b := netlist.NewBuilder(p.name, p.lib)
+	if p.haveDie {
+		b.SetDie(p.die)
+	}
+
+	cellID := map[string]int32{}
+	for _, c := range p.comps {
+		if p.lib.CellByName(c.master) < 0 {
+			// Unknown master with geometry: a macro blockage.
+			b.AddFixedMacro(c.name, geom.NewRect(c.x, c.y, c.x, c.y))
+			continue
+		}
+		ci := b.AddCell(c.name, c.master)
+		cellID[c.name] = ci
+	}
+	for _, pin := range p.pins {
+		var ci int32
+		if pin.dir == "INPUT" {
+			ci = b.AddInputPort(pin.name, geom.Point{X: pin.x, Y: pin.y})
+		} else {
+			ci = b.AddOutputPort(pin.name, geom.Point{X: pin.x, Y: pin.y})
+		}
+		cellID[pin.name] = ci
+	}
+	portNet := map[string]string{} // port name → net name
+	for _, pin := range p.pins {
+		if pin.net != "" {
+			portNet[pin.name] = pin.net
+		}
+	}
+	for _, n := range p.nets {
+		ni := b.AddNet(n.name)
+		for _, conn := range n.conns {
+			if conn[0] == "PIN" {
+				ci, ok := cellID[conn[1]]
+				if !ok {
+					return nil, fmt.Errorf("defio: net %s references unknown pin %s", n.name, conn[1])
+				}
+				b.Connect(ni, ci, "")
+			} else {
+				ci, ok := cellID[conn[0]]
+				if !ok {
+					return nil, fmt.Errorf("defio: net %s references unknown component %s", n.name, conn[0])
+				}
+				b.Connect(ni, ci, conn[1])
+			}
+		}
+	}
+	d, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	d.Rows = p.rows
+	// Apply component placements (builder leaves cells at the origin).
+	for _, c := range p.comps {
+		if ci, ok := cellID[c.name]; ok {
+			d.Cells[ci].Pos = geom.Point{X: c.x, Y: c.y}
+			if c.fixed && d.Cells[ci].Class != netlist.ClassPort {
+				d.Cells[ci].Class = netlist.ClassFixed
+			}
+		}
+	}
+	_ = portNet
+	return d, nil
+}

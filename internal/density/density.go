@@ -1,0 +1,438 @@
+// Package density implements the ePlace/DREAMPlace electrostatic density
+// model: cells are charges, the bin-grid density is the charge distribution,
+// Poisson's equation ∇²ψ = −ρ is solved spectrally (DCT, Neumann
+// boundaries), and each cell feels a force proportional to the electric
+// field at its location. The density penalty D(x, y) of Eq. 3 is the system
+// potential energy; its gradient drives cells from dense into sparse
+// regions.
+package density
+
+import (
+	"fmt"
+	"math"
+
+	"dtgp/internal/fft"
+	"dtgp/internal/geom"
+)
+
+// Grid is the electrostatic bin grid over the placement region.
+type Grid struct {
+	M, N       int // bins in x and y (powers of two)
+	Region     geom.Rect
+	BinW, BinH float64
+	// TargetDensity is the allowed movable-area fraction per bin.
+	TargetDensity float64
+
+	// Density is the total charge density per bin (movable + fixed),
+	// row-major [ix*N + iy], normalised by bin area.
+	Density []float64
+	// FixedDensity is the precomputed contribution of fixed objects.
+	FixedDensity []float64
+	// Potential ψ and field ξ from the latest Solve.
+	Potential      []float64
+	FieldX, FieldY []float64
+
+	planX, planY *fft.DCTPlan
+	coefs        []float64 // DCT coefficients scratch
+	scratch      []float64
+	wu, wv       []float64 // frequencies
+	// movableArea of the last BuildDensity call (for overflow).
+	movableArea float64
+}
+
+// NewGrid creates a bin grid with m×n bins (powers of two) over region.
+func NewGrid(region geom.Rect, m, n int, targetDensity float64) (*Grid, error) {
+	if region.W() <= 0 || region.H() <= 0 {
+		return nil, fmt.Errorf("density: empty region %v", region)
+	}
+	if targetDensity <= 0 || targetDensity > 1 {
+		return nil, fmt.Errorf("density: target density %v out of (0,1]", targetDensity)
+	}
+	px, err := fft.NewDCTPlan(m)
+	if err != nil {
+		return nil, fmt.Errorf("density: %w", err)
+	}
+	py, err := fft.NewDCTPlan(n)
+	if err != nil {
+		return nil, fmt.Errorf("density: %w", err)
+	}
+	g := &Grid{
+		M: m, N: n,
+		Region:        region,
+		BinW:          region.W() / float64(m),
+		BinH:          region.H() / float64(n),
+		TargetDensity: targetDensity,
+		Density:       make([]float64, m*n),
+		FixedDensity:  make([]float64, m*n),
+		Potential:     make([]float64, m*n),
+		FieldX:        make([]float64, m*n),
+		FieldY:        make([]float64, m*n),
+		planX:         px,
+		planY:         py,
+		coefs:         make([]float64, m*n),
+		scratch:       make([]float64, m*n),
+		wu:            make([]float64, m),
+		wv:            make([]float64, n),
+	}
+	for u := 0; u < m; u++ {
+		g.wu[u] = math.Pi * float64(u) / float64(m)
+	}
+	for v := 0; v < n; v++ {
+		g.wv[v] = math.Pi * float64(v) / float64(n)
+	}
+	return g, nil
+}
+
+// binIndex returns clamped bin coordinates of a point.
+func (g *Grid) binIndex(x, y float64) (int, int) {
+	ix := int((x - g.Region.Lo.X) / g.BinW)
+	iy := int((y - g.Region.Lo.Y) / g.BinH)
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= g.M {
+		ix = g.M - 1
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if iy >= g.N {
+		iy = g.N - 1
+	}
+	return ix, iy
+}
+
+// SetFixed rasterises fixed-object rectangles into FixedDensity. Call once
+// before the placement loop.
+func (g *Grid) SetFixed(rects []geom.Rect) {
+	for i := range g.FixedDensity {
+		g.FixedDensity[i] = 0
+	}
+	for _, r := range rects {
+		clipped, ok := r.Intersect(g.Region)
+		if !ok {
+			continue
+		}
+		g.splat(clipped.Lo.X, clipped.Lo.Y, clipped.W(), clipped.H(), 1, g.FixedDensity)
+	}
+	// Fixed density saturates at the target: the solver should not push
+	// cells away from a macro any harder than from a merely full bin.
+	for i, v := range g.FixedDensity {
+		if v > g.TargetDensity {
+			g.FixedDensity[i] = g.TargetDensity
+		}
+	}
+}
+
+// splat adds a rectangle's area into bins, normalised by bin area, with
+// charge scaled by `scale`.
+func (g *Grid) splat(x, y, w, h, scale float64, dst []float64) {
+	if w <= 0 || h <= 0 {
+		return
+	}
+	x0, y0 := x-g.Region.Lo.X, y-g.Region.Lo.Y
+	ix0 := int(math.Floor(x0 / g.BinW))
+	iy0 := int(math.Floor(y0 / g.BinH))
+	ix1 := int(math.Ceil((x0 + w) / g.BinW))
+	iy1 := int(math.Ceil((y0 + h) / g.BinH))
+	if ix0 < 0 {
+		ix0 = 0
+	}
+	if iy0 < 0 {
+		iy0 = 0
+	}
+	if ix1 > g.M {
+		ix1 = g.M
+	}
+	if iy1 > g.N {
+		iy1 = g.N
+	}
+	binArea := g.BinW * g.BinH
+	for ix := ix0; ix < ix1; ix++ {
+		bx0 := float64(ix) * g.BinW
+		ox := math.Min(x0+w, bx0+g.BinW) - math.Max(x0, bx0)
+		if ox <= 0 {
+			continue
+		}
+		for iy := iy0; iy < iy1; iy++ {
+			by0 := float64(iy) * g.BinH
+			oy := math.Min(y0+h, by0+g.BinH) - math.Max(y0, by0)
+			if oy <= 0 {
+				continue
+			}
+			dst[ix*g.N+iy] += scale * ox * oy / binArea
+		}
+	}
+}
+
+// effectiveShape applies ePlace's density smoothing: cells smaller than
+// √2× the bin size are inflated to that size with proportionally reduced
+// charge density, keeping total charge equal to the cell area.
+func (g *Grid) effectiveShape(w, h float64) (we, he, scale float64) {
+	we, he = w, h
+	scale = 1.0
+	minW := math.Sqrt2 * g.BinW
+	minH := math.Sqrt2 * g.BinH
+	if we < minW {
+		scale *= we / minW
+		we = minW
+	}
+	if he < minH {
+		scale *= he / minH
+		he = minH
+	}
+	return we, he, scale
+}
+
+// BuildDensity recomputes the movable charge distribution from cell
+// rectangles (lower-left + size) and adds the fixed contribution.
+func (g *Grid) BuildDensity(x, y, w, h []float64) {
+	copy(g.Density, g.FixedDensity)
+	g.movableArea = 0
+	for i := range x {
+		we, he, scale := g.effectiveShape(w[i], h[i])
+		// Inflate around the cell center.
+		cx := x[i] + w[i]/2 - we/2
+		cy := y[i] + h[i]/2 - he/2
+		g.splat(cx, cy, we, he, scale, g.Density)
+		g.movableArea += w[i] * h[i]
+	}
+}
+
+// Solve computes potential and field from the current Density via the
+// spectral Poisson solution and returns the total electrostatic energy
+// ½·Σ ρψ·binArea.
+func (g *Grid) Solve() float64 {
+	m, n := g.M, g.N
+	// RHS: density relative to its mean (DC removed; the u=v=0 mode is
+	// unconstrained under Neumann boundaries).
+	mean := 0.0
+	for _, v := range g.Density {
+		mean += v
+	}
+	mean /= float64(m * n)
+	for i, v := range g.Density {
+		g.coefs[i] = v - mean
+	}
+
+	// Forward 2-D DCT-II: rows (x), then columns (y).
+	g.dct2Rows(g.coefs)
+	g.dct2Cols(g.coefs)
+
+	// ψ coefficients: divide by (w_u² + w_v²); field coefficients carry an
+	// extra w factor. Frequencies are in per-bin units; scale to spatial
+	// units so the field has consistent dimensions across grid sizes.
+	// The overall (4/MN) inversion factor is folded in here.
+	norm := 4 / float64(m*n)
+	psi := g.scratch
+	for u := 0; u < m; u++ {
+		for v := 0; v < n; v++ {
+			idx := u*n + v
+			wu := g.wu[u] / g.BinW
+			wv := g.wv[v] / g.BinH
+			den := wu*wu + wv*wv
+			if den == 0 {
+				psi[idx] = 0
+				continue
+			}
+			psi[idx] = norm * g.coefs[idx] / den
+		}
+	}
+
+	// Potential: inverse 2-D DCT (DCT-III both dims).
+	copy(g.Potential, psi)
+	g.dct3Rows(g.Potential)
+	g.dct3Cols(g.Potential)
+
+	// Field ξx = −∂ψ/∂x = Σ_{u≥1} ψ_uv·wu·sin(wu·x)·cos(wv·y). DST-III
+	// consumes the coefficient of sin(π(k+1)·)/… at slot k, so the u index
+	// shifts down by one (slot m−1 gets the absent u=m term, i.e. zero).
+	for u := 0; u < m; u++ {
+		for v := 0; v < n; v++ {
+			c := 0.0
+			if u+1 < m {
+				c = psi[(u+1)*n+v] * (g.wu[u+1] / g.BinW)
+			}
+			g.FieldX[u*n+v] = c
+		}
+	}
+	g.dst3Rows(g.FieldX)
+	g.dct3Cols(g.FieldX)
+
+	// Field ξy: same with the roles of u and v swapped.
+	for u := 0; u < m; u++ {
+		for v := 0; v < n; v++ {
+			c := 0.0
+			if v+1 < n {
+				c = psi[u*n+v+1] * (g.wv[v+1] / g.BinH)
+			}
+			g.FieldY[u*n+v] = c
+		}
+	}
+	g.dct3Rows(g.FieldY)
+	g.dst3Cols(g.FieldY)
+
+	// Energy = ½ Σ ρ ψ (bin area weighting).
+	e := 0.0
+	binArea := g.BinW * g.BinH
+	for i := range g.Potential {
+		e += (g.Density[i] - mean) * g.Potential[i]
+	}
+	return e * binArea / 2
+}
+
+func (g *Grid) dct2Rows(a []float64) {
+	// "Rows" here means transforming along u (x index) for each fixed v.
+	m, n := g.M, g.N
+	col := make([]float64, m)
+	out := make([]float64, m)
+	for v := 0; v < n; v++ {
+		for u := 0; u < m; u++ {
+			col[u] = a[u*n+v]
+		}
+		g.planX.DCT2(out, col)
+		for u := 0; u < m; u++ {
+			a[u*n+v] = out[u]
+		}
+	}
+}
+
+func (g *Grid) dct3Rows(a []float64) {
+	m, n := g.M, g.N
+	col := make([]float64, m)
+	out := make([]float64, m)
+	for v := 0; v < n; v++ {
+		for u := 0; u < m; u++ {
+			col[u] = a[u*n+v]
+		}
+		g.planX.DCT3(out, col)
+		for u := 0; u < m; u++ {
+			a[u*n+v] = out[u]
+		}
+	}
+}
+
+func (g *Grid) dst3Rows(a []float64) {
+	m, n := g.M, g.N
+	col := make([]float64, m)
+	out := make([]float64, m)
+	for v := 0; v < n; v++ {
+		for u := 0; u < m; u++ {
+			col[u] = a[u*n+v]
+		}
+		g.planX.DST3(out, col)
+		for u := 0; u < m; u++ {
+			a[u*n+v] = out[u]
+		}
+	}
+}
+
+func (g *Grid) dct2Cols(a []float64) {
+	m, n := g.M, g.N
+	out := make([]float64, n)
+	for u := 0; u < m; u++ {
+		g.planY.DCT2(out, a[u*n:(u+1)*n])
+		copy(a[u*n:(u+1)*n], out)
+	}
+}
+
+func (g *Grid) dct3Cols(a []float64) {
+	m, n := g.M, g.N
+	out := make([]float64, n)
+	for u := 0; u < m; u++ {
+		g.planY.DCT3(out, a[u*n:(u+1)*n])
+		copy(a[u*n:(u+1)*n], out)
+	}
+}
+
+func (g *Grid) dst3Cols(a []float64) {
+	m, n := g.M, g.N
+	out := make([]float64, n)
+	for u := 0; u < m; u++ {
+		g.planY.DST3(out, a[u*n:(u+1)*n])
+		copy(a[u*n:(u+1)*n], out)
+	}
+}
+
+// Gradient accumulates the density gradient of each cell into
+// (gradX, gradY): ∂D/∂x_i = −q_i·ξx(cell), with the charge spread over the
+// bins the (smoothed) cell overlaps. Solve must have been called.
+func (g *Grid) Gradient(x, y, w, h, gradX, gradY []float64) {
+	for i := range x {
+		we, he, scale := g.effectiveShape(w[i], h[i])
+		cx := x[i] + w[i]/2 - we/2
+		cy := y[i] + h[i]/2 - he/2
+		var fx, fy float64
+		g.eachOverlap(cx, cy, we, he, func(idx int, area float64) {
+			fx += g.FieldX[idx] * area
+			fy += g.FieldY[idx] * area
+		})
+		// Negative: the field pushes charge toward lower potential. The
+		// constant factor is immaterial — the placer calibrates λ against
+		// the wirelength gradient magnitude.
+		gradX[i] -= scale * fx
+		gradY[i] -= scale * fy
+	}
+}
+
+func (g *Grid) eachOverlap(x, y, w, h float64, fn func(idx int, area float64)) {
+	x0, y0 := x-g.Region.Lo.X, y-g.Region.Lo.Y
+	ix0 := int(math.Floor(x0 / g.BinW))
+	iy0 := int(math.Floor(y0 / g.BinH))
+	ix1 := int(math.Ceil((x0 + w) / g.BinW))
+	iy1 := int(math.Ceil((y0 + h) / g.BinH))
+	if ix0 < 0 {
+		ix0 = 0
+	}
+	if iy0 < 0 {
+		iy0 = 0
+	}
+	if ix1 > g.M {
+		ix1 = g.M
+	}
+	if iy1 > g.N {
+		iy1 = g.N
+	}
+	for ix := ix0; ix < ix1; ix++ {
+		bx0 := float64(ix) * g.BinW
+		ox := math.Min(x0+w, bx0+g.BinW) - math.Max(x0, bx0)
+		if ox <= 0 {
+			continue
+		}
+		for iy := iy0; iy < iy1; iy++ {
+			by0 := float64(iy) * g.BinH
+			oy := math.Min(y0+h, by0+g.BinH) - math.Max(y0, by0)
+			if oy <= 0 {
+				continue
+			}
+			fn(ix*g.N+iy, ox*oy)
+		}
+	}
+}
+
+// Overflow returns the density overflow ratio: the total movable area in
+// excess of each bin's target capacity, divided by total movable area. This
+// is the placement stop criterion used in the paper's Fig. 8.
+func (g *Grid) Overflow(x, y, w, h []float64) float64 {
+	m, n := g.M, g.N
+	over := make([]float64, m*n)
+	copy(over, g.FixedDensity)
+	for i := range x {
+		// Raw (unsmoothed) footprints for the overflow metric.
+		g.splat(x[i], y[i], w[i], h[i], 1, over)
+	}
+	binArea := g.BinW * g.BinH
+	total, area := 0.0, 0.0
+	for _, v := range over {
+		if ex := v - g.TargetDensity; ex > 0 {
+			total += ex * binArea
+		}
+	}
+	for i := range x {
+		area += w[i] * h[i]
+	}
+	if area == 0 {
+		return 0
+	}
+	return total / area
+}

@@ -1,0 +1,143 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// The DCT/DST conventions used by the Poisson solver:
+//
+//	DCT-II : C_k = Σ_{n=0}^{N-1} x_n cos(πk(2n+1)/(2N))
+//	DCT-III: y_n = x_0/2 + Σ_{k=1}^{N-1} x_k cos(πk(2n+1)/(2N))
+//	DST-III: y_n = Σ_{k=0}^{N-2} x_k sin(π(k+1)(2n+1)/(2N)) + (−1)^n x_{N−1}/2
+//
+// DCT-III is the (unnormalised) inverse of DCT-II: dct3(dct2(x)) = (N/2)·x.
+// DST-III is derived from DCT-III via the identity
+// dst3(x)_n = (−1)^n · dct3(reverse(x))_n, which is how the solver computes
+// the sine-expanded electric field from cosine coefficients.
+
+// DCTPlan bundles the 2N FFT plan and scratch used by the 1-D transforms.
+type DCTPlan struct {
+	n    int
+	fft  *Plan
+	buf  []complex128
+	rot  []complex128 // e^{-iπk/(2N)}
+	rotI []complex128 // e^{+iπk/(2N)}
+}
+
+// NewDCTPlan builds a plan for length-n transforms (n a power of two).
+func NewDCTPlan(n int) (*DCTPlan, error) {
+	f, err := NewPlan(2 * n)
+	if err != nil {
+		return nil, err
+	}
+	p := &DCTPlan{n: n, fft: f, buf: make([]complex128, 2*n)}
+	p.rot = make([]complex128, n)
+	p.rotI = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		angle := math.Pi * float64(k) / float64(2*n)
+		p.rot[k] = cmplx.Rect(1, -angle)
+		p.rotI[k] = cmplx.Rect(1, angle)
+	}
+	return p, nil
+}
+
+// DCT2 computes the DCT-II of x into dst (both length n).
+func (p *DCTPlan) DCT2(dst, x []float64) {
+	n := p.n
+	// Even mirror extension m = [x, reverse(x)] gives
+	// Y_k = 2 e^{iπk/(2N)} Σ x_n cos(πk(2n+1)/(2N)).
+	for i := 0; i < n; i++ {
+		p.buf[i] = complex(x[i], 0)
+		p.buf[2*n-1-i] = complex(x[i], 0)
+	}
+	p.fft.Forward(p.buf)
+	for k := 0; k < n; k++ {
+		dst[k] = real(p.rot[k]*p.buf[k]) / 2
+	}
+}
+
+// DCT3 computes the DCT-III of x into dst (both length n).
+func (p *DCTPlan) DCT3(dst, x []float64) {
+	n := p.n
+	// Build the conjugate-symmetric spectrum z with z_k = x_k e^{iπk/(2N)};
+	// then 2·y_n = Σ_k z_k e^{2πikn/(2N)}, evaluated as conj(FFT(conj(z))).
+	p.buf[0] = complex(x[0], 0)
+	p.buf[n] = 0
+	for k := 1; k < n; k++ {
+		z := complex(x[k], 0) * p.rotI[k]
+		p.buf[k] = z
+		p.buf[2*n-k] = cmplx.Conj(z)
+	}
+	// Σ_k z_k e^{+2πikn/(2N)} = conj(FFT(conj(z)))_n; with a symmetric z the
+	// result is real, so run the forward FFT on conj(z) and read real parts.
+	for i := range p.buf {
+		p.buf[i] = cmplx.Conj(p.buf[i])
+	}
+	p.fft.Forward(p.buf)
+	for i := 0; i < n; i++ {
+		dst[i] = real(p.buf[i]) / 2
+	}
+}
+
+// DST3 computes the DST-III of x into dst via the reversal identity.
+func (p *DCTPlan) DST3(dst, x []float64) {
+	n := p.n
+	rev := make([]float64, n)
+	for i := range rev {
+		rev[i] = x[n-1-i]
+	}
+	p.DCT3(dst, rev)
+	for i := 1; i < n; i += 2 {
+		dst[i] = -dst[i]
+	}
+}
+
+// naive reference implementations, exported for tests and tiny sizes.
+
+// NaiveDCT2 is the O(N²) reference for DCT2.
+func NaiveDCT2(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += x[i] * math.Cos(math.Pi*float64(k)*float64(2*i+1)/float64(2*n))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// NaiveDCT3 is the O(N²) reference for DCT3.
+func NaiveDCT3(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := x[0] / 2
+		for k := 1; k < n; k++ {
+			s += x[k] * math.Cos(math.Pi*float64(k)*float64(2*i+1)/float64(2*n))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// NaiveDST3 is the O(N²) reference for DST3.
+func NaiveDST3(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for k := 0; k < n-1; k++ {
+			s += x[k] * math.Sin(math.Pi*float64(k+1)*float64(2*i+1)/float64(2*n))
+		}
+		if i%2 == 0 {
+			s += x[n-1] / 2
+		} else {
+			s -= x[n-1] / 2
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+// Package fft provides the spectral kernels behind the ePlace-style
+// electrostatic density model: a radix-2 complex FFT and the DCT/DST
+// variants needed to solve Poisson's equation with Neumann boundary
+// conditions on the placement bin grid.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Plan caches twiddle factors and the bit-reversal permutation for a fixed
+// power-of-two length.
+type Plan struct {
+	n       int
+	rev     []int
+	twiddle []complex128 // twiddle[k] = exp(-2πik/n), k < n/2
+}
+
+// NewPlan builds a plan for length n (must be a power of two ≥ 1).
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	p := &Plan{n: n, rev: make([]int, n), twiddle: make([]complex128, n/2)}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range p.rev {
+		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	for k := range p.twiddle {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = cmplx.Rect(1, angle)
+	}
+	return p, nil
+}
+
+// Len returns the plan length.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes the in-place forward DFT: X_k = Σ x_n e^{-2πikn/N}.
+func (p *Plan) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT including the 1/N factor:
+// x_n = (1/N) Σ X_k e^{+2πikn/N}.
+func (p *Plan) Inverse(x []complex128) {
+	p.transform(x, true)
+	inv := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+func (p *Plan) transform(x []complex128, inverse bool) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: input length %d != plan length %d", len(x), n))
+	}
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				if inverse {
+					w = cmplx.Conj(w)
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}

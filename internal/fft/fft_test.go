@@ -1,0 +1,251 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestNewPlanRejectsNonPow2(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 100} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("NewPlan(%d) accepted", n)
+		}
+	}
+	if _, err := NewPlan(1); err != nil {
+		t.Errorf("NewPlan(1): %v", err)
+	}
+}
+
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for i := 0; i < n; i++ {
+			angle := -2 * math.Pi * float64(k) * float64(i) / float64(n)
+			s += x[i] * cmplx.Rect(1, angle)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		p.Forward(got)
+		for k := range got {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d k=%d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 128, 1024} {
+		p, _ := NewPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := append([]complex128(nil), x...)
+		p.Forward(y)
+		p.Inverse(y)
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-10*float64(n) {
+				t.Fatalf("n=%d: round trip failed at %d: %v vs %v", n, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 256
+	p, _ := NewPlan(n)
+	x := make([]complex128, n)
+	var te float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		te += real(x[i]) * real(x[i])
+	}
+	p.Forward(x)
+	var fe float64
+	for _, v := range x {
+		fe += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(fe/float64(n)-te) > 1e-8*te {
+		t.Errorf("Parseval violated: %v vs %v", fe/float64(n), te)
+	}
+}
+
+func TestDCT2MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 4, 16, 64, 256} {
+		p, err := NewDCTPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := NaiveDCT2(x)
+		got := make([]float64, n)
+		p.DCT2(got, x)
+		for k := range got {
+			if math.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("DCT2 n=%d k=%d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestDCT3MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 4, 16, 64, 256} {
+		p, _ := NewDCTPlan(n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := NaiveDCT3(x)
+		got := make([]float64, n)
+		p.DCT3(got, x)
+		for k := range got {
+			if math.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("DCT3 n=%d k=%d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestDST3MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{2, 4, 16, 64, 256} {
+		p, _ := NewDCTPlan(n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := NaiveDST3(x)
+		got := make([]float64, n)
+		p.DST3(got, x)
+		for k := range got {
+			if math.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("DST3 n=%d k=%d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestDCT2DCT3Inverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 128
+	p, _ := NewDCTPlan(n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	c := make([]float64, n)
+	y := make([]float64, n)
+	p.DCT2(c, x)
+	p.DCT3(y, c)
+	for i := range x {
+		want := float64(n) / 2 * x[i]
+		if math.Abs(y[i]-want) > 1e-8*float64(n) {
+			t.Fatalf("dct3∘dct2 != N/2·id at %d: %v vs %v", i, y[i], want)
+		}
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	p, _ := NewPlan(1024)
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(float64(i%17), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkDCT2_512(b *testing.B) {
+	p, _ := NewDCTPlan(512)
+	x := make([]float64, 512)
+	dst := make([]float64, 512)
+	for i := range x {
+		x[i] = float64(i % 13)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.DCT2(dst, x)
+	}
+}
+
+func TestDCTPlanSize1(t *testing.T) {
+	p, err := NewDCTPlan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{3.5}
+	dst := []float64{0}
+	p.DCT2(dst, x)
+	if dst[0] != 3.5 {
+		t.Errorf("DCT2 size-1 = %v", dst[0])
+	}
+	p.DCT3(dst, []float64{3.5})
+	if dst[0] != 1.75 { // x_0/2 by the DCT-III convention
+		t.Errorf("DCT3 size-1 = %v", dst[0])
+	}
+}
+
+func TestDCT2Linearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 64
+	p, _ := NewDCTPlan(n)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	sum := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+		sum[i] = 2*a[i] + 3*b[i]
+	}
+	ta := make([]float64, n)
+	tb := make([]float64, n)
+	ts := make([]float64, n)
+	p.DCT2(ta, a)
+	p.DCT2(tb, b)
+	p.DCT2(ts, sum)
+	for i := range ts {
+		if math.Abs(ts[i]-(2*ta[i]+3*tb[i])) > 1e-9 {
+			t.Fatalf("not linear at %d", i)
+		}
+	}
+}
+
+func TestForwardPanicsOnWrongLength(t *testing.T) {
+	p, _ := NewPlan(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong input length")
+		}
+	}()
+	p.Forward(make([]complex128, 4))
+}

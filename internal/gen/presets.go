@@ -1,0 +1,76 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Preset describes one scaled superblue-like benchmark. Cell counts follow
+// the ratios of the paper's Table 2 (ICCAD 2015 contest statistics); the
+// Scale divisor shrinks them to CPU-friendly sizes while preserving the
+// relative size ordering of the suite.
+type Preset struct {
+	Name string
+	// PaperCells/PaperNets/PaperPins are the Table 2 statistics of the
+	// original benchmark.
+	PaperCells, PaperNets, PaperPins int
+	Seed                             int64
+}
+
+// Presets lists the eight benchmarks of the paper's evaluation.
+var Presets = []Preset{
+	{"superblue1", 1209716, 1215710, 3767494, 101},
+	{"superblue3", 1213253, 1224979, 3905321, 103},
+	{"superblue4", 795645, 802513, 2497940, 104},
+	{"superblue5", 1086888, 1100825, 3246878, 105},
+	{"superblue7", 1931639, 1933945, 6372094, 107},
+	{"superblue10", 1876103, 1898119, 5560506, 110},
+	{"superblue16", 981559, 999902, 3013268, 116},
+	{"superblue18", 768068, 771542, 2559143, 118},
+}
+
+// PresetByName finds a preset.
+func PresetByName(name string) (Preset, bool) {
+	for _, p := range Presets {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}
+
+// PresetNames returns the benchmark names in paper order.
+func PresetNames() []string {
+	names := make([]string, len(Presets))
+	for i, p := range Presets {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Params builds generation parameters for a preset at the given scale
+// divisor (e.g. 256 → superblue1 becomes ≈4.7k cells).
+func (p Preset) Params(scale int) Params {
+	if scale < 1 {
+		scale = 1
+	}
+	cells := p.PaperCells / scale
+	if cells < 64 {
+		cells = 64
+	}
+	pp := DefaultParams(p.Name, cells, p.Seed)
+	return pp
+}
+
+// String renders the preset like a Table 2 row.
+func (p Preset) String() string {
+	return fmt.Sprintf("%-12s %9d %9d %9d", p.Name, p.PaperCells, p.PaperNets, p.PaperPins)
+}
+
+// SortedBySize returns preset names ordered by cell count, smallest first —
+// convenient for smoke-testing the suite incrementally.
+func SortedBySize() []Preset {
+	out := append([]Preset(nil), Presets...)
+	sort.Slice(out, func(i, j int) bool { return out[i].PaperCells < out[j].PaperCells })
+	return out
+}

@@ -1,0 +1,157 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, 5}
+	if got := p.Add(q); got != (Point{4, 7}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != (Point{2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.ManhattanDist(q); got != 5 {
+		t.Errorf("ManhattanDist = %v", got)
+	}
+}
+
+func TestManhattanDistProperties(t *testing.T) {
+	symmetric := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		return a.ManhattanDist(b) == b.ManhattanDist(a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+	triangle := func(ax, ay, bx, by, cx, cy float64) bool {
+		// Use bounded values to avoid overflow-driven false failures.
+		clampAll := func(v float64) float64 { return math.Mod(v, 1e6) }
+		a := Point{clampAll(ax), clampAll(ay)}
+		b := Point{clampAll(bx), clampAll(by)}
+		c := Point{clampAll(cx), clampAll(cy)}
+		return a.ManhattanDist(c) <= a.ManhattanDist(b)+b.ManhattanDist(c)+1e-6
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(5, 7, 1, 2)
+	if r.Lo != (Point{1, 2}) || r.Hi != (Point{5, 7}) {
+		t.Errorf("NewRect did not normalize: %v", r)
+	}
+	if r.W() != 4 || r.H() != 5 || r.Area() != 20 {
+		t.Errorf("W/H/Area wrong: %v %v %v", r.W(), r.H(), r.Area())
+	}
+	if r.HalfPerimeter() != 9 {
+		t.Errorf("HalfPerimeter = %v", r.HalfPerimeter())
+	}
+	if r.Center() != (Point{3, 4.5}) {
+		t.Errorf("Center = %v", r.Center())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{5, 5}, true},
+		{Point{10, 10}, false}, // high-exclusive
+		{Point{-1, 5}, false},
+		{Point{5, 10}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	b := NewRect(5, 5, 15, 15)
+	got, ok := a.Intersect(b)
+	if !ok || got != NewRect(5, 5, 10, 10) {
+		t.Errorf("Intersect = %v, %v", got, ok)
+	}
+	c := NewRect(20, 20, 30, 30)
+	if _, ok := a.Intersect(c); ok {
+		t.Error("disjoint rects reported as intersecting")
+	}
+	// Touching edges do not intersect.
+	d := NewRect(10, 0, 20, 10)
+	if _, ok := a.Intersect(d); ok {
+		t.Error("edge-touching rects reported as intersecting")
+	}
+}
+
+func TestOverlapArea(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	b := NewRect(5, 5, 15, 15)
+	if got := a.OverlapArea(b); got != 25 {
+		t.Errorf("OverlapArea = %v", got)
+	}
+	if got := a.OverlapArea(NewRect(50, 50, 60, 60)); got != 0 {
+		t.Errorf("disjoint OverlapArea = %v", got)
+	}
+}
+
+func TestOverlapAreaMatchesIntersect(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3, x4, y4 float64) bool {
+		m := func(v float64) float64 { return math.Mod(v, 1000) }
+		a := NewRect(m(x1), m(y1), m(x2), m(y2))
+		b := NewRect(m(x3), m(y3), m(x4), m(y4))
+		inter, ok := a.Intersect(b)
+		if !ok {
+			return a.OverlapArea(b) == 0
+		}
+		return math.Abs(a.OverlapArea(b)-inter.Area()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionAndExpand(t *testing.T) {
+	a := NewRect(0, 0, 1, 1)
+	b := NewRect(5, 5, 6, 7)
+	u := a.Union(b)
+	if u != NewRect(0, 0, 6, 7) {
+		t.Errorf("Union = %v", u)
+	}
+	e := a.ExpandToInclude(Point{-2, 3})
+	if e != NewRect(-2, 0, 1, 3) {
+		t.Errorf("ExpandToInclude = %v", e)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	if bb := BoundingBox(nil); bb != (Rect{}) {
+		t.Errorf("empty BoundingBox = %v", bb)
+	}
+	pts := []Point{{1, 5}, {-3, 2}, {4, -1}}
+	bb := BoundingBox(pts)
+	if bb != NewRect(-3, -1, 4, 5) {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+	for _, p := range pts {
+		if p.X < bb.Lo.X || p.X > bb.Hi.X || p.Y < bb.Lo.Y || p.Y > bb.Hi.Y {
+			t.Errorf("point %v outside bounding box %v", p, bb)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 10) != 5 || Clamp(-1, 0, 10) != 0 || Clamp(11, 0, 10) != 10 {
+		t.Error("Clamp broken")
+	}
+}

@@ -1,0 +1,264 @@
+// Package legalize removes cell overlaps after global placement with a
+// greedy interval-based legalizer: movable standard cells are processed in
+// order of x; each cell is snapped to the (row, free-interval) position
+// minimising its displacement, and the interval is split around it. A
+// legality checker validates the result.
+package legalize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dtgp/internal/netlist"
+)
+
+// Result reports legalization quality.
+type Result struct {
+	// MaxDisplacement and AvgDisplacement in DBU.
+	MaxDisplacement float64
+	AvgDisplacement float64
+	// Moved is the number of cells legalized.
+	Moved int
+	// Failed lists cells that could not be placed (die full); empty on
+	// success.
+	Failed []int32
+}
+
+// interval is a free span [lo, hi) within a row.
+type interval struct {
+	lo, hi float64
+}
+
+// rowState tracks the free intervals of one row.
+type rowState struct {
+	y         float64
+	siteWidth float64
+	origin    float64
+	free      []interval // sorted by lo, disjoint
+}
+
+// snap rounds x up to the next site boundary.
+func (r *rowState) snap(x float64) float64 {
+	return r.origin + math.Ceil((x-r.origin)/r.siteWidth-1e-9)*r.siteWidth
+}
+
+// bestFit returns the lowest-cost legal x for a cell of width w whose
+// desired position is (x, —), or NaN if the row cannot host it. Only a
+// bounded neighbourhood of intervals around the desired x is examined.
+func (r *rowState) bestFit(desired, w float64) float64 {
+	n := len(r.free)
+	if n == 0 {
+		return math.NaN()
+	}
+	// First interval whose end is right of the desired position.
+	idx := sort.Search(n, func(i int) bool { return r.free[i].hi > desired })
+	best := math.NaN()
+	bestCost := math.Inf(1)
+	consider := func(i int) {
+		if i < 0 || i >= n {
+			return
+		}
+		iv := r.free[i]
+		x := r.snap(math.Max(iv.lo, math.Min(desired, iv.hi-w)))
+		if x < iv.lo-1e-9 || x+w > iv.hi+1e-9 {
+			// Snapping may push past the end; try the last feasible site.
+			x = r.origin + math.Floor((iv.hi-w-r.origin)/r.siteWidth+1e-9)*r.siteWidth
+			if x < iv.lo-1e-9 {
+				return
+			}
+		}
+		if cost := math.Abs(x - desired); cost < bestCost {
+			bestCost = cost
+			best = x
+		}
+	}
+	const scan = 16
+	for k := 0; k < scan; k++ {
+		consider(idx + k)
+		consider(idx - 1 - k)
+	}
+	return best
+}
+
+// consume removes [x, x+w) from the row's free intervals.
+func (r *rowState) consume(x, w float64) {
+	n := len(r.free)
+	i := sort.Search(n, func(i int) bool { return r.free[i].hi > x })
+	if i >= n {
+		return
+	}
+	iv := r.free[i]
+	var repl []interval
+	if iv.lo < x-1e-9 {
+		repl = append(repl, interval{iv.lo, x})
+	}
+	if x+w < iv.hi-1e-9 {
+		repl = append(repl, interval{x + w, iv.hi})
+	}
+	r.free = append(r.free[:i], append(repl, r.free[i+1:]...)...)
+}
+
+// Legalize snaps all movable non-filler cells onto rows and sites. Fixed
+// macros overlapping rows are carved out of the free intervals first.
+func Legalize(d *netlist.Design) (*Result, error) {
+	if len(d.Rows) == 0 {
+		return nil, fmt.Errorf("legalize: design has no rows")
+	}
+	rows := make([]rowState, len(d.Rows))
+	for i := range d.Rows {
+		r := &d.Rows[i]
+		rows[i] = rowState{
+			y:         r.Origin.Y,
+			siteWidth: r.SiteWidth,
+			origin:    r.Origin.X,
+			free:      []interval{{r.Origin.X, r.Right()}},
+		}
+	}
+	// Blockages: fixed cells with area carve out row spans they overlap.
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if !c.Fixed() || c.W <= 0 || c.H <= 0 {
+			continue
+		}
+		for ri := range rows {
+			rowTop := rows[ri].y + d.Rows[ri].Height
+			if c.Pos.Y < rowTop && c.Pos.Y+c.H > rows[ri].y {
+				rows[ri].consumeRange(c.Pos.X, c.Pos.X+c.W)
+			}
+		}
+	}
+
+	var order []int32
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.Movable() && c.Class != netlist.ClassFiller {
+			order = append(order, int32(ci))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return d.Cells[order[i]].Pos.X < d.Cells[order[j]].Pos.X
+	})
+
+	res := &Result{}
+	total := 0.0
+	for _, ci := range order {
+		c := &d.Cells[ci]
+		bestCost := math.Inf(1)
+		bestRow := -1
+		bestX := 0.0
+		for ri := range rows {
+			r := &rows[ri]
+			dy := math.Abs(r.y - c.Pos.Y)
+			if dy >= bestCost {
+				continue // even a perfect x match cannot win
+			}
+			x := r.bestFit(c.Pos.X, c.W)
+			if math.IsNaN(x) {
+				continue
+			}
+			if cost := math.Abs(x-c.Pos.X) + dy; cost < bestCost {
+				bestCost = cost
+				bestRow = ri
+				bestX = x
+			}
+		}
+		if bestRow < 0 {
+			// Exhaustive fallback: first row with any sufficient interval.
+			for ri := range rows {
+				r := &rows[ri]
+				for _, iv := range r.free {
+					x := r.snap(iv.lo)
+					if x+c.W <= iv.hi+1e-9 {
+						bestRow = ri
+						bestX = x
+						break
+					}
+				}
+				if bestRow >= 0 {
+					break
+				}
+			}
+		}
+		if bestRow < 0 {
+			res.Failed = append(res.Failed, ci)
+			continue
+		}
+		r := &rows[bestRow]
+		disp := math.Abs(bestX-c.Pos.X) + math.Abs(r.y-c.Pos.Y)
+		c.Pos.X = bestX
+		c.Pos.Y = r.y
+		r.consume(bestX, c.W)
+		res.Moved++
+		total += disp
+		if disp > res.MaxDisplacement {
+			res.MaxDisplacement = disp
+		}
+	}
+	if res.Moved > 0 {
+		res.AvgDisplacement = total / float64(res.Moved)
+	}
+	if len(res.Failed) > 0 {
+		return res, fmt.Errorf("legalize: %d cells could not be placed", len(res.Failed))
+	}
+	return res, nil
+}
+
+// consumeRange removes [lo, hi) from the free intervals (blockages; may
+// span several intervals).
+func (r *rowState) consumeRange(lo, hi float64) {
+	var out []interval
+	for _, iv := range r.free {
+		switch {
+		case iv.hi <= lo || iv.lo >= hi:
+			out = append(out, iv)
+		default:
+			if iv.lo < lo {
+				out = append(out, interval{iv.lo, lo})
+			}
+			if iv.hi > hi {
+				out = append(out, interval{hi, iv.hi})
+			}
+		}
+	}
+	r.free = out
+}
+
+// Check verifies that no two movable cells overlap, cells sit on rows and
+// within the die. It returns the first violation found.
+func Check(d *netlist.Design) error {
+	type placed struct {
+		ci     int32
+		x0, x1 float64
+	}
+	byRow := map[int64][]placed{}
+	rowY := map[int64]bool{}
+	for _, r := range d.Rows {
+		rowY[int64(math.Round(r.Origin.Y*1e3))] = true
+	}
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if !c.Movable() || c.Class == netlist.ClassFiller {
+			continue
+		}
+		if c.Pos.X < d.Die.Lo.X-1e-6 || c.Pos.X+c.W > d.Die.Hi.X+1e-6 ||
+			c.Pos.Y < d.Die.Lo.Y-1e-6 || c.Pos.Y+c.H > d.Die.Hi.Y+1e-6 {
+			return fmt.Errorf("legalize: cell %s at %v outside die", c.Name, c.Pos)
+		}
+		key := int64(math.Round(c.Pos.Y * 1e3))
+		if !rowY[key] {
+			return fmt.Errorf("legalize: cell %s not aligned to a row (y=%v)", c.Name, c.Pos.Y)
+		}
+		byRow[key] = append(byRow[key], placed{int32(ci), c.Pos.X, c.Pos.X + c.W})
+	}
+	for _, cells := range byRow {
+		sort.Slice(cells, func(i, j int) bool { return cells[i].x0 < cells[j].x0 })
+		for i := 1; i < len(cells); i++ {
+			if cells[i].x0 < cells[i-1].x1-1e-6 {
+				return fmt.Errorf("legalize: cells %s and %s overlap",
+					d.Cells[cells[i-1].ci].Name, d.Cells[cells[i].ci].Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package netweight implements the momentum-based net-weighting baseline
+// (the paper's comparator [24], DREAMPlace 4.0): an exact STA engine is
+// invoked periodically, per-net criticalities are derived from the worst
+// pin slack on each net, and net weights are updated multiplicatively with
+// an exponential-moving-average (momentum) on the increment. The weighted
+// wirelength objective (Eq. 4) then pulls critical nets shorter.
+package netweight
+
+import (
+	"math"
+
+	"dtgp/internal/netlist"
+	"dtgp/internal/timing"
+)
+
+// Options configure the weight updater.
+type Options struct {
+	// Momentum β of the EMA on weight increments (DREAMPlace 4.0 uses
+	// ~0.5).
+	Momentum float64
+	// MaxIncrease is the largest multiplicative bump per update for the
+	// most critical net (weight *= 1 + MaxIncrease·criticality^Exponent).
+	MaxIncrease float64
+	// Exponent sharpens the criticality curve.
+	Exponent float64
+	// MaxWeight caps net weights to avoid runaway.
+	MaxWeight float64
+}
+
+// DefaultOptions mirrors the flavour of [24].
+func DefaultOptions() Options {
+	return Options{
+		Momentum:    0.5,
+		MaxIncrease: 0.03,
+		Exponent:    2.0,
+		MaxWeight:   10,
+	}
+}
+
+// Updater maintains per-net momentum state across STA invocations.
+type Updater struct {
+	Opts Options
+	// velocity is the EMA of each net's weight increment.
+	velocity []float64
+	// Updates counts Update calls.
+	Updates int
+}
+
+// NewUpdater builds an updater for a design.
+func NewUpdater(d *netlist.Design, opts Options) *Updater {
+	return &Updater{Opts: opts, velocity: make([]float64, len(d.Nets))}
+}
+
+// Criticality returns each net's criticality in [0,1] from exact STA
+// results: c = clamp(−worstNetSlack/|WNS|, 0, 1), zero when the design has
+// no violations.
+func Criticality(d *netlist.Design, res *timing.Result) []float64 {
+	crit := make([]float64, len(d.Nets))
+	if res.WNS >= 0 {
+		return crit
+	}
+	for ni := range d.Nets {
+		// Clock nets are ideal (excluded from timing propagation): their
+		// wirelength does not influence slack, so they get no weight.
+		if res.G.IsClockNet[ni] {
+			continue
+		}
+		net := &d.Nets[ni]
+		worst := math.Inf(1)
+		for _, pid := range net.Pins {
+			for tr := timing.Rise; tr <= timing.Fall; tr++ {
+				if s := res.PinSlack(pid, tr); s < worst {
+					worst = s
+				}
+			}
+		}
+		if math.IsInf(worst, 1) || worst >= 0 {
+			continue
+		}
+		c := -worst / -res.WNS
+		if c > 1 {
+			c = 1
+		}
+		crit[ni] = c
+	}
+	return crit
+}
+
+// Update recomputes net weights from an exact STA result.
+func (u *Updater) Update(d *netlist.Design, res *timing.Result) {
+	crit := Criticality(d, res)
+	o := u.Opts
+	for ni := range d.Nets {
+		inc := o.MaxIncrease * math.Pow(crit[ni], o.Exponent)
+		// Momentum: remember pressure on nets that were recently critical
+		// so weights don't oscillate when a net drops off the critical
+		// path for one update.
+		u.velocity[ni] = o.Momentum*u.velocity[ni] + (1-o.Momentum)*inc
+		w := d.Nets[ni].Weight * (1 + u.velocity[ni])
+		if w > o.MaxWeight {
+			w = o.MaxWeight
+		}
+		d.Nets[ni].Weight = w
+	}
+	u.Updates++
+}
+
+// ResetWeights restores unit weights (used when reusing a design across
+// flow runs).
+func ResetWeights(d *netlist.Design) {
+	for ni := range d.Nets {
+		d.Nets[ni].Weight = 1
+	}
+}

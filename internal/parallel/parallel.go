@@ -1,0 +1,86 @@
+// Package parallel provides the tiny data-parallel scaffolding used by the
+// timing and placement kernels. It stands in for the paper's CUDA kernel
+// launches: every GPU kernel over an index set becomes a For over the same
+// index set, chunked across GOMAXPROCS workers.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// threshold below which parallel dispatch costs more than it saves.
+const threshold = 256
+
+// For runs fn(i) for every i in [0, n), splitting the range across workers
+// when n is large enough to pay for the goroutine overhead. fn must be safe
+// to call concurrently for distinct i.
+func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < threshold || workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForChunked runs fn(lo, hi) over contiguous chunks covering [0, n). Use it
+// when per-call setup (scratch buffers) should amortise across a chunk.
+func ForChunked(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < threshold || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

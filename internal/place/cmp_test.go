@@ -1,0 +1,47 @@
+package place
+
+import (
+	"fmt"
+	"testing"
+
+	"dtgp/internal/gen"
+	"dtgp/internal/timing"
+)
+
+func runCmp(t *testing.T, cells int, seed int64, factor float64) {
+	d0, con, err := gen.Generate(gen.DefaultParams("cmp", cells, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dA := d0.Clone()
+	resWL, err := Run(dA, con, DefaultOptions(ModeWirelength))
+	if err != nil {
+		t.Fatal(err)
+	}
+	con.Period = factor * resWL.STA.CriticalDelay()
+	gA, _ := timing.NewGraph(dA, con)
+	staA := timing.Analyze(gA)
+	fmt.Printf("cells=%d seed=%d factor=%.2f period=%.0f\n", cells, seed, factor, con.Period)
+	fmt.Printf("  WL: WNS %9.1f TNS %12.1f HPWL %9.0f rt %6.2fs\n", staA.WNS, staA.TNS, resWL.HPWL, resWL.Runtime.Seconds())
+	dB := d0.Clone()
+	resNW, err := Run(dB, con, DefaultOptions(ModeNetWeight))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("  NW: WNS %9.1f TNS %12.1f HPWL %9.0f rt %6.2fs\n", resNW.WNS, resNW.TNS, resNW.HPWL, resNW.Runtime.Seconds())
+	dC := d0.Clone()
+	resDT, err := Run(dC, con, DefaultOptions(ModeDiffTiming))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("  DT: WNS %9.1f TNS %12.1f HPWL %9.0f rt %6.2fs\n", resDT.WNS, resDT.TNS, resDT.HPWL, resDT.Runtime.Seconds())
+}
+
+func TestCompareFlows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long three-flow comparison")
+	}
+	runCmp(t, 1000, 42, 0.8)
+	runCmp(t, 1000, 7, 0.8)
+	runCmp(t, 4000, 11, 0.8)
+}

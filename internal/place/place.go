@@ -1,0 +1,666 @@
+// Package place implements the nonlinear global-placement engine the paper
+// builds on (the DREAMPlace/ePlace lineage): weighted-average wirelength +
+// electrostatic density penalty, minimised with Nesterov's accelerated
+// gradient and Barzilai–Borwein step sizes, plus the three timing flavours
+// compared in the paper's Table 3:
+//
+//   - ModeWirelength — plain wirelength-driven placement ([16]);
+//   - ModeNetWeight  — momentum-based net weighting driven by a periodic
+//     exact STA ([24]);
+//   - ModeDiffTiming — the paper's differentiable-timing objective (Eq. 6).
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dtgp/internal/core"
+	"dtgp/internal/density"
+	"dtgp/internal/detailed"
+	"dtgp/internal/geom"
+	"dtgp/internal/legalize"
+	"dtgp/internal/netlist"
+	"dtgp/internal/netweight"
+	"dtgp/internal/sdc"
+	"dtgp/internal/timing"
+	"dtgp/internal/wirelength"
+)
+
+// Mode selects the optimization flavour.
+type Mode int
+
+// Flow modes.
+const (
+	// ModeWirelength is plain wirelength-driven placement (DREAMPlace [16]).
+	ModeWirelength Mode = iota
+	// ModeNetWeight is the momentum-based net-weighting baseline ([24]).
+	ModeNetWeight
+	// ModeDiffTiming is the paper's differentiable-timing-driven flow.
+	ModeDiffTiming
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeWirelength:
+		return "wirelength"
+	case ModeNetWeight:
+		return "netweight"
+	case ModeDiffTiming:
+		return "difftiming"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configure a placement run.
+type Options struct {
+	Mode Mode
+	// MaxIters bounds the Nesterov loop.
+	MaxIters int
+	// StopOverflow is the density-overflow stop criterion shared by all
+	// flows (the paper: "the same stop criterion on density overflow").
+	StopOverflow float64
+	// TargetDensity per bin.
+	TargetDensity float64
+	// Bins per axis (power of two); 0 = auto from design size.
+	Bins int
+	// WLGammaFactor: wirelength smoothing γ = factor × bin size.
+	WLGammaFactor float64
+	// LambdaInitFactor scales the initial density weight relative to the
+	// wirelength/density gradient-norm ratio.
+	LambdaInitFactor float64
+	// LambdaGrowth multiplies λ each iteration.
+	LambdaGrowth float64
+	// Seed randomises the initial spread jitter.
+	Seed int64
+
+	// TimingStartIter activates timing optimization (≈100 in the paper);
+	// timing also activates early once overflow < TimingStartOverflow.
+	TimingStartIter     int
+	TimingStartOverflow float64
+	// T1, T2 are the TNS and WNS objective weights (Eq. 6); they grow by
+	// TimingGrowth every iteration after activation (§4: "+1% after each
+	// iteration"). The absolute scale is auto-calibrated against the
+	// wirelength gradient at activation (the paper likewise tunes t1, t2
+	// per benchmark).
+	T1, T2       float64
+	TimingGrowth float64
+	// TimingScale is the calibration target: ‖timing grad‖₁ ≈
+	// TimingScale × ‖wirelength grad‖₁ at activation.
+	TimingScale float64
+	// TimingGamma is the LSE smoothing γ of the differentiable timer.
+	TimingGamma float64
+	// SteinerPeriod is the Steiner-tree reuse period (§3.6).
+	SteinerPeriod int
+	// NetWeightPeriod is the STA/reweight cadence of ModeNetWeight, in
+	// iterations ([24] reweights every iteration on GPU).
+	NetWeightPeriod int
+
+	// TraceTiming records exact WNS/TNS along the run (Fig. 8); expensive.
+	TraceTiming bool
+	// TracePeriod is the iteration stride of exact-STA trace points.
+	TracePeriod int
+	// SkipLegalize leaves the result as raw global placement.
+	SkipLegalize bool
+	// DetailedPasses > 0 runs detailed-placement refinement after
+	// legalization (intra-row + global swaps).
+	DetailedPasses int
+	// Quiet suppresses progress output via Logf.
+	Logf func(format string, args ...any)
+}
+
+// DefaultOptions returns the configuration used by the benchmark harness.
+func DefaultOptions(mode Mode) Options {
+	return Options{
+		Mode:                mode,
+		MaxIters:            900,
+		StopOverflow:        0.08,
+		TargetDensity:       1.0,
+		WLGammaFactor:       0.5,
+		LambdaInitFactor:    5e-4,
+		LambdaGrowth:        1.05,
+		TimingStartIter:     100,
+		TimingStartOverflow: 0.45,
+		T1:                  0.01,
+		T2:                  0.001,
+		TimingGrowth:        1.01,
+		TimingScale:         0.15,
+		TimingGamma:         100,
+		SteinerPeriod:       10,
+		NetWeightPeriod:     1,
+		TracePeriod:         10,
+	}
+}
+
+// TracePoint is one sample of the optimization trajectory (Fig. 8 data).
+type TracePoint struct {
+	Iter      int
+	HPWL      float64
+	Overflow  float64
+	WNS, TNS  float64
+	HasTiming bool
+}
+
+// Result summarises a finished placement run.
+type Result struct {
+	Mode       Mode
+	Iterations int
+	// HPWL after the full flow (post-legalization unless skipped).
+	HPWL float64
+	// WNS/TNS from the final exact STA.
+	WNS, TNS float64
+	Runtime  time.Duration
+	Trace    []TracePoint
+	Legal    *legalize.Result
+	Detailed *detailed.Result
+	STA      *timing.Result
+	// GPIterationsPerSecond for quick efficiency comparisons.
+	GPIterationsPerSecond float64
+}
+
+// Run places the design in-place and returns metrics. The constraints may
+// be nil only for ModeWirelength (timing flows and the final STA need a
+// clock).
+func Run(d *netlist.Design, con *sdc.Constraints, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	e, err := newEngine(d, con, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Mode: opts.Mode}
+	if err := e.optimize(res); err != nil {
+		return nil, err
+	}
+
+	if !opts.SkipLegalize {
+		lg, err := legalize.Legalize(d)
+		if err != nil {
+			return nil, err
+		}
+		res.Legal = lg
+		if opts.DetailedPasses > 0 {
+			do := detailed.DefaultOptions()
+			do.Passes = opts.DetailedPasses
+			dres, err := detailed.Refine(d, do)
+			if err != nil {
+				return nil, err
+			}
+			res.Detailed = dres
+		}
+	}
+	res.HPWL = d.HPWL()
+	if e.graph != nil {
+		res.STA = timing.Analyze(e.graph)
+		res.WNS = res.STA.WNS
+		res.TNS = res.STA.TNS
+	}
+	res.Runtime = time.Since(start)
+	if res.Runtime > 0 {
+		res.GPIterationsPerSecond = float64(res.Iterations) / res.Runtime.Seconds()
+	}
+	return res, nil
+}
+
+// engine carries all per-run state.
+type engine struct {
+	d    *netlist.Design
+	con  *sdc.Constraints
+	opts Options
+
+	// Degree-of-freedom slots: design cells first, fillers after.
+	nReal, nFill int
+	w, h         []float64 // per slot
+	movable      []bool
+	// position vector z = [x..., y...], length 2*nSlots.
+	z []float64
+
+	wl    *wirelength.Model
+	grid  *density.Grid
+	graph *timing.Graph
+	timer *core.Timer
+	nwUp  *netweight.Updater
+
+	lambda float64
+	// timing activation state
+	timingActive bool
+	tGrow        float64
+
+	// scratch
+	gradX, gradY   []float64
+	dx, dy, dw, dh []float64 // density arrays over movable slots
+	dSlot          []int32
+	mx, my, mw, mh []float64 // overflow arrays over real movable cells
+}
+
+func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, error) {
+	if len(d.Cells) == 0 {
+		return nil, fmt.Errorf("place: empty design")
+	}
+	if opts.Mode != ModeWirelength && con == nil {
+		return nil, fmt.Errorf("place: %v requires SDC constraints", opts.Mode)
+	}
+	e := &engine{d: d, con: con, opts: opts}
+	e.nReal = len(d.Cells)
+
+	// Fillers occupy the whitespace so the density system has a
+	// well-defined equilibrium (ePlace §filler insertion).
+	avgW, avgH, movArea := 0.0, 0.0, 0.0
+	nMov := 0
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.Movable() && c.Class != netlist.ClassFiller {
+			avgW += c.W
+			avgH += c.H
+			movArea += c.W * c.H
+			nMov++
+		}
+	}
+	if nMov == 0 {
+		return nil, fmt.Errorf("place: no movable cells")
+	}
+	avgW /= float64(nMov)
+	avgH /= float64(nMov)
+	freeArea := d.Die.Area()*opts.TargetDensity - d.FixedArea() - movArea
+	if freeArea < 0 {
+		freeArea = 0
+	}
+	e.nFill = int(freeArea / (avgW * avgH))
+
+	nSlots := e.nReal + e.nFill
+	e.w = make([]float64, nSlots)
+	e.h = make([]float64, nSlots)
+	e.movable = make([]bool, nSlots)
+	e.z = make([]float64, 2*nSlots)
+	e.gradX = make([]float64, nSlots)
+	e.gradY = make([]float64, nSlots)
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		e.w[ci], e.h[ci] = c.W, c.H
+		e.movable[ci] = c.Movable()
+		e.z[ci] = c.Pos.X
+		e.z[nSlots+ci] = c.Pos.Y
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 12345))
+	for f := 0; f < e.nFill; f++ {
+		slot := e.nReal + f
+		e.w[slot], e.h[slot] = avgW, avgH
+		e.movable[slot] = true
+		e.z[slot] = d.Die.Lo.X + rng.Float64()*(d.Die.W()-avgW)
+		e.z[nSlots+slot] = d.Die.Lo.Y + rng.Float64()*(d.Die.H()-avgH)
+	}
+
+	// Initial spread: movable real cells around the die centroid with a
+	// gaussian jitter (standard analytical-placement initialisation).
+	cx, cy := d.Die.Center().X, d.Die.Center().Y
+	sigma := math.Min(d.Die.W(), d.Die.H()) * 0.05
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if !e.movable[ci] || c.Class == netlist.ClassFiller {
+			continue
+		}
+		e.z[ci] = geom.Clamp(cx+rng.NormFloat64()*sigma-c.W/2, d.Die.Lo.X, d.Die.Hi.X-c.W)
+		e.z[nSlots+ci] = geom.Clamp(cy+rng.NormFloat64()*sigma-c.H/2, d.Die.Lo.Y, d.Die.Hi.Y-c.H)
+	}
+
+	// Density grid.
+	bins := opts.Bins
+	if bins == 0 {
+		bins = 1
+		for bins*bins < nMov && bins < 512 {
+			bins *= 2
+		}
+		if bins < 16 {
+			bins = 16
+		}
+	}
+	grid, err := density.NewGrid(d.Die, bins, bins, opts.TargetDensity)
+	if err != nil {
+		return nil, err
+	}
+	e.grid = grid
+	var fixedRects []geom.Rect
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.Fixed() && c.W > 0 && c.H > 0 {
+			fixedRects = append(fixedRects, geom.NewRect(c.Pos.X, c.Pos.Y, c.Pos.X+c.W, c.Pos.Y+c.H))
+		}
+	}
+	grid.SetFixed(fixedRects)
+
+	e.wl = wirelength.NewModel(d, math.Max(opts.WLGammaFactor*grid.BinW, 1e-6))
+
+	if con != nil {
+		g, err := timing.NewGraph(d, con)
+		if err != nil {
+			return nil, err
+		}
+		e.graph = g
+		if opts.Mode == ModeDiffTiming {
+			e.timer = core.NewTimer(g, core.Options{
+				Gamma:         opts.TimingGamma,
+				SteinerPeriod: opts.SteinerPeriod,
+			})
+		}
+		if opts.Mode == ModeNetWeight {
+			e.nwUp = netweight.NewUpdater(d, netweight.DefaultOptions())
+		}
+	}
+
+	// Density work arrays over movable slots.
+	for slot := 0; slot < nSlots; slot++ {
+		if e.movable[slot] {
+			e.dSlot = append(e.dSlot, int32(slot))
+		}
+	}
+	e.dx = make([]float64, len(e.dSlot))
+	e.dy = make([]float64, len(e.dSlot))
+	e.dw = make([]float64, len(e.dSlot))
+	e.dh = make([]float64, len(e.dSlot))
+	for k, slot := range e.dSlot {
+		e.dw[k], e.dh[k] = e.w[slot], e.h[slot]
+	}
+	// Overflow arrays over movable real (non-filler) cells.
+	for ci := range d.Cells {
+		if e.movable[ci] {
+			e.mw = append(e.mw, e.w[ci])
+			e.mh = append(e.mh, e.h[ci])
+		}
+	}
+	e.mx = make([]float64, len(e.mw))
+	e.my = make([]float64, len(e.mw))
+
+	return e, nil
+}
+
+// writePositions pushes a position vector into the design (real cells).
+func (e *engine) writePositions(z []float64) {
+	nSlots := e.nReal + e.nFill
+	for ci := range e.d.Cells {
+		if e.movable[ci] {
+			e.d.Cells[ci].Pos.X = z[ci]
+			e.d.Cells[ci].Pos.Y = z[nSlots+ci]
+		}
+	}
+}
+
+// clamp keeps every movable slot inside the die.
+func (e *engine) clamp(z []float64) {
+	nSlots := e.nReal + e.nFill
+	die := e.d.Die
+	for slot := 0; slot < nSlots; slot++ {
+		if !e.movable[slot] {
+			continue
+		}
+		z[slot] = geom.Clamp(z[slot], die.Lo.X, die.Hi.X-e.w[slot])
+		z[nSlots+slot] = geom.Clamp(z[nSlots+slot], die.Lo.Y, die.Hi.Y-e.h[slot])
+	}
+}
+
+// gradient evaluates the full objective gradient at z into grad (same
+// layout), returning the wirelength and density gradient L1 norms for λ
+// calibration.
+func (e *engine) gradient(z, grad []float64, iter int) (wlNorm, dNorm float64) {
+	nSlots := e.nReal + e.nFill
+	e.writePositions(z)
+	for i := range e.gradX {
+		e.gradX[i] = 0
+		e.gradY[i] = 0
+	}
+
+	// Wirelength (real cells only).
+	wlGX := make([]float64, e.nReal)
+	wlGY := make([]float64, e.nReal)
+	e.wl.Evaluate(wlGX, wlGY)
+	for ci := 0; ci < e.nReal; ci++ {
+		e.gradX[ci] += wlGX[ci]
+		e.gradY[ci] += wlGY[ci]
+		wlNorm += math.Abs(wlGX[ci]) + math.Abs(wlGY[ci])
+	}
+
+	// Density (movable slots incl. fillers).
+	for k, slot := range e.dSlot {
+		e.dx[k] = z[slot]
+		e.dy[k] = z[int(slot)+nSlots]
+	}
+	e.grid.BuildDensity(e.dx, e.dy, e.dw, e.dh)
+	e.grid.Solve()
+	dgx := make([]float64, len(e.dSlot))
+	dgy := make([]float64, len(e.dSlot))
+	e.grid.Gradient(e.dx, e.dy, e.dw, e.dh, dgx, dgy)
+	for k, slot := range e.dSlot {
+		dNorm += math.Abs(dgx[k]) + math.Abs(dgy[k])
+		e.gradX[slot] += e.lambda * dgx[k]
+		e.gradY[slot] += e.lambda * dgy[k]
+	}
+
+	// Differentiable timing (Eq. 6 third/fourth terms). The raw gradient
+	// concentrates on the few cells of critical paths with magnitudes far
+	// beyond the wirelength gradient, which destabilises the BB step; as
+	// the paper notes, preconditioning of timing gradients is an open
+	// problem (§5). We stabilise with per-component clipping and a
+	// per-iteration renormalisation to a controlled, growing fraction of
+	// the wirelength gradient norm.
+	if e.timingActive && e.timer != nil {
+		e.timer.Evaluate(e.opts.T1, e.opts.T2)
+		nMov := 0
+		for ci := 0; ci < e.nReal; ci++ {
+			if e.movable[ci] {
+				nMov++
+			}
+		}
+		meanWL := wlNorm / math.Max(1, float64(2*nMov))
+		clip := 50 * meanWL
+		tNorm := 0.0
+		for ci := 0; ci < e.nReal; ci++ {
+			e.timer.CellGradX[ci] = geom.Clamp(e.timer.CellGradX[ci], -clip, clip)
+			e.timer.CellGradY[ci] = geom.Clamp(e.timer.CellGradY[ci], -clip, clip)
+			tNorm += math.Abs(e.timer.CellGradX[ci]) + math.Abs(e.timer.CellGradY[ci])
+		}
+		if tNorm > 0 {
+			frac := math.Min(e.opts.TimingScale*e.tGrow, 0.35)
+			// Once every endpoint meets timing, back the pressure off
+			// exponentially instead of re-amplifying a vanishing raw
+			// gradient — otherwise the WNS term keeps trading wirelength
+			// for slack that is no longer needed.
+			if e.timer.EstWNS > 0 {
+				frac *= math.Exp(-e.timer.EstWNS / e.opts.TimingGamma)
+			}
+			s := frac * wlNorm / tNorm
+			for ci := 0; ci < e.nReal; ci++ {
+				e.gradX[ci] += s * e.timer.CellGradX[ci]
+				e.gradY[ci] += s * e.timer.CellGradY[ci]
+			}
+		}
+	}
+
+	// Zero fixed, precondition, pack.
+	for slot := 0; slot < nSlots; slot++ {
+		if !e.movable[slot] {
+			grad[slot] = 0
+			grad[nSlots+slot] = 0
+			continue
+		}
+		pins := 0.0
+		if slot < e.nReal {
+			pins = float64(len(e.d.Cells[slot].Pins))
+		}
+		p := math.Max(1, pins+e.lambda*e.w[slot]*e.h[slot]/(e.grid.BinW*e.grid.BinH))
+		grad[slot] = e.gradX[slot] / p
+		grad[nSlots+slot] = e.gradY[slot] / p
+	}
+	return wlNorm, dNorm
+}
+
+// overflow computes the density overflow of the real movable cells at z.
+func (e *engine) overflow(z []float64) float64 {
+	nSlots := e.nReal + e.nFill
+	k := 0
+	for ci := 0; ci < e.nReal; ci++ {
+		if e.movable[ci] {
+			e.mx[k] = z[ci]
+			e.my[k] = z[nSlots+ci]
+			k++
+		}
+	}
+	return e.grid.Overflow(e.mx, e.my, e.mw, e.mh)
+}
+
+func (e *engine) optimize(res *Result) error {
+	opts := e.opts
+	nSlots := e.nReal + e.nFill
+	n2 := 2 * nSlots
+
+	v := append([]float64(nil), e.z...)
+	u := append([]float64(nil), e.z...)
+	uPrev := append([]float64(nil), e.z...)
+	g := make([]float64, n2)
+	gPrev := make([]float64, n2)
+	vPrev := make([]float64, n2)
+	a := 1.0
+	alpha := 0.0
+	e.tGrow = 1
+
+	// Divergence guards: momentum restart on density regression, λ growth
+	// gating once the density force dominates, and best-solution rollback
+	// when the run plateaus (standard analytical-placer safeguards).
+	prevOv := math.Inf(1)
+	bestOv := math.Inf(1)
+	bestU := append([]float64(nil), u...)
+	bestIter := 0
+
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		// Net-weighting hook: exact STA on the current major iterate.
+		if e.nwUp != nil && e.timingActive && iter%maxInt(1, opts.NetWeightPeriod) == 0 {
+			e.writePositions(u)
+			sta := timing.Analyze(e.graph)
+			e.nwUp.Update(e.d, sta)
+		}
+
+		wlNorm, dNorm := e.gradient(v, g, iter)
+
+		if iter == 0 {
+			if dNorm > 0 {
+				e.lambda = opts.LambdaInitFactor * wlNorm / dNorm
+			} else {
+				e.lambda = opts.LambdaInitFactor
+			}
+			// λ was zero during the first gradient eval; recompute with
+			// the calibrated λ so the first step is balanced.
+			wlNorm, dNorm = e.gradient(v, g, iter)
+			maxG := 0.0
+			for _, gi := range g {
+				if m := math.Abs(gi); m > maxG {
+					maxG = m
+				}
+			}
+			if maxG > 0 {
+				alpha = e.grid.BinW / maxG
+			} else {
+				alpha = 1
+			}
+		} else {
+			// Barzilai–Borwein step length on the preconditioned system.
+			var num, den float64
+			for i := 0; i < n2; i++ {
+				dv := v[i] - vPrev[i]
+				dg := g[i] - gPrev[i]
+				num += dv * dv
+				den += dg * dg
+			}
+			if den > 0 && num > 0 {
+				alpha = math.Sqrt(num / den)
+			}
+		}
+
+		copy(vPrev, v)
+		copy(gPrev, g)
+		copy(uPrev, u)
+		for i := 0; i < n2; i++ {
+			u[i] = v[i] - alpha*g[i]
+		}
+		e.clamp(u)
+		aNew := (1 + math.Sqrt(4*a*a+1)) / 2
+		coef := (a - 1) / aNew
+		for i := 0; i < n2; i++ {
+			v[i] = u[i] + coef*(u[i]-uPrev[i])
+		}
+		e.clamp(v)
+		a = aNew
+
+		ov := e.overflow(u)
+		res.Iterations = iter + 1
+
+		// Momentum restart when spreading regresses noticeably — Nesterov
+		// momentum otherwise amplifies oscillations into divergence.
+		if ov > prevOv+0.02 {
+			a = 1
+		}
+		prevOv = ov
+		if ov < bestOv-1e-4 {
+			bestOv = ov
+			copy(bestU, u)
+			bestIter = iter
+		}
+		// Plateau rollback: no overflow progress for a long stretch during
+		// the spreading phase means the run is oscillating; restore the
+		// best iterate instead of grinding λ upward forever.
+		if ov < 0.6 && iter-bestIter > 200 {
+			copy(u, bestU)
+			opts.Logf("[%v] plateau at iter %d; restoring best overflow %.3f (iter %d)",
+				opts.Mode, iter, bestOv, bestIter)
+			break
+		}
+
+		// Timing activation (§4: from ~iteration 100, once spread).
+		if !e.timingActive && opts.Mode != ModeWirelength &&
+			(iter+1 >= opts.TimingStartIter || ov < opts.TimingStartOverflow) {
+			e.timingActive = true
+			opts.Logf("[%v] timing activated at iter %d (overflow %.3f)",
+				opts.Mode, iter+1, ov)
+		}
+		_ = wlNorm
+		if e.timingActive && e.tGrow < 10 {
+			// §4: t1, t2 grow 1% per iteration; capped so late iterations
+			// cannot let the timing term overwhelm wirelength/density.
+			e.tGrow *= opts.TimingGrowth
+		}
+
+		// Trace.
+		if opts.TracePeriod > 0 && iter%opts.TracePeriod == 0 {
+			e.writePositions(u)
+			tp := TracePoint{Iter: iter, HPWL: e.d.HPWL(), Overflow: ov}
+			if opts.TraceTiming && e.graph != nil {
+				sta := timing.Analyze(e.graph)
+				tp.WNS, tp.TNS, tp.HasTiming = sta.WNS, sta.TNS, true
+			}
+			res.Trace = append(res.Trace, tp)
+			opts.Logf("[%v] iter %4d HPWL %.4g overflow %.3f λ %.3g α %.3g",
+				opts.Mode, iter, tp.HPWL, ov, e.lambda, alpha)
+		}
+
+		// Grow λ only while the density force is not yet dominant; past
+		// that point further growth only destabilises the system.
+		if e.lambda*dNorm <= 20*wlNorm {
+			e.lambda *= opts.LambdaGrowth
+		}
+
+		if ov < opts.StopOverflow {
+			break
+		}
+	}
+
+	e.writePositions(u)
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

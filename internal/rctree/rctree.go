@@ -1,0 +1,356 @@
+// Package rctree turns a net's Steiner tree into an RC tree rooted at the
+// driver pin and evaluates the Elmore delay model on it — both the forward
+// quantities (load, delay, impulse; paper Eq. 7) and the full backward
+// gradient sweep (paper Eq. 8) down to per-node coordinate gradients.
+//
+// Unit convention: resistance in kΩ, capacitance in fF, so every R·C
+// product is directly in ps.
+package rctree
+
+import (
+	"fmt"
+	"math"
+
+	"dtgp/internal/rsmt"
+)
+
+// Tree is an RC tree with Elmore state. Node indices coincide with the
+// underlying rsmt.Tree nodes; the root is the driver pin's node.
+type Tree struct {
+	N      int
+	Root   int32
+	Parent []int32 // Parent[Root] = -1
+	Order  []int32 // preorder: parents precede children
+	// Res[u] is the resistance of the edge Parent[u]→u (kΩ); Res[Root]=0.
+	Res []float64
+	// Cap[u] is the lumped capacitance at u (fF): attached pin caps plus
+	// half the wire cap of each incident edge.
+	Cap []float64
+
+	// Forward results (Eq. 7).
+	Load    []float64 // downstream capacitance
+	Delay   []float64 // Elmore delay from root
+	LDelay  []float64 // Σ_subtree Cap·Delay (slew intermediate)
+	Beta    []float64 // second moment accumulator
+	Impulse []float64 // sqrt(2·Beta − Delay²), the slew impulse
+
+	// Geometry bookkeeping for the coordinate gradient.
+	st       *rsmt.Tree
+	rPerUnit float64
+	cPerUnit float64
+	edgeLen  []float64 // length of edge Parent[u]→u
+}
+
+// Grad holds the backward sweep results.
+type Grad struct {
+	Beta, LDelay, Delay, Load []float64
+	Cap                       []float64 // ∂f/∂Cap(u)
+	Res                       []float64 // ∂f/∂Res(parent→u)
+	// X, Y are ∂f/∂(node coordinate) after mapping RC gradients through
+	// the wire geometry; redistribute Steiner entries with
+	// rsmt.Tree.XPin/YPin.
+	X, Y []float64
+}
+
+// Build roots the Steiner tree st at the node carrying the driver pin and
+// extracts RC values. pinCap[i] is the attached pin capacitance of Steiner
+// node i (input pin caps at sink nodes, 0 at the driver and pure Steiner
+// nodes). rPerUnit/cPerUnit are wire RC densities per DBU.
+func Build(st *rsmt.Tree, root int32, pinCap []float64, rPerUnit, cPerUnit float64) (*Tree, error) {
+	n := st.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("rctree: empty Steiner tree")
+	}
+	if int(root) >= n || root < 0 {
+		return nil, fmt.Errorf("rctree: root %d out of range (%d nodes)", root, n)
+	}
+	if len(pinCap) != n {
+		return nil, fmt.Errorf("rctree: pinCap has %d entries, want %d", len(pinCap), n)
+	}
+	t := &Tree{
+		N:        n,
+		Root:     root,
+		Parent:   make([]int32, n),
+		Order:    make([]int32, 0, n),
+		Res:      make([]float64, n),
+		Cap:      append([]float64(nil), pinCap...),
+		Load:     make([]float64, n),
+		Delay:    make([]float64, n),
+		LDelay:   make([]float64, n),
+		Beta:     make([]float64, n),
+		Impulse:  make([]float64, n),
+		st:       st,
+		rPerUnit: rPerUnit,
+		cPerUnit: cPerUnit,
+		edgeLen:  make([]float64, n),
+	}
+	// Adjacency, then BFS from root to orient edges.
+	adj := make([][]int32, n)
+	for _, e := range st.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -2 // unvisited
+	}
+	t.Parent[root] = -1
+	queue := []int32{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		t.Order = append(t.Order, u)
+		for _, v := range adj[u] {
+			if t.Parent[v] != -2 {
+				continue
+			}
+			t.Parent[v] = u
+			length := math.Abs(st.X[u]-st.X[v]) + math.Abs(st.Y[u]-st.Y[v])
+			t.edgeLen[v] = length
+			t.Res[v] = rPerUnit * length
+			wc := cPerUnit * length / 2
+			t.Cap[u] += wc
+			t.Cap[v] += wc
+			queue = append(queue, v)
+		}
+	}
+	if len(t.Order) != n {
+		return nil, fmt.Errorf("rctree: Steiner tree is disconnected (%d of %d nodes reachable)", len(t.Order), n)
+	}
+	return t, nil
+}
+
+// RefreshGeometry recomputes edge RC after node coordinates changed but the
+// topology did not (the Steiner-reuse fast path, §3.6).
+func (t *Tree) RefreshGeometry() {
+	st := t.st
+	// Reset caps to pin caps by subtracting old wire caps is error-prone;
+	// rebuild from scratch: first remove all wire contributions.
+	for _, u := range t.Order {
+		if t.Parent[u] >= 0 {
+			wc := t.cPerUnit * t.edgeLen[u] / 2
+			t.Cap[u] -= wc
+			t.Cap[t.Parent[u]] -= wc
+		}
+	}
+	for _, u := range t.Order {
+		p := t.Parent[u]
+		if p < 0 {
+			continue
+		}
+		length := math.Abs(st.X[u]-st.X[p]) + math.Abs(st.Y[u]-st.Y[p])
+		t.edgeLen[u] = length
+		t.Res[u] = t.rPerUnit * length
+		wc := t.cPerUnit * length / 2
+		t.Cap[u] += wc
+		t.Cap[p] += wc
+	}
+}
+
+// Forward runs the four Elmore DP passes (Eq. 7) and the impulse extraction
+// (Eq. 7e).
+func (t *Tree) Forward() {
+	// Pass 1 (bottom-up): Load(u) = Cap(u) + Σ_child Load(v).
+	copy(t.Load, t.Cap)
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		u := t.Order[i]
+		if p := t.Parent[u]; p >= 0 {
+			t.Load[p] += t.Load[u]
+		}
+	}
+	// Pass 2 (top-down): Delay(u) = Delay(fa) + Res(fa→u)·Load(u).
+	for _, u := range t.Order {
+		if p := t.Parent[u]; p >= 0 {
+			t.Delay[u] = t.Delay[p] + t.Res[u]*t.Load[u]
+		} else {
+			t.Delay[u] = 0
+		}
+	}
+	// Pass 3 (bottom-up): LDelay(u) = Cap(u)·Delay(u) + Σ_child LDelay(v).
+	for i := range t.LDelay {
+		t.LDelay[i] = t.Cap[i] * t.Delay[i]
+	}
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		u := t.Order[i]
+		if p := t.Parent[u]; p >= 0 {
+			t.LDelay[p] += t.LDelay[u]
+		}
+	}
+	// Pass 4 (top-down): Beta(u) = Beta(fa) + Res(fa→u)·LDelay(u).
+	for _, u := range t.Order {
+		if p := t.Parent[u]; p >= 0 {
+			t.Beta[u] = t.Beta[p] + t.Res[u]*t.LDelay[u]
+		} else {
+			t.Beta[u] = 0
+		}
+	}
+	// Impulse (Eq. 7e), clamped against tiny negative round-off.
+	for i := range t.Impulse {
+		v := 2*t.Beta[i] - t.Delay[i]*t.Delay[i]
+		if v < 0 {
+			v = 0
+		}
+		t.Impulse[i] = math.Sqrt(v)
+	}
+}
+
+// Backward runs the reverse sweep (Eq. 8) given upstream gradients:
+//
+//   - gradDelay[u]     = ∂f/∂Delay(u) arriving from arrival-time backprop
+//     (Eq. 10b), non-zero at sink nodes;
+//   - gradImpulseSq[u] = ∂f/∂Impulse²(u) from slew backprop (Eq. 10d);
+//   - gradLoadRoot     = ∂f/∂Load(root) from the driving cell's LUT load
+//     input (Eq. 12e).
+//
+// Two corrections to the paper's printed Eq. 8 (confirmed against central
+// finite differences in the test suite):
+//
+//   - Eq. 8c: Impulse² = 2·Beta − Delay², so the Impulse term of ∇Delay is
+//     −2·Delay·∇Impulse², not +2·Delay·∇Impulse².
+//   - Eq. 8d/8f: the recursive terms are ∇Load(fa(u)) and
+//     LDelay(u)·∇Beta(u) — the printed ∇Delay(fa(u)) / Beta(u)·∇LDelay(u)
+//     do not follow from Eq. 7 by the chain rule.
+func (t *Tree) Backward(gradDelay, gradImpulseSq []float64, gradLoadRoot float64) *Grad {
+	n := t.N
+	g := &Grad{
+		Beta:   make([]float64, n),
+		LDelay: make([]float64, n),
+		Delay:  append([]float64(nil), gradDelay...),
+		Load:   make([]float64, n),
+		Cap:    make([]float64, n),
+		Res:    make([]float64, n),
+		X:      make([]float64, n),
+		Y:      make([]float64, n),
+	}
+	// Reverse pass 1 (bottom-up, mirrors forward pass 4):
+	// ∇Beta(u) = 2·∇Impulse²(u) + Σ_child ∇Beta(v).
+	for i := range g.Beta {
+		g.Beta[i] = 2 * gradImpulseSq[i]
+	}
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		u := t.Order[i]
+		if p := t.Parent[u]; p >= 0 {
+			g.Beta[p] += g.Beta[u]
+		}
+	}
+	// Reverse pass 2 (top-down, mirrors forward pass 3):
+	// ∇LDelay(u) = Res(fa→u)·∇Beta(u) + ∇LDelay(fa(u)).
+	for _, u := range t.Order {
+		g.LDelay[u] = t.Res[u] * g.Beta[u]
+		if p := t.Parent[u]; p >= 0 {
+			g.LDelay[u] += g.LDelay[p]
+		}
+	}
+	// Reverse pass 3 (bottom-up, mirrors forward pass 2):
+	// ∇Delay(u) = [seed] + Cap(u)·∇LDelay(u) − 2·Delay(u)·∇Impulse²(u)
+	//             + Σ_child ∇Delay(v).
+	for i := 0; i < n; i++ {
+		g.Delay[i] += t.Cap[i]*g.LDelay[i] - 2*t.Delay[i]*gradImpulseSq[i]
+	}
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		u := t.Order[i]
+		if p := t.Parent[u]; p >= 0 {
+			g.Delay[p] += g.Delay[u]
+		}
+	}
+	// Root has Delay ≡ 0 regardless of parameters; its accumulated entry
+	// is not a real derivative, and nothing downstream consumes it.
+	g.Delay[t.Root] = 0
+	// Reverse pass 4 (top-down, mirrors forward pass 1):
+	// ∇Load(u) = Res(fa→u)·∇Delay(u) + ∇Load(fa(u)).
+	for _, u := range t.Order {
+		g.Load[u] = t.Res[u] * g.Delay[u]
+		if p := t.Parent[u]; p >= 0 {
+			g.Load[u] += g.Load[p]
+		} else {
+			g.Load[u] += gradLoadRoot
+		}
+	}
+	// Leaf equations:
+	// ∇Cap(u) = ∇Load(u) + Delay(u)·∇LDelay(u)            (Eq. 8e)
+	// ∇Res(fa→u) = Load(u)·∇Delay(u) + LDelay(u)·∇Beta(u)  (Eq. 8f corrected)
+	for i := 0; i < n; i++ {
+		g.Cap[i] = g.Load[i] + t.Delay[i]*g.LDelay[i]
+	}
+	for _, u := range t.Order {
+		if t.Parent[u] >= 0 {
+			g.Res[u] = t.Load[u]*g.Delay[u] + t.LDelay[u]*g.Beta[u]
+		}
+	}
+	t.geometryGrad(g)
+	return g
+}
+
+// geometryGrad maps ∇Res / ∇Cap onto node coordinates. Each tree edge e =
+// (p→u) has Res = r·L(e) and contributes wire cap c·L(e)/2 to both
+// endpoints, with L = |Δx| + |Δy|:
+//
+//	∂f/∂L(e) = r·∇Res(e) + (c/2)·(∇Cap(p) + ∇Cap(u))
+//	∂L/∂x_u = sign(x_u − x_p), ∂L/∂x_p = −sign(x_u − x_p)   (same for y)
+func (t *Tree) geometryGrad(g *Grad) {
+	st := t.st
+	for _, u := range t.Order {
+		p := t.Parent[u]
+		if p < 0 {
+			continue
+		}
+		dLdf := t.rPerUnit*g.Res[u] + t.cPerUnit/2*(g.Cap[p]+g.Cap[u])
+		sx := sign(st.X[u] - st.X[p])
+		sy := sign(st.Y[u] - st.Y[p])
+		g.X[u] += dLdf * sx
+		g.X[p] -= dLdf * sx
+		g.Y[u] += dLdf * sy
+		g.Y[p] -= dLdf * sy
+	}
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// DelayByPathFormula computes the Elmore delay to every node using the
+// O(n²) shared-path-resistance definition
+//
+//	Delay(u) = Σ_k R(root→u ∩ root→k) · Cap(k)
+//
+// It exists as an independent reference for testing the DP passes.
+func (t *Tree) DelayByPathFormula() []float64 {
+	n := t.N
+	depthRes := make([]float64, n) // cumulative resistance root→u
+	for _, u := range t.Order {
+		if p := t.Parent[u]; p >= 0 {
+			depthRes[u] = depthRes[p] + t.Res[u]
+		}
+	}
+	// ancestors of u (including u, excluding root edge-resistance handled
+	// via cumulative sums).
+	anc := func(u int32) map[int32]bool {
+		m := map[int32]bool{}
+		for v := u; v >= 0; v = t.Parent[v] {
+			m[v] = true
+		}
+		return m
+	}
+	out := make([]float64, n)
+	for u := 0; u < n; u++ {
+		au := anc(int32(u))
+		for k := 0; k < n; k++ {
+			// Find deepest common ancestor path resistance.
+			common := 0.0
+			for v := int32(k); v >= 0; v = t.Parent[v] {
+				if au[v] {
+					common = depthRes[v]
+					break
+				}
+			}
+			out[u] += common * t.Cap[k]
+		}
+	}
+	return out
+}

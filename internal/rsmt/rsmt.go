@@ -1,0 +1,368 @@
+// Package rsmt constructs rectilinear Steiner minimal trees for nets. It
+// replaces FLUTE (which the paper itself notes is swappable, §3.4.1): exact
+// trees for nets of up to four pins via Hanan-grid enumeration, and a
+// Prim spanning tree refined by greedy Steiner-point insertion
+// (Borah–Owens–Irwin style) for larger nets.
+//
+// Every Steiner node records which pin owns its x coordinate and which pin
+// owns its y coordinate (the Hanan-grid property guarantees such owners
+// exist). This attribution implements the paper's Fig. 4 exactly: a gradient
+// landing on a Steiner point is forwarded to the pins whose movement drags
+// that point's branch along.
+package rsmt
+
+import (
+	"math"
+	"sort"
+
+	"dtgp/internal/geom"
+)
+
+// Tree is a rectilinear Steiner tree over a net's pins.
+//
+// Nodes 0..NumPins-1 are the pins in input order; the remaining nodes are
+// Steiner points. Edge lengths are Manhattan distances between endpoint
+// nodes (an L-shaped route has exactly that wirelength, so no bend nodes
+// are needed for RC extraction).
+type Tree struct {
+	X, Y    []float64
+	NumPins int
+	// Edges connect node indices; the tree has len(X)-1 edges when
+	// len(X) > 0 and the net is connected.
+	Edges [][2]int32
+	// XPin[i] / YPin[i] give the pin index (0..NumPins-1) whose x (resp.
+	// y) coordinate determines node i's x (resp. y). For pins these are
+	// the identity.
+	XPin, YPin []int32
+}
+
+// NumNodes returns the node count including Steiner points.
+func (t *Tree) NumNodes() int { return len(t.X) }
+
+// Length returns the total rectilinear wirelength.
+func (t *Tree) Length() float64 {
+	total := 0.0
+	for _, e := range t.Edges {
+		total += math.Abs(t.X[e[0]]-t.X[e[1]]) + math.Abs(t.Y[e[0]]-t.Y[e[1]])
+	}
+	return total
+}
+
+// UpdateFromPins refreshes all node coordinates from new pin locations
+// without rebuilding topology — the paper's Steiner-reuse strategy (§3.6):
+// Steiner points move along with the pins that own their branches.
+func (t *Tree) UpdateFromPins(px, py []float64) {
+	for i := range t.X {
+		t.X[i] = px[t.XPin[i]]
+		t.Y[i] = py[t.YPin[i]]
+	}
+}
+
+// Build constructs a Steiner tree over the given pin coordinates.
+func Build(px, py []float64) *Tree {
+	n := len(px)
+	t := &Tree{
+		X:       append([]float64(nil), px...),
+		Y:       append([]float64(nil), py...),
+		NumPins: n,
+		XPin:    make([]int32, n),
+		YPin:    make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		t.XPin[i] = int32(i)
+		t.YPin[i] = int32(i)
+	}
+	switch {
+	case n <= 1:
+		return t
+	case n == 2:
+		t.Edges = [][2]int32{{0, 1}}
+		return t
+	case n <= 4:
+		buildExact(t)
+		return t
+	default:
+		buildHeuristic(t)
+		return t
+	}
+}
+
+func dist(t *Tree, a, b int32) float64 {
+	return math.Abs(t.X[a]-t.X[b]) + math.Abs(t.Y[a]-t.Y[b])
+}
+
+// mstEdges computes a rectilinear minimum spanning tree over nodes [0, n)
+// of t with Prim's algorithm (O(n²), fine for net degrees seen in practice).
+func mstEdges(t *Tree, n int) [][2]int32 {
+	if n < 2 {
+		return nil
+	}
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	from := make([]int32, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		best[i] = dist(t, 0, int32(i))
+		from[i] = 0
+	}
+	edges := make([][2]int32, 0, n-1)
+	for added := 1; added < n; added++ {
+		minD, minI := math.Inf(1), -1
+		for i := 0; i < n; i++ {
+			if !inTree[i] && best[i] < minD {
+				minD, minI = best[i], i
+			}
+		}
+		if minI < 0 {
+			break
+		}
+		inTree[minI] = true
+		edges = append(edges, [2]int32{from[minI], int32(minI)})
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := dist(t, int32(minI), int32(i)); d < best[i] {
+					best[i], from[i] = d, int32(minI)
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// buildExact finds an optimal RSMT for 3–4 pins by enumerating Hanan-grid
+// Steiner point subsets of size ≤ n−2 and taking the spanning tree of
+// pins ∪ subset with minimum length.
+func buildExact(t *Tree) {
+	n := t.NumPins
+	type hanan struct {
+		x, y       float64
+		xPin, yPin int32
+	}
+	var cands []hanan
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			cands = append(cands, hanan{t.X[i], t.Y[j], int32(i), int32(j)})
+		}
+	}
+
+	bestLen := math.Inf(1)
+	var bestEdges [][2]int32
+	var bestPts []hanan
+
+	try := func(pts []hanan) {
+		// Materialise candidate nodes, measure the MST, roll back.
+		base := len(t.X)
+		for _, h := range pts {
+			t.X = append(t.X, h.x)
+			t.Y = append(t.Y, h.y)
+		}
+		edges := mstEdges(t, base+len(pts))
+		length := 0.0
+		used := make(map[int32]bool)
+		for _, e := range edges {
+			length += dist(t, e[0], e[1])
+			used[e[0]] = true
+			used[e[1]] = true
+		}
+		// A candidate Steiner point of degree ≤ 2 never helps; still, the
+		// MST length is what it is — only accept strictly better trees so
+		// the empty subset (plain MST) wins ties and we avoid useless
+		// degree-2 Steiner nodes.
+		if length < bestLen-1e-12 {
+			bestLen = length
+			bestEdges = append([][2]int32(nil), edges...)
+			bestPts = append([]hanan(nil), pts...)
+		}
+		t.X = t.X[:base]
+		t.Y = t.Y[:base]
+	}
+
+	try(nil)
+	for i := range cands {
+		try(cands[i : i+1])
+	}
+	if n == 4 {
+		for i := range cands {
+			for j := i + 1; j < len(cands); j++ {
+				try([]hanan{cands[i], cands[j]})
+			}
+		}
+	}
+
+	for _, h := range bestPts {
+		t.X = append(t.X, h.x)
+		t.Y = append(t.Y, h.y)
+		t.XPin = append(t.XPin, h.xPin)
+		t.YPin = append(t.YPin, h.yPin)
+	}
+	t.Edges = pruneDegenerate(t, bestEdges)
+}
+
+// pruneDegenerate removes Steiner nodes of degree ≤ 2 by splicing their
+// edges together (a degree-2 Steiner point on a Manhattan path is free but
+// pointless; degree-0/1 are dead). Pins are never removed.
+func pruneDegenerate(t *Tree, edges [][2]int32) [][2]int32 {
+	for {
+		deg := make([]int, len(t.X))
+		for _, e := range edges {
+			deg[e[0]]++
+			deg[e[1]]++
+		}
+		victim := int32(-1)
+		for i := t.NumPins; i < len(t.X); i++ {
+			if deg[i] <= 2 {
+				victim = int32(i)
+				break
+			}
+		}
+		if victim < 0 {
+			return edges
+		}
+		var keep [][2]int32
+		var nbrs []int32
+		for _, e := range edges {
+			switch {
+			case e[0] == victim:
+				nbrs = append(nbrs, e[1])
+			case e[1] == victim:
+				nbrs = append(nbrs, e[0])
+			default:
+				keep = append(keep, e)
+			}
+		}
+		if len(nbrs) == 2 {
+			keep = append(keep, [2]int32{nbrs[0], nbrs[1]})
+		}
+		// Remove the node, remapping indices above it.
+		last := int32(len(t.X) - 1)
+		t.X = append(t.X[:victim], t.X[victim+1:]...)
+		t.Y = append(t.Y[:victim], t.Y[victim+1:]...)
+		t.XPin = append(t.XPin[:victim], t.XPin[victim+1:]...)
+		t.YPin = append(t.YPin[:victim], t.YPin[victim+1:]...)
+		for i := range keep {
+			for k := 0; k < 2; k++ {
+				if keep[i][k] > victim {
+					keep[i][k]--
+				}
+			}
+		}
+		_ = last
+		edges = keep
+	}
+}
+
+// buildHeuristic: Prim MST + greedy Steiner insertion. For every tree node
+// u with two neighbours v, w, the Hanan point s = (med(xu,xv,xw),
+// med(yu,yv,yw)) replaces edges (u,v),(u,w) with (u,s),(v,s),(w,s); the
+// insertion with the largest positive gain is applied repeatedly.
+func buildHeuristic(t *Tree) {
+	n := t.NumPins
+	t.Edges = mstEdges(t, n)
+
+	type cand struct {
+		u, v, w int32
+		gain    float64
+	}
+	adj := func() [][]int32 {
+		a := make([][]int32, len(t.X))
+		for _, e := range t.Edges {
+			a[e[0]] = append(a[e[0]], e[1])
+			a[e[1]] = append(a[e[1]], e[0])
+		}
+		return a
+	}
+
+	for pass := 0; pass < len(t.X)+8; pass++ {
+		a := adj()
+		best := cand{gain: 1e-9}
+		for u := int32(0); int(u) < len(t.X); u++ {
+			nb := a[u]
+			for i := 0; i < len(nb); i++ {
+				for j := i + 1; j < len(nb); j++ {
+					v, w := nb[i], nb[j]
+					sx := median3(t.X[u], t.X[v], t.X[w])
+					sy := median3(t.Y[u], t.Y[v], t.Y[w])
+					old := dist(t, u, v) + dist(t, u, w)
+					nw := l1(t.X[u]-sx, t.Y[u]-sy) + l1(t.X[v]-sx, t.Y[v]-sy) + l1(t.X[w]-sx, t.Y[w]-sy)
+					if g := old - nw; g > best.gain {
+						best = cand{u, v, w, g}
+					}
+				}
+			}
+		}
+		if best.gain <= 1e-9 {
+			break
+		}
+		u, v, w := best.u, best.v, best.w
+		sx, sxo := median3Owner(t.X[u], t.X[v], t.X[w], u, v, w)
+		sy, syo := median3Owner(t.Y[u], t.Y[v], t.Y[w], u, v, w)
+		s := int32(len(t.X))
+		t.X = append(t.X, sx)
+		t.Y = append(t.Y, sy)
+		t.XPin = append(t.XPin, t.XPin[sxo])
+		t.YPin = append(t.YPin, t.YPin[syo])
+		var keep [][2]int32
+		for _, e := range t.Edges {
+			if (e[0] == u && e[1] == v) || (e[0] == v && e[1] == u) ||
+				(e[0] == u && e[1] == w) || (e[0] == w && e[1] == u) {
+				continue
+			}
+			keep = append(keep, e)
+		}
+		keep = append(keep, [2]int32{u, s}, [2]int32{v, s}, [2]int32{w, s})
+		t.Edges = keep
+	}
+	t.Edges = pruneDegenerate(t, t.Edges)
+}
+
+func l1(dx, dy float64) float64 { return math.Abs(dx) + math.Abs(dy) }
+
+func median3(a, b, c float64) float64 {
+	v := []float64{a, b, c}
+	sort.Float64s(v)
+	return v[1]
+}
+
+// median3Owner returns the median of three values together with the node
+// that contributed it (ties resolved toward the first occurrence, which
+// keeps attribution deterministic).
+func median3Owner(a, b, c float64, na, nb, nc int32) (float64, int32) {
+	type vp struct {
+		v float64
+		n int32
+	}
+	v := []vp{{a, na}, {b, nb}, {c, nc}}
+	sort.SliceStable(v, func(i, j int) bool { return v[i].v < v[j].v })
+	return v[1].v, v[1].n
+}
+
+// SpanningLength returns the rectilinear MST length over the pins alone —
+// an upper bound on the Steiner length used in tests and as the net-degree
+// normaliser in net weighting.
+func SpanningLength(px, py []float64) float64 {
+	t := &Tree{X: append([]float64(nil), px...), Y: append([]float64(nil), py...), NumPins: len(px)}
+	total := 0.0
+	for _, e := range mstEdges(t, len(px)) {
+		total += dist(t, e[0], e[1])
+	}
+	return total
+}
+
+// HPWL returns the half-perimeter bound of the pin set — a lower bound on
+// any Steiner tree length (for nets of degree ≤ 3 it is exact).
+func HPWL(px, py []float64) float64 {
+	if len(px) == 0 {
+		return 0
+	}
+	pts := make([]geom.Point, len(px))
+	for i := range px {
+		pts[i] = geom.Point{X: px[i], Y: py[i]}
+	}
+	return geom.BoundingBox(pts).HalfPerimeter()
+}

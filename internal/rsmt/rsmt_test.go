@@ -1,0 +1,234 @@
+package rsmt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func treeIsConnected(t *Tree) bool {
+	n := t.NumNodes()
+	if n == 0 {
+		return true
+	}
+	adj := make([][]int32, n)
+	for _, e := range t.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	seen := make([]bool, n)
+	stack := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == n
+}
+
+func TestDegenerateNets(t *testing.T) {
+	if tr := Build(nil, nil); tr.NumNodes() != 0 || len(tr.Edges) != 0 {
+		t.Error("empty net mishandled")
+	}
+	tr := Build([]float64{5}, []float64{6})
+	if tr.NumNodes() != 1 || len(tr.Edges) != 0 || tr.Length() != 0 {
+		t.Error("1-pin net mishandled")
+	}
+	tr = Build([]float64{0, 3}, []float64{0, 4})
+	if len(tr.Edges) != 1 || tr.Length() != 7 {
+		t.Errorf("2-pin net: edges=%d length=%v", len(tr.Edges), tr.Length())
+	}
+}
+
+func TestThreePinSteiner(t *testing.T) {
+	// Classic T: optimal length is HPWL = 20, MST would be 30.
+	tr := Build([]float64{0, 10, 5}, []float64{0, 0, 10})
+	if !treeIsConnected(tr) {
+		t.Fatal("tree disconnected")
+	}
+	if got := tr.Length(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("3-pin Steiner length = %v, want 20", got)
+	}
+}
+
+func TestFourPinCross(t *testing.T) {
+	// Plus-sign pins: RSMT length 20 via two Steiner points or one.
+	tr := Build([]float64{5, 5, 0, 10}, []float64{0, 10, 5, 5})
+	if got := tr.Length(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("cross length = %v, want 20", got)
+	}
+	if !treeIsConnected(tr) {
+		t.Error("tree disconnected")
+	}
+}
+
+func TestSteinerNeverWorseThanMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(12)
+		px := make([]float64, n)
+		py := make([]float64, n)
+		for i := range px {
+			px[i] = math.Round(rng.Float64() * 100)
+			py[i] = math.Round(rng.Float64() * 100)
+		}
+		tr := Build(px, py)
+		mst := SpanningLength(px, py)
+		hp := HPWL(px, py)
+		got := tr.Length()
+		if got > mst+1e-6 {
+			t.Fatalf("trial %d: Steiner %v worse than MST %v (n=%d)", trial, got, mst, n)
+		}
+		if got < hp-1e-6 {
+			t.Fatalf("trial %d: Steiner %v below HPWL lower bound %v (n=%d)", trial, got, hp, n)
+		}
+		if !treeIsConnected(tr) {
+			t.Fatalf("trial %d: disconnected tree", trial)
+		}
+		if len(tr.Edges) != tr.NumNodes()-1 {
+			t.Fatalf("trial %d: %d edges for %d nodes", trial, len(tr.Edges), tr.NumNodes())
+		}
+	}
+}
+
+func TestExactBeatsMSTOnAverage(t *testing.T) {
+	// Across random 4-pin nets the exact RSMT should show a clear
+	// improvement over the plain MST (the literature average is ~9%).
+	rng := rand.New(rand.NewSource(7))
+	var sumMST, sumRSMT float64
+	for trial := 0; trial < 200; trial++ {
+		px := make([]float64, 4)
+		py := make([]float64, 4)
+		for i := range px {
+			px[i] = rng.Float64() * 100
+			py[i] = rng.Float64() * 100
+		}
+		sumMST += SpanningLength(px, py)
+		sumRSMT += Build(px, py).Length()
+	}
+	if sumRSMT > 0.98*sumMST {
+		t.Errorf("exact RSMT only improved MST by %.2f%%, expected > 2%%",
+			100*(1-sumRSMT/sumMST))
+	}
+}
+
+// TestAttributionInvariant: every node's coordinates must equal its
+// attributed pins' coordinates — the Hanan property the gradient
+// redistribution (Fig. 4) relies on.
+func TestAttributionInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		px := make([]float64, n)
+		py := make([]float64, n)
+		for i := range px {
+			px[i] = math.Round(rng.Float64() * 50)
+			py[i] = math.Round(rng.Float64() * 50)
+		}
+		tr := Build(px, py)
+		for i := 0; i < tr.NumNodes(); i++ {
+			xp, yp := tr.XPin[i], tr.YPin[i]
+			if xp < 0 || int(xp) >= n || yp < 0 || int(yp) >= n {
+				return false
+			}
+			if tr.X[i] != px[xp] || tr.Y[i] != py[yp] {
+				return false
+			}
+			if i < n && (xp != int32(i) || yp != int32(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateFromPins(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	px := make([]float64, 8)
+	py := make([]float64, 8)
+	for i := range px {
+		px[i] = rng.Float64() * 100
+		py[i] = rng.Float64() * 100
+	}
+	tr := Build(px, py)
+	// Shift all pins; the tree must follow rigidly.
+	for i := range px {
+		px[i] += 13
+		py[i] -= 7
+	}
+	before := tr.Length()
+	tr.UpdateFromPins(px, py)
+	after := tr.Length()
+	if math.Abs(before-after) > 1e-9 {
+		t.Errorf("rigid translation changed length: %v → %v", before, after)
+	}
+	for i := 0; i < tr.NumPins; i++ {
+		if tr.X[i] != px[i] || tr.Y[i] != py[i] {
+			t.Fatalf("pin %d not updated", i)
+		}
+	}
+}
+
+func TestUpdateFromPinsTracksPerturbation(t *testing.T) {
+	// After a small pin move, UpdateFromPins must keep Steiner nodes on
+	// their attributed coordinates (the §3.6 approximation).
+	px := []float64{0, 10, 5, 7, 2}
+	py := []float64{0, 0, 10, 4, 8}
+	tr := Build(px, py)
+	px[2] += 0.5
+	py[4] -= 0.25
+	tr.UpdateFromPins(px, py)
+	for i := 0; i < tr.NumNodes(); i++ {
+		if tr.X[i] != px[tr.XPin[i]] || tr.Y[i] != py[tr.YPin[i]] {
+			t.Fatalf("node %d detached from attribution", i)
+		}
+	}
+}
+
+func TestCollinearPins(t *testing.T) {
+	// All pins on a line: Steiner length equals the span.
+	tr := Build([]float64{0, 2, 5, 9}, []float64{3, 3, 3, 3})
+	if got := tr.Length(); math.Abs(got-9) > 1e-9 {
+		t.Errorf("collinear length = %v, want 9", got)
+	}
+}
+
+func TestCoincidentPins(t *testing.T) {
+	tr := Build([]float64{1, 1, 1}, []float64{2, 2, 2})
+	if got := tr.Length(); got != 0 {
+		t.Errorf("coincident pins length = %v, want 0", got)
+	}
+	if !treeIsConnected(tr) {
+		t.Error("coincident pins tree disconnected")
+	}
+}
+
+func TestLargeNet(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 200
+	px := make([]float64, n)
+	py := make([]float64, n)
+	for i := range px {
+		px[i] = rng.Float64() * 1000
+		py[i] = rng.Float64() * 1000
+	}
+	tr := Build(px, py)
+	if !treeIsConnected(tr) {
+		t.Fatal("large net tree disconnected")
+	}
+	if tr.Length() > SpanningLength(px, py) {
+		t.Error("large net Steiner worse than MST")
+	}
+}

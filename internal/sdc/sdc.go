@@ -1,0 +1,326 @@
+// Package sdc reads and writes the subset of Synopsys Design Constraints
+// used by the ICCAD 2015 timing-driven placement flow: one clock, port
+// input/output delays, port input transitions and port loads. Times are in
+// ps and capacitances in fF, matching the Liberty units.
+package sdc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Constraints is the parsed timing environment of a design.
+type Constraints struct {
+	// ClockName and ClockPort define the single clock; Period is in ps.
+	ClockName string
+	ClockPort string
+	Period    float64
+	// ClockSlew is the transition time of the ideal clock at sequential
+	// clock pins (ps).
+	ClockSlew float64
+
+	// InputDelay / OutputDelay per port name (ps), relative to the clock.
+	InputDelay  map[string]float64
+	OutputDelay map[string]float64
+	// InputSlew per input port (ps).
+	InputSlew map[string]float64
+	// PortLoad is the external capacitance on output ports (fF).
+	PortLoad map[string]float64
+
+	// DerateEarly and DerateLate scale early/late path delays
+	// (set_timing_derate); both default to 1.
+	DerateEarly float64
+	DerateLate  float64
+
+	// Defaults apply to ports without explicit entries.
+	DefaultInputDelay  float64
+	DefaultOutputDelay float64
+	DefaultInputSlew   float64
+	DefaultPortLoad    float64
+}
+
+// New returns empty constraints with sane defaults.
+func New() *Constraints {
+	return &Constraints{
+		ClockSlew:        20,
+		DerateEarly:      1,
+		DerateLate:       1,
+		InputDelay:       map[string]float64{},
+		OutputDelay:      map[string]float64{},
+		InputSlew:        map[string]float64{},
+		PortLoad:         map[string]float64{},
+		DefaultInputSlew: 30,
+	}
+}
+
+// InputDelayOf returns the input delay for a port.
+func (c *Constraints) InputDelayOf(port string) float64 {
+	if v, ok := c.InputDelay[port]; ok {
+		return v
+	}
+	return c.DefaultInputDelay
+}
+
+// OutputDelayOf returns the output delay for a port.
+func (c *Constraints) OutputDelayOf(port string) float64 {
+	if v, ok := c.OutputDelay[port]; ok {
+		return v
+	}
+	return c.DefaultOutputDelay
+}
+
+// InputSlewOf returns the driving transition for an input port.
+func (c *Constraints) InputSlewOf(port string) float64 {
+	if v, ok := c.InputSlew[port]; ok {
+		return v
+	}
+	return c.DefaultInputSlew
+}
+
+// PortLoadOf returns the external load on an output port.
+func (c *Constraints) PortLoadOf(port string) float64 {
+	if v, ok := c.PortLoad[port]; ok {
+		return v
+	}
+	return c.DefaultPortLoad
+}
+
+// Parse reads SDC text. Unknown commands are ignored (SDC files routinely
+// carry commands irrelevant to placement), malformed known commands error.
+func Parse(src string) (*Constraints, error) {
+	c := New()
+	lines := strings.Split(src, "\n")
+	for num, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		toks, err := tokenize(line)
+		if err != nil {
+			return nil, fmt.Errorf("sdc: line %d: %w", num+1, err)
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		switch toks[0] {
+		case "create_clock":
+			if err := c.parseCreateClock(toks[1:]); err != nil {
+				return nil, fmt.Errorf("sdc: line %d: %w", num+1, err)
+			}
+		case "set_input_delay":
+			if err := parsePortValue(toks[1:], c.InputDelay); err != nil {
+				return nil, fmt.Errorf("sdc: line %d: %w", num+1, err)
+			}
+		case "set_output_delay":
+			if err := parsePortValue(toks[1:], c.OutputDelay); err != nil {
+				return nil, fmt.Errorf("sdc: line %d: %w", num+1, err)
+			}
+		case "set_input_transition":
+			if err := parsePortValue(toks[1:], c.InputSlew); err != nil {
+				return nil, fmt.Errorf("sdc: line %d: %w", num+1, err)
+			}
+		case "set_load":
+			if err := parsePortValue(toks[1:], c.PortLoad); err != nil {
+				return nil, fmt.Errorf("sdc: line %d: %w", num+1, err)
+			}
+		case "set_timing_derate":
+			if err := c.parseDerate(toks[1:]); err != nil {
+				return nil, fmt.Errorf("sdc: line %d: %w", num+1, err)
+			}
+		}
+	}
+	if c.ClockPort != "" {
+		// The clock source slew may have been given as an input transition
+		// on the clock port.
+		if v, ok := c.InputSlew[c.ClockPort]; ok {
+			c.ClockSlew = v
+		}
+	}
+	return c, nil
+}
+
+// tokenize splits an SDC line, flattening [get_ports name] and
+// [get_clocks name] bracket expressions to the bare name.
+func tokenize(line string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(line) {
+		switch {
+		case line[i] == ' ' || line[i] == '\t':
+			i++
+		case line[i] == '[':
+			end := strings.IndexByte(line[i:], ']')
+			if end < 0 {
+				return nil, fmt.Errorf("unbalanced bracket")
+			}
+			inner := strings.Fields(line[i+1 : i+end])
+			if len(inner) >= 2 && (inner[0] == "get_ports" || inner[0] == "get_pins" || inner[0] == "get_clocks") {
+				toks = append(toks, strings.Trim(inner[1], "{}\""))
+			} else if len(inner) > 0 {
+				toks = append(toks, inner[len(inner)-1])
+			}
+			i += end + 1
+		case line[i] == '{' || line[i] == '}':
+			i++
+		default:
+			j := i
+			for j < len(line) && line[j] != ' ' && line[j] != '\t' && line[j] != '[' {
+				j++
+			}
+			toks = append(toks, line[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func (c *Constraints) parseCreateClock(toks []string) error {
+	var port string
+	for i := 0; i < len(toks); i++ {
+		switch toks[i] {
+		case "-name":
+			if i+1 >= len(toks) {
+				return fmt.Errorf("create_clock: -name needs a value")
+			}
+			c.ClockName = toks[i+1]
+			i++
+		case "-period":
+			if i+1 >= len(toks) {
+				return fmt.Errorf("create_clock: -period needs a value")
+			}
+			v, err := strconv.ParseFloat(toks[i+1], 64)
+			if err != nil {
+				return fmt.Errorf("create_clock: bad period %q", toks[i+1])
+			}
+			c.Period = v
+			i++
+		case "-waveform":
+			i++ // skip the waveform list token
+		default:
+			port = toks[i]
+		}
+	}
+	if c.Period <= 0 {
+		return fmt.Errorf("create_clock: missing or non-positive period")
+	}
+	c.ClockPort = port
+	if c.ClockName == "" {
+		c.ClockName = port
+	}
+	return nil
+}
+
+// parseDerate handles `set_timing_derate [-early|-late] VALUE`.
+func (c *Constraints) parseDerate(toks []string) error {
+	early, late := false, false
+	value := 0.0
+	haveValue := false
+	for _, t := range toks {
+		switch t {
+		case "-early":
+			early = true
+		case "-late":
+			late = true
+		case "-cell_delay", "-net_delay", "-data", "-clock":
+			// accepted and merged
+		default:
+			v, err := strconv.ParseFloat(t, 64)
+			if err != nil {
+				return fmt.Errorf("set_timing_derate: bad value %q", t)
+			}
+			value = v
+			haveValue = true
+		}
+	}
+	if !haveValue || value <= 0 {
+		return fmt.Errorf("set_timing_derate: missing or non-positive value")
+	}
+	if !early && !late {
+		early, late = true, true
+	}
+	if early {
+		c.DerateEarly = value
+	}
+	if late {
+		c.DerateLate = value
+	}
+	return nil
+}
+
+// parsePortValue handles `set_xxx [-clock c] [-max|-min] VALUE PORT`.
+func parsePortValue(toks []string, dst map[string]float64) error {
+	var value float64
+	var port string
+	haveValue := false
+	for i := 0; i < len(toks); i++ {
+		switch toks[i] {
+		case "-clock":
+			i++
+		case "-max", "-min", "-rise", "-fall", "-add_delay":
+			// accepted and merged
+		default:
+			if !haveValue {
+				v, err := strconv.ParseFloat(toks[i], 64)
+				if err != nil {
+					return fmt.Errorf("bad value %q", toks[i])
+				}
+				value = v
+				haveValue = true
+			} else {
+				port = toks[i]
+			}
+		}
+	}
+	if !haveValue || port == "" {
+		return fmt.Errorf("missing value or port")
+	}
+	dst[port] = value
+	return nil
+}
+
+// Write emits the constraints as SDC text that Parse round-trips.
+func Write(w io.Writer, c *Constraints) error {
+	var b strings.Builder
+	if c.ClockPort != "" {
+		fmt.Fprintf(&b, "create_clock -name %s -period %g [get_ports %s]\n",
+			c.ClockName, c.Period, c.ClockPort)
+		fmt.Fprintf(&b, "set_input_transition %g [get_ports %s]\n", c.ClockSlew, c.ClockPort)
+	}
+	for _, port := range sortedKeys(c.InputDelay) {
+		fmt.Fprintf(&b, "set_input_delay %g -clock %s [get_ports %s]\n",
+			c.InputDelay[port], c.ClockName, port)
+	}
+	for _, port := range sortedKeys(c.OutputDelay) {
+		fmt.Fprintf(&b, "set_output_delay %g -clock %s [get_ports %s]\n",
+			c.OutputDelay[port], c.ClockName, port)
+	}
+	for _, port := range sortedKeys(c.InputSlew) {
+		if port == c.ClockPort {
+			continue
+		}
+		fmt.Fprintf(&b, "set_input_transition %g [get_ports %s]\n", c.InputSlew[port], port)
+	}
+	for _, port := range sortedKeys(c.PortLoad) {
+		fmt.Fprintf(&b, "set_load %g [get_ports %s]\n", c.PortLoad[port], port)
+	}
+	if c.DerateEarly != 1 && c.DerateEarly != 0 {
+		fmt.Fprintf(&b, "set_timing_derate -early %g\n", c.DerateEarly)
+	}
+	if c.DerateLate != 1 && c.DerateLate != 0 {
+		fmt.Fprintf(&b, "set_timing_derate -late %g\n", c.DerateLate)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

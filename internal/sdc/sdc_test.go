@@ -1,0 +1,111 @@
+package sdc
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+# comment line
+create_clock -name clk -period 2000 [get_ports clkport]
+set_input_transition 25 [get_ports clkport]
+set_input_delay 100 -clock clk [get_ports in0]
+set_input_delay 150 -clock clk [get_ports in1]
+set_output_delay 200 -clock clk [get_ports out0]
+set_input_transition 40 [get_ports in0]
+set_load 5 [get_ports out0]
+some_unknown_command foo bar
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ClockName != "clk" || c.ClockPort != "clkport" || c.Period != 2000 {
+		t.Errorf("clock parse: %+v", c)
+	}
+	if c.ClockSlew != 25 {
+		t.Errorf("clock slew = %v, want 25 (from set_input_transition on clock port)", c.ClockSlew)
+	}
+	if c.InputDelayOf("in0") != 100 || c.InputDelayOf("in1") != 150 {
+		t.Error("input delays wrong")
+	}
+	if c.OutputDelayOf("out0") != 200 {
+		t.Error("output delay wrong")
+	}
+	if c.InputSlewOf("in0") != 40 {
+		t.Error("input slew wrong")
+	}
+	if c.PortLoadOf("out0") != 5 {
+		t.Error("port load wrong")
+	}
+	// Defaults for unknown ports.
+	if c.InputDelayOf("nonexistent") != 0 {
+		t.Error("default input delay should be 0")
+	}
+	if c.InputSlewOf("nonexistent") != c.DefaultInputSlew {
+		t.Error("default input slew not applied")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"create_clock -period -5 [get_ports clk]",
+		"create_clock [get_ports clk]",
+		"create_clock -period abc [get_ports clk]",
+		"set_input_delay [get_ports in0]",
+		"set_input_delay xyz [get_ports in0]",
+		"set_load 5 [get_ports out0", // unbalanced bracket
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Parse(sb.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	if c2.ClockName != c.ClockName || c2.Period != c.Period || c2.ClockSlew != c.ClockSlew {
+		t.Error("clock lost in round trip")
+	}
+	for port, v := range c.InputDelay {
+		if c2.InputDelay[port] != v {
+			t.Errorf("input delay %s lost", port)
+		}
+	}
+	for port, v := range c.PortLoad {
+		if c2.PortLoad[port] != v {
+			t.Errorf("port load %s lost", port)
+		}
+	}
+}
+
+func TestFlagVariants(t *testing.T) {
+	c, err := Parse(`
+create_clock -period 1000 -name fast -waveform {0 500} [get_ports ck]
+set_input_delay -max 77 [get_ports a]
+set_output_delay -clock fast -min 88 [get_ports b]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Period != 1000 || c.ClockName != "fast" || c.ClockPort != "ck" {
+		t.Errorf("clock: %+v", c)
+	}
+	if c.InputDelayOf("a") != 77 || c.OutputDelayOf("b") != 88 {
+		t.Error("flagged delays wrong")
+	}
+}

@@ -1,0 +1,375 @@
+package timing
+
+import (
+	"math"
+	"sort"
+)
+
+// Incremental is an incremental late-mode STA engine in the spirit of the
+// TAU 2015 contest (the paper's reference [30]): after a set of cells move,
+// only the affected timing cone is re-evaluated — incident nets get fresh
+// Elmore state, and arrival/slew changes propagate forward level by level
+// until they damp out. Endpoint setup slacks (and WNS/TNS) stay current
+// because required times at endpoints are local functions of period and
+// data slew.
+//
+// It maintains late/setup analysis only, which is what placement-loop
+// clients (swap evaluation in timing-driven detailed placement) need.
+type Incremental struct {
+	G    *Graph
+	Nets []NetState
+
+	// AT and Slew are the late arrival state (exact max aggregation).
+	AT, Slew []float64
+	Valid    []bool
+
+	// EndpointSlack per endpoint index (min over transitions).
+	EndpointSlack []float64
+	// WNS and TNS over endpoints.
+	WNS, TNS float64
+
+	netOfSink, posOfSink []int32
+	// dirty pins per level for the pending propagation.
+	dirty  map[int32]bool
+	derate float64
+	// Epsilon below which an AT/slew change does not propagate further.
+	Epsilon float64
+}
+
+// NewIncremental builds the engine and runs the initial full analysis.
+func NewIncremental(g *Graph) *Incremental {
+	n2 := 2 * len(g.D.Pins)
+	inc := &Incremental{
+		G:       g,
+		AT:      make([]float64, n2),
+		Slew:    make([]float64, n2),
+		Valid:   make([]bool, n2),
+		dirty:   map[int32]bool{},
+		derate:  1,
+		Epsilon: 1e-6,
+	}
+	if g.Con != nil && g.Con.DerateLate > 0 {
+		inc.derate = g.Con.DerateLate
+	}
+	inc.netOfSink = make([]int32, len(g.D.Pins))
+	inc.posOfSink = make([]int32, len(g.D.Pins))
+	for i := range inc.netOfSink {
+		inc.netOfSink[i] = -1
+	}
+	for ni := range g.D.Nets {
+		if g.IsClockNet[ni] {
+			continue
+		}
+		net := &g.D.Nets[ni]
+		if net.Driver < 0 || len(net.Pins) < 2 {
+			continue
+		}
+		for k, pid := range net.Pins {
+			if pid != net.Driver {
+				inc.netOfSink[pid] = int32(ni)
+				inc.posOfSink[pid] = int32(k)
+			}
+		}
+	}
+	inc.Nets = BuildNetStates(g)
+	ForwardAll(inc.Nets)
+	inc.fullForward()
+	inc.recomputeMetrics()
+	return inc
+}
+
+// fullForward runs the complete late propagation from scratch.
+func (inc *Incremental) fullForward() {
+	g := inc.G
+	ninf := math.Inf(-1)
+	for i := range inc.AT {
+		inc.AT[i] = ninf
+		inc.Slew[i] = 0
+		inc.Valid[i] = false
+	}
+	for pi := range g.D.Pins {
+		pid := int32(pi)
+		if g.IsStart[pid] {
+			inc.initStart(pid)
+		}
+	}
+	for _, level := range g.Levels {
+		for _, pid := range level {
+			switch {
+			case g.IsStart[pid]:
+			case g.IsNetSink[pid]:
+				inc.evalNetSink(pid)
+			case g.IsCellOut[pid]:
+				inc.evalCellOut(pid)
+			}
+		}
+	}
+}
+
+func (inc *Incremental) initStart(pid int32) {
+	g := inc.G
+	var at, slew float64
+	if g.IsClockPin[pid] {
+		at, slew = 0, 20
+		if g.Con != nil {
+			slew = g.Con.ClockSlew
+		}
+	} else {
+		cell := &g.D.Cells[g.D.Pins[pid].Cell]
+		if g.Con != nil {
+			at = g.Con.InputDelayOf(cell.Name)
+			slew = g.Con.InputSlewOf(cell.Name)
+		} else {
+			slew = 30
+		}
+	}
+	for tr := Rise; tr <= Fall; tr++ {
+		t := TIdx(pid, tr)
+		inc.AT[t] = at
+		inc.Slew[t] = slew
+		inc.Valid[t] = true
+	}
+}
+
+// evalNetSink recomputes a sink pin; returns true when its AT/slew moved by
+// more than Epsilon.
+func (inc *Incremental) evalNetSink(pid int32) bool {
+	ni := inc.netOfSink[pid]
+	if ni < 0 || inc.Nets[ni].Tree == nil {
+		return false
+	}
+	ns := &inc.Nets[ni]
+	driver := inc.G.D.Nets[ni].Driver
+	k := int(inc.posOfSink[pid])
+	delay := ns.SinkDelay(k) * inc.derate
+	imp := ns.SinkImpulse(k)
+	changed := false
+	for tr := Rise; tr <= Fall; tr++ {
+		u, v := TIdx(driver, tr), TIdx(pid, tr)
+		if !inc.Valid[u] {
+			continue
+		}
+		at := inc.AT[u] + delay
+		slew := math.Sqrt(inc.Slew[u]*inc.Slew[u] + imp*imp)
+		if !inc.Valid[v] || math.Abs(at-inc.AT[v]) > inc.Epsilon ||
+			math.Abs(slew-inc.Slew[v]) > inc.Epsilon {
+			changed = true
+		}
+		inc.AT[v], inc.Slew[v] = at, slew
+		inc.Valid[v] = true
+	}
+	return changed
+}
+
+// evalCellOut recomputes a cell output pin (exact max aggregation).
+func (inc *Incremental) evalCellOut(pid int32) bool {
+	g := inc.G
+	load := 0.0
+	if net := g.D.Pins[pid].Net; net >= 0 && inc.Nets[net].Tree != nil {
+		load = inc.Nets[net].DriverLoad()
+	}
+	maxTr := math.Inf(1)
+	if mt := g.D.Lib.DefaultMaxTransition; mt > 0 {
+		maxTr = mt
+	}
+	changed := false
+	for outTr := Rise; outTr <= Fall; outTr++ {
+		v := TIdx(pid, outTr)
+		bestAT, bestSlew := math.Inf(-1), math.Inf(-1)
+		any := false
+		for ai := range g.ArcsInto[pid] {
+			ar := &g.ArcsInto[pid][ai]
+			dl, tl := delayTable(ar.Arc, outTr)
+			for _, inTrRaw := range arcCombos(ar.Arc.Unate, outTr) {
+				if inTrRaw < 0 {
+					continue
+				}
+				u := TIdx(ar.FromPin, Transition(inTrRaw))
+				if !inc.Valid[u] {
+					continue
+				}
+				any = true
+				if at := inc.AT[u] + dl.Eval(inc.Slew[u], load)*inc.derate; at > bestAT {
+					bestAT = at
+				}
+				if s := tl.Eval(inc.Slew[u], load); s > bestSlew {
+					bestSlew = s
+				}
+			}
+		}
+		if !any {
+			continue
+		}
+		if bestSlew > maxTr {
+			bestSlew = maxTr
+		}
+		if !inc.Valid[v] || math.Abs(bestAT-inc.AT[v]) > inc.Epsilon ||
+			math.Abs(bestSlew-inc.Slew[v]) > inc.Epsilon {
+			changed = true
+		}
+		inc.AT[v], inc.Slew[v] = bestAT, bestSlew
+		inc.Valid[v] = true
+	}
+	return changed
+}
+
+// MoveCells informs the engine that the given cells changed position. The
+// incident nets' interconnect is re-extracted and arrival changes propagate
+// forward; endpoint metrics are refreshed.
+func (inc *Incremental) MoveCells(cells []int32) {
+	g := inc.G
+	d := g.D
+	touched := map[int32]bool{}
+	for _, ci := range cells {
+		for _, pid := range d.Cells[ci].Pins {
+			if ni := d.Pins[pid].Net; ni >= 0 && !g.IsClockNet[ni] {
+				touched[ni] = true
+			}
+		}
+	}
+	for ni := range touched {
+		ns := &inc.Nets[ni]
+		if ns.Tree == nil {
+			continue
+		}
+		// Re-extract with fresh topology: cheap per net and always valid.
+		inc.Nets[ni] = buildNetState(g, ni)
+		inc.Nets[ni].RC.Forward()
+		net := &d.Nets[ni]
+		// Sinks see new delays; the driver sees a new load (its cell arcs
+		// must be re-evaluated).
+		for _, pid := range net.Pins {
+			if pid == net.Driver {
+				inc.dirty[pid] = true
+			} else {
+				inc.dirty[pid] = true
+			}
+		}
+	}
+	inc.propagate()
+	inc.recomputeMetrics()
+}
+
+// propagate drains the dirty set in level order, re-evaluating pins and
+// expanding to fanouts when values changed.
+func (inc *Incremental) propagate() {
+	g := inc.G
+	if len(inc.dirty) == 0 {
+		return
+	}
+	// Order dirty pins by level with a sorted worklist.
+	var work []int32
+	for pid := range inc.dirty {
+		work = append(work, pid)
+	}
+	sort.Slice(work, func(i, j int) bool { return g.Level[work[i]] < g.Level[work[j]] })
+	inDirty := inc.dirty
+	for len(work) > 0 {
+		pid := work[0]
+		work = work[1:]
+		delete(inDirty, pid)
+		var changed bool
+		switch {
+		case g.IsStart[pid]:
+			// Start values never change with placement.
+			changed = false
+		case g.IsNetSink[pid]:
+			changed = inc.evalNetSink(pid)
+		case g.IsCellOut[pid]:
+			changed = inc.evalCellOut(pid)
+		}
+		if !changed {
+			continue
+		}
+		// Expand to fanouts: net sinks if pid drives a net; cell outputs
+		// fed by pid.
+		pin := &g.D.Pins[pid]
+		if ni := pin.Net; ni >= 0 && !g.IsClockNet[ni] && g.D.Nets[ni].Driver == pid {
+			for _, q := range g.D.Nets[ni].Pins {
+				if q != pid && !inDirty[q] {
+					inDirty[q] = true
+					work = insertByLevel(g, work, q)
+				}
+			}
+		}
+		cell := &g.D.Cells[pin.Cell]
+		if cell.Lib >= 0 {
+			lc := &g.D.Lib.Cells[cell.Lib]
+			for ai := range lc.Arcs {
+				arc := &lc.Arcs[ai]
+				if arc.IsCheck() || cell.Pins[arc.From] != pid {
+					continue
+				}
+				q := cell.Pins[arc.To]
+				if !inDirty[q] {
+					inDirty[q] = true
+					work = insertByLevel(g, work, q)
+				}
+			}
+		}
+	}
+}
+
+// insertByLevel keeps the worklist sorted by topological level.
+func insertByLevel(g *Graph, work []int32, pid int32) []int32 {
+	lv := g.Level[pid]
+	i := sort.Search(len(work), func(i int) bool { return g.Level[work[i]] >= lv })
+	work = append(work, 0)
+	copy(work[i+1:], work[i:])
+	work[i] = pid
+	return work
+}
+
+// recomputeMetrics refreshes endpoint slacks and WNS/TNS.
+func (inc *Incremental) recomputeMetrics() {
+	g := inc.G
+	period := g.Period()
+	clkSlew := 20.0
+	if g.Con != nil {
+		clkSlew = g.Con.ClockSlew
+	}
+	if inc.EndpointSlack == nil {
+		inc.EndpointSlack = make([]float64, len(g.Endpoints))
+	}
+	inc.WNS, inc.TNS = inf, 0
+	any := false
+	for ei := range g.Endpoints {
+		ep := &g.Endpoints[ei]
+		slack := inf
+		for tr := Rise; tr <= Fall; tr++ {
+			t := TIdx(ep.Pin, tr)
+			if !inc.Valid[t] {
+				continue
+			}
+			var rat float64
+			switch {
+			case ep.Kind == EndFFData && ep.Setup != nil:
+				rat = period - constraintTable(ep.Setup.Arc, tr).Eval(clkSlew, inc.Slew[t])
+			case ep.Kind == EndPort:
+				od := 0.0
+				if g.Con != nil {
+					od = g.Con.OutputDelayOf(ep.PortName)
+				}
+				rat = period - od
+			default:
+				continue
+			}
+			if s := rat - inc.AT[t]; s < slack {
+				slack = s
+			}
+		}
+		inc.EndpointSlack[ei] = slack
+		if !math.IsInf(slack, 1) {
+			any = true
+			if slack < inc.WNS {
+				inc.WNS = slack
+			}
+			if slack < 0 {
+				inc.TNS += slack
+			}
+		}
+	}
+	if !any {
+		inc.WNS = 0
+	}
+}

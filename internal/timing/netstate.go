@@ -1,0 +1,122 @@
+package timing
+
+import (
+	"dtgp/internal/parallel"
+	"dtgp/internal/rctree"
+	"dtgp/internal/rsmt"
+)
+
+// NetState is the per-net interconnect model: the Steiner tree topology and
+// the RC tree with Elmore results (§3.3 step 2). It is shared between the
+// exact STA engine and the differentiable timer.
+type NetState struct {
+	Net int32
+	// Tree is the Steiner topology; nil for clock, degenerate (<2 pins)
+	// and undriven nets.
+	Tree *rsmt.Tree
+	// RC is the rooted RC tree with Elmore state; nil when Tree is nil.
+	RC *rctree.Tree
+	// Node[k] is the Steiner-tree node of net pin k (net.Pins[k]); the
+	// driver's node is the RC root.
+	Node []int32
+	// PinOfNode[j] maps tree node j back to the design pin id, or -1 for
+	// Steiner points.
+	PinOfNode []int32
+}
+
+// SinkDelay returns the Elmore delay from the driver to net pin k.
+func (ns *NetState) SinkDelay(k int) float64 { return ns.RC.Delay[ns.Node[k]] }
+
+// SinkImpulse returns the slew impulse at net pin k.
+func (ns *NetState) SinkImpulse(k int) float64 { return ns.RC.Impulse[ns.Node[k]] }
+
+// DriverLoad returns the total capacitive load seen by the driver.
+func (ns *NetState) DriverLoad() float64 { return ns.RC.Load[ns.RC.Root] }
+
+// BuildNetStates constructs Steiner and RC trees for every timed net, in
+// parallel. This is the "FLUTE + Elmore" stage of Fig. 3/7; the forward
+// Elmore passes are left to the caller (ForwardAll) so that the reuse path
+// can skip tree construction.
+func BuildNetStates(g *Graph) []NetState {
+	d := g.D
+	states := make([]NetState, len(d.Nets))
+	parallel.For(len(d.Nets), func(ni int) {
+		states[ni] = buildNetState(g, int32(ni))
+	})
+	return states
+}
+
+func buildNetState(g *Graph, ni int32) NetState {
+	d := g.D
+	ns := NetState{Net: ni}
+	net := &d.Nets[ni]
+	if g.IsClockNet[ni] || net.Driver < 0 || len(net.Pins) < 2 {
+		return ns
+	}
+	px := make([]float64, len(net.Pins))
+	py := make([]float64, len(net.Pins))
+	rootIdx := int32(-1)
+	for k, pid := range net.Pins {
+		pos := d.PinPos(pid)
+		px[k], py[k] = pos.X, pos.Y
+		if pid == net.Driver {
+			rootIdx = int32(k)
+		}
+	}
+	tree := rsmt.Build(px, py)
+	pinCap := make([]float64, tree.NumNodes())
+	pinOfNode := make([]int32, tree.NumNodes())
+	for j := range pinOfNode {
+		pinOfNode[j] = -1
+	}
+	node := make([]int32, len(net.Pins))
+	for k, pid := range net.Pins {
+		node[k] = int32(k) // rsmt keeps pins as nodes 0..NumPins-1 in order
+		pinOfNode[k] = pid
+		if pid != net.Driver {
+			pinCap[k] = g.SinkCap[pid]
+		}
+	}
+	rc, err := rctree.Build(tree, rootIdx, pinCap, d.Lib.WireResPerDBU, d.Lib.WireCapPerDBU)
+	if err != nil {
+		// A disconnected Steiner tree cannot happen by construction; treat
+		// defensively as an untimed net.
+		return NetState{Net: ni}
+	}
+	ns.Tree = tree
+	ns.RC = rc
+	ns.Node = node
+	ns.PinOfNode = pinOfNode
+	return ns
+}
+
+// RefreshNetStates updates node coordinates and RC values from current pin
+// positions without rebuilding Steiner topology (§3.6: reuse the stored
+// Steiner points, moving them along with their attributed pins).
+func RefreshNetStates(g *Graph, states []NetState) {
+	d := g.D
+	parallel.For(len(states), func(i int) {
+		ns := &states[i]
+		if ns.Tree == nil {
+			return
+		}
+		net := &d.Nets[ns.Net]
+		px := make([]float64, len(net.Pins))
+		py := make([]float64, len(net.Pins))
+		for k, pid := range net.Pins {
+			pos := d.PinPos(pid)
+			px[k], py[k] = pos.X, pos.Y
+		}
+		ns.Tree.UpdateFromPins(px, py)
+		ns.RC.RefreshGeometry()
+	})
+}
+
+// ForwardAll runs the Elmore forward passes on every net, in parallel.
+func ForwardAll(states []NetState) {
+	parallel.For(len(states), func(i int) {
+		if states[i].RC != nil {
+			states[i].RC.Forward()
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package timing
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"dtgp/internal/gen"
+)
+
+// bruteForcePaths enumerates every path into every endpoint with the same
+// graph-based semantics as KWorstPaths and returns all slacks sorted
+// ascending.
+func bruteForcePaths(r *Result, cap int) []float64 {
+	pe := &pathEnum{r: r, cands: map[int32][]candidate{}}
+	pe.netOf, pe.posOf = r.sinkLocator()
+	var slacks []float64
+	var walk func(t int32, slackSoFar float64)
+	walk = func(t int32, slackSoFar float64) {
+		if len(slacks) >= cap {
+			return
+		}
+		cs := pe.candidatesOf(t)
+		if len(cs) == 0 {
+			slacks = append(slacks, slackSoFar)
+			return
+		}
+		for _, c := range cs {
+			// Taking candidate c instead of the best loses (best − c).
+			walk(c.pred, slackSoFar+(cs[0].arrival-c.arrival))
+		}
+	}
+	for ei := range r.G.Endpoints {
+		ep := &r.G.Endpoints[ei]
+		for tr := Rise; tr <= Fall; tr++ {
+			t := TIdx(ep.Pin, tr)
+			if !r.Valid[t] || math.IsInf(r.RATLate[t], 1) {
+				continue
+			}
+			walk(t, r.RATLate[t]-r.ATLate[t])
+		}
+	}
+	sort.Float64s(slacks)
+	return slacks
+}
+
+func TestKWorstPathsMatchBruteForce(t *testing.T) {
+	d, con, err := gen.Generate(gen.DefaultParams("kp", 120, 71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(d, con)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(g)
+	const k = 40
+	paths := r.KWorstPaths(k)
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	brute := bruteForcePaths(r, 200000)
+	if len(brute) < len(paths) {
+		t.Fatalf("brute force found %d paths, enumeration %d", len(brute), len(paths))
+	}
+	for i, p := range paths {
+		if math.Abs(p.Slack-brute[i]) > 1e-6 {
+			t.Fatalf("path %d slack %v, brute force %v", i, p.Slack, brute[i])
+		}
+	}
+	// Worst-first order.
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Slack < paths[i-1].Slack-1e-9 {
+			t.Fatalf("paths out of order at %d: %v < %v", i, paths[i].Slack, paths[i-1].Slack)
+		}
+	}
+}
+
+func TestKWorstFirstMatchesWorstPath(t *testing.T) {
+	d, con, err := gen.Generate(gen.DefaultParams("kp", 300, 72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(d, con)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(g)
+	paths := r.KWorstPaths(1)
+	if len(paths) != 1 {
+		t.Fatal("no paths")
+	}
+	if math.Abs(paths[0].Slack-r.WNS) > 1e-6 {
+		t.Errorf("first enumerated slack %v != WNS %v", paths[0].Slack, r.WNS)
+	}
+	wp := r.WorstPath()
+	if len(wp.Steps) != len(paths[0].Steps) {
+		t.Errorf("worst path lengths differ: %d vs %d", len(wp.Steps), len(paths[0].Steps))
+	}
+}
+
+func TestKWorstPathsAreValidChains(t *testing.T) {
+	d, con, err := gen.Generate(gen.DefaultParams("kp", 200, 73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(d, con)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(g)
+	for _, p := range r.KWorstPaths(25) {
+		if len(p.Steps) < 2 {
+			t.Fatalf("degenerate path")
+		}
+		if !g.IsStart[p.Steps[0].Pin] {
+			t.Fatalf("path does not start at a start pin")
+		}
+		for i := 1; i < len(p.Steps); i++ {
+			if p.Steps[i].AT+1e-9 < p.Steps[i-1].AT {
+				t.Fatalf("arrival decreases along path")
+			}
+			if math.Abs((p.Steps[i-1].AT+p.Steps[i].Incr)-p.Steps[i].AT) > 1e-6 {
+				t.Fatalf("increments do not compose")
+			}
+		}
+	}
+}
+
+func TestKWorstPathsDistinct(t *testing.T) {
+	d, con, err := gen.Generate(gen.DefaultParams("kp", 150, 74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(d, con)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(g)
+	paths := r.KWorstPaths(30)
+	seen := map[string]bool{}
+	for _, p := range paths {
+		key := ""
+		for _, s := range p.Steps {
+			key += string(rune(s.Pin)) + string(rune(s.Transition))
+		}
+		if seen[key] {
+			t.Fatal("duplicate path enumerated")
+		}
+		seen[key] = true
+	}
+}

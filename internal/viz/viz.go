@@ -1,0 +1,263 @@
+// Package viz renders placements and optimization traces as standalone SVG
+// files — the pictures an open-source placer ships with (placement maps
+// coloured by slack, Fig. 8-style metric curves). Pure stdlib, no
+// rasterisation.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"dtgp/internal/netlist"
+	"dtgp/internal/place"
+	"dtgp/internal/timing"
+)
+
+// PlacementOptions configure WritePlacementSVG.
+type PlacementOptions struct {
+	// WidthPx is the SVG width; height follows the die aspect ratio.
+	WidthPx float64
+	// ColorBySlack shades cells by their worst pin slack when a timing
+	// result is supplied.
+	Timing *timing.Result
+	// ShowNets draws flylines for nets up to this degree (0 = none).
+	ShowNetsMaxDegree int
+}
+
+// WritePlacementSVG renders the design's placement.
+func WritePlacementSVG(w io.Writer, d *netlist.Design, opts PlacementOptions) error {
+	if opts.WidthPx <= 0 {
+		opts.WidthPx = 900
+	}
+	die := d.Die
+	if die.W() <= 0 || die.H() <= 0 {
+		return fmt.Errorf("viz: design has an empty die")
+	}
+	scale := opts.WidthPx / die.W()
+	hPx := die.H() * scale
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
+		opts.WidthPx, hPx, opts.WidthPx, hPx)
+	b.WriteString(`<rect width="100%" height="100%" fill="#fafafa"/>` + "\n")
+
+	// y flips: SVG origin is top-left.
+	tx := func(x float64) float64 { return (x - die.Lo.X) * scale }
+	ty := func(y float64) float64 { return hPx - (y-die.Lo.Y)*scale }
+
+	// Die outline.
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%.2f" height="%.2f" fill="none" stroke="#333" stroke-width="1"/>`+"\n",
+		opts.WidthPx, hPx)
+
+	// Worst slack per cell for colouring.
+	var cellSlack []float64
+	haveSlack := false
+	if opts.Timing != nil {
+		cellSlack = make([]float64, len(d.Cells))
+		for i := range cellSlack {
+			cellSlack[i] = math.Inf(1)
+		}
+		for pi := range d.Pins {
+			pid := int32(pi)
+			for tr := timing.Rise; tr <= timing.Fall; tr++ {
+				if s := opts.Timing.PinSlack(pid, tr); s < cellSlack[d.Pins[pid].Cell] {
+					cellSlack[d.Pins[pid].Cell] = s
+					haveSlack = true
+				}
+			}
+		}
+	}
+	worst := -1.0
+	if haveSlack && opts.Timing.WNS < 0 {
+		worst = opts.Timing.WNS
+	}
+
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.Class == netlist.ClassFiller || c.W <= 0 || c.H <= 0 {
+			continue
+		}
+		fill := "#7aa6c2" // movable
+		switch {
+		case c.Class == netlist.ClassFixed:
+			fill = "#555555"
+		case haveSlack && !math.IsInf(cellSlack[ci], 1):
+			fill = slackColor(cellSlack[ci], worst)
+		case c.Class == netlist.ClassSeq:
+			fill = "#8f7ac2"
+		}
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="0.85"/>`+"\n",
+			tx(c.Pos.X), ty(c.Pos.Y+c.H), c.W*scale, c.H*scale, fill)
+	}
+
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.Class != netlist.ClassPort {
+			continue
+		}
+		fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="3" fill="#d04040"/>`+"\n",
+			tx(c.Pos.X), ty(c.Pos.Y))
+	}
+
+	if opts.ShowNetsMaxDegree > 1 {
+		b.WriteString(`<g stroke="#888" stroke-width="0.4" stroke-opacity="0.35">` + "\n")
+		for ni := range d.Nets {
+			net := &d.Nets[ni]
+			if len(net.Pins) < 2 || len(net.Pins) > opts.ShowNetsMaxDegree || net.Driver < 0 {
+				continue
+			}
+			dp := d.PinPos(net.Driver)
+			for _, pid := range net.Pins {
+				if pid == net.Driver {
+					continue
+				}
+				sp := d.PinPos(pid)
+				fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f"/>`+"\n",
+					tx(dp.X), ty(dp.Y), tx(sp.X), ty(sp.Y))
+			}
+		}
+		b.WriteString("</g>\n")
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// slackColor maps slack ∈ [worst, 0+] to red→yellow→green.
+func slackColor(s, worst float64) string {
+	if s >= 0 {
+		return "#58a868" // met: green
+	}
+	t := 0.0
+	if worst < 0 {
+		t = s / worst // 0 at slack 0, 1 at WNS
+		if t > 1 {
+			t = 1
+		}
+	}
+	// yellow (#e6c84d) → red (#cc3333)
+	r := int(230 + t*(204-230))
+	g := int(200 + t*(51-200))
+	bl := int(77 + t*(51-77))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+}
+
+// CurveOptions configure WriteTraceSVG.
+type CurveOptions struct {
+	WidthPx, HeightPx float64
+	Title             string
+}
+
+// series extracted from a trace.
+type series struct {
+	name  string
+	color string
+	pts   [][2]float64 // iter, value
+}
+
+// WriteTraceSVG renders Fig. 8-style curves (HPWL, overflow, WNS, TNS vs
+// iteration) comparing two flow traces. Each metric gets its own panel,
+// values min-max normalised per panel.
+func WriteTraceSVG(w io.Writer, a, b []place.TracePoint, nameA, nameB string, opts CurveOptions) error {
+	if opts.WidthPx <= 0 {
+		opts.WidthPx = 1000
+	}
+	if opts.HeightPx <= 0 {
+		opts.HeightPx = 700
+	}
+	panels := []struct {
+		title string
+		get   func(p place.TracePoint) (float64, bool)
+	}{
+		{"HPWL", func(p place.TracePoint) (float64, bool) { return p.HPWL, true }},
+		{"density overflow", func(p place.TracePoint) (float64, bool) { return p.Overflow, true }},
+		{"WNS (ps)", func(p place.TracePoint) (float64, bool) { return p.WNS, p.HasTiming }},
+		{"TNS (ps)", func(p place.TracePoint) (float64, bool) { return p.TNS, p.HasTiming }},
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`+"\n",
+		opts.WidthPx, opts.HeightPx)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%.0f" y="18" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n",
+			opts.WidthPx/2, opts.Title)
+	}
+
+	pw := opts.WidthPx / 2
+	ph := (opts.HeightPx - 30) / 2
+	for pi, panel := range panels {
+		ox := float64(pi%2) * pw
+		oy := 30 + float64(pi/2)*ph
+		ss := []series{
+			{nameA, "#3465a4", extract(a, panel.get)},
+			{nameB, "#cc6600", extract(b, panel.get)},
+		}
+		drawPanel(&sb, ox, oy, pw, ph, panel.title, ss)
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func extract(tr []place.TracePoint, get func(place.TracePoint) (float64, bool)) [][2]float64 {
+	var pts [][2]float64
+	for _, p := range tr {
+		if v, ok := get(p); ok && !math.IsNaN(v) && !math.IsInf(v, 0) {
+			pts = append(pts, [2]float64{float64(p.Iter), v})
+		}
+	}
+	return pts
+}
+
+func drawPanel(sb *strings.Builder, ox, oy, w, h float64, title string, ss []series) {
+	const margin = 34.0
+	fmt.Fprintf(sb, `<text x="%.0f" y="%.0f" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+		ox+margin, oy+14, title)
+	fmt.Fprintf(sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#aaa"/>`+"\n",
+		ox+margin, oy+20, w-2*margin, h-20-margin)
+
+	// Global extents.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range ss {
+		for _, p := range s.pts {
+			minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+			minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+		}
+	}
+	if minX >= maxX {
+		maxX = minX + 1
+	}
+	if minY >= maxY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return ox + margin + (x-minX)/(maxX-minX)*(w-2*margin) }
+	py := func(y float64) float64 { return oy + h - margin - (y-minY)/(maxY-minY)*(h-20-margin) }
+
+	for si, s := range ss {
+		if len(s.pts) == 0 {
+			continue
+		}
+		var path strings.Builder
+		for i, p := range s.pts {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(p[0]), py(p[1]))
+		}
+		fmt.Fprintf(sb, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.TrimSpace(path.String()), s.color)
+		// Legend.
+		fmt.Fprintf(sb, `<text x="%.0f" y="%.0f" font-family="sans-serif" font-size="10" fill="%s">%s</text>`+"\n",
+			ox+w-margin-90, oy+30+float64(si)*12, s.color, s.name)
+	}
+	// Axis labels (min/max).
+	fmt.Fprintf(sb, `<text x="%.0f" y="%.0f" font-family="sans-serif" font-size="9" fill="#555">%.3g</text>`+"\n",
+		ox+2, py(maxY)+4, maxY)
+	fmt.Fprintf(sb, `<text x="%.0f" y="%.0f" font-family="sans-serif" font-size="9" fill="#555">%.3g</text>`+"\n",
+		ox+2, py(minY)+4, minY)
+}

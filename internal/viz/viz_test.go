@@ -1,0 +1,126 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"dtgp/internal/gen"
+	"dtgp/internal/place"
+	"dtgp/internal/timing"
+)
+
+func TestWritePlacementSVG(t *testing.T) {
+	d, con, err := gen.Generate(gen.DefaultParams("viz", 200, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := timing.NewGraph(d, con)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := timing.Analyze(g)
+
+	var sb strings.Builder
+	err = WritePlacementSVG(&sb, d, PlacementOptions{Timing: res, ShowNetsMaxDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := sb.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if strings.Count(svg, "<rect") < 100 {
+		t.Errorf("too few cell rectangles: %d", strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Error("ports not drawn")
+	}
+	if !strings.Contains(svg, "<line") {
+		t.Error("flylines not drawn")
+	}
+}
+
+func TestWritePlacementSVGWithoutTiming(t *testing.T) {
+	d, _, err := gen.Generate(gen.DefaultParams("viz", 100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WritePlacementSVG(&sb, d, PlacementOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "#7aa6c2") {
+		t.Error("default movable colour missing")
+	}
+}
+
+func TestWritePlacementSVGEmptyDie(t *testing.T) {
+	d, _, err := gen.Generate(gen.DefaultParams("viz", 100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Die.Hi = d.Die.Lo
+	var sb strings.Builder
+	if err := WritePlacementSVG(&sb, d, PlacementOptions{}); err == nil {
+		t.Error("empty die accepted")
+	}
+}
+
+func TestSlackColorRange(t *testing.T) {
+	if c := slackColor(10, -100); c != "#58a868" {
+		t.Errorf("positive slack colour %s", c)
+	}
+	warm := slackColor(-1, -100)
+	hot := slackColor(-100, -100)
+	if warm == hot {
+		t.Error("slack gradient is flat")
+	}
+	for _, c := range []string{warm, hot} {
+		if len(c) != 7 || c[0] != '#' {
+			t.Errorf("bad colour %q", c)
+		}
+	}
+}
+
+func TestWriteTraceSVG(t *testing.T) {
+	mk := func(scale float64) []place.TracePoint {
+		var tr []place.TracePoint
+		for i := 0; i < 20; i++ {
+			tr = append(tr, place.TracePoint{
+				Iter:      i * 10,
+				HPWL:      scale * float64(100-i),
+				Overflow:  1 / float64(i+1),
+				WNS:       -float64(100 - i*4),
+				TNS:       -float64(1000 - i*40),
+				HasTiming: true,
+			})
+		}
+		return tr
+	}
+	var sb strings.Builder
+	err := WriteTraceSVG(&sb, mk(1), mk(1.1), "dreamplace", "ours", CurveOptions{Title: "superblue4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := sb.String()
+	for _, want := range []string{"<svg", "HPWL", "density overflow", "WNS", "TNS", "dreamplace", "ours", "<path"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<path") != 8 { // 2 series × 4 panels
+		t.Errorf("path count = %d, want 8", strings.Count(svg, "<path"))
+	}
+}
+
+func TestWriteTraceSVGEmptyTimingSeries(t *testing.T) {
+	tr := []place.TracePoint{{Iter: 0, HPWL: 10, Overflow: 1}, {Iter: 10, HPWL: 5, Overflow: 0.5}}
+	var sb strings.Builder
+	if err := WriteTraceSVG(&sb, tr, tr, "a", "b", CurveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// WNS/TNS panels have no points (HasTiming false) but must not break.
+	if !strings.Contains(sb.String(), "</svg>") {
+		t.Error("incomplete SVG")
+	}
+}
