@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep with allocation stats, repeated for stable medians.
+# The JSON stream (one object per test2json event) lands in BENCH_pool.json
+# for tooling; the human-readable log is printed as it runs.
+bench:
+	$(GO) test -json -bench . -benchmem -run '^$$' -count 3 ./... | tee BENCH_pool.json | \
+		grep -o '"Output":".*"' | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//g' || true

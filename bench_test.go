@@ -183,6 +183,7 @@ func BenchmarkAblationObjectiveWeights(b *testing.B) {
 // (the per-iteration cost added by the paper's method).
 func BenchmarkDiffTimerForwardBackward(b *testing.B) {
 	tm := timerBed(b, 100, 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tm.Evaluate(0.01, 0.001)
@@ -200,6 +201,7 @@ func BenchmarkExactSTA(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := timing.Analyze(g)
@@ -214,10 +216,28 @@ func BenchmarkSteinerBuild(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nets := timing.BuildNetStates(g)
 		_ = nets
+	}
+}
+
+// BenchmarkSteinerRebuild is the same stage on the warm path: periodic
+// topology re-extraction into pre-existing per-net state (what the timer
+// actually pays every SteinerPeriod evaluations).
+func BenchmarkSteinerRebuild(b *testing.B) {
+	d, con := benchDesign(b, "superblue4")
+	g, err := timing.NewGraph(d, con)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := timing.BuildNetStates(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		timing.RebuildNetStates(g, nets)
 	}
 }
 
@@ -228,6 +248,7 @@ func BenchmarkPlacementIteration(b *testing.B) {
 	opts := DefaultPlaceOptions(FlowWirelength)
 	opts.MaxIters = 1
 	opts.SkipLegalize = true
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dd := d.Clone()

@@ -1,0 +1,30 @@
+package core
+
+import "testing"
+
+// TestEvaluateSteadyStateAllocFree pins down the allocation-free hot path:
+// with the periodic Steiner rebuild pushed out of reach, every Evaluate
+// (geometry refresh + Elmore forward + levelised forward + objective +
+// full backward) must run entirely in pre-sized scratch. Two warm-up calls
+// size every buffer; after that, zero allocations per pass.
+func TestEvaluateSteadyStateAllocFree(t *testing.T) {
+	g := makeTestBed(t, 400, 31)
+	tm := NewTimer(g, Options{Gamma: 50, SteinerPeriod: 1 << 30})
+	tm.Evaluate(0.01, 0.001)
+	tm.Evaluate(0.01, 0.001)
+	if allocs := testing.AllocsPerRun(10, func() { tm.Evaluate(0.01, 0.001) }); allocs != 0 {
+		t.Errorf("Evaluate allocated %v objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestEvaluateValueOnlySteadyStateAllocFree covers the forward-only entry
+// point used by finite-difference checks.
+func TestEvaluateValueOnlySteadyStateAllocFree(t *testing.T) {
+	g := makeTestBed(t, 400, 32)
+	tm := NewTimer(g, Options{Gamma: 50, SteinerPeriod: 1 << 30})
+	tm.EvaluateValueOnly(0.01, 0.001)
+	tm.EvaluateValueOnly(0.01, 0.001)
+	if allocs := testing.AllocsPerRun(10, func() { tm.EvaluateValueOnly(0.01, 0.001) }); allocs != 0 {
+		t.Errorf("EvaluateValueOnly allocated %v objects/op in steady state, want 0", allocs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"dtgp/internal/liberty"
+	"dtgp/internal/rctree"
 	"dtgp/internal/timing"
 )
 
@@ -56,13 +57,7 @@ func (t *Timer) ensureHold() {
 // Gradients accumulate into CellGradX/CellGradY; SmTHS/EstTHS report the
 // hold objective.
 func (t *Timer) EvaluateHold(t1, t2, t3 float64) float64 {
-	if t.Nets == nil || t.evalCount%t.Opts.SteinerPeriod == 0 {
-		t.Nets = timing.BuildNetStates(t.G)
-	} else {
-		timing.RefreshNetStates(t.G, t.Nets)
-	}
-	t.evalCount++
-	timing.ForwardAll(t.Nets)
+	t.refreshNets()
 	t.forward()
 	t.ensureHold()
 	t.forwardEarly()
@@ -359,7 +354,13 @@ func (t *Timer) backwardWithHold(t1, t2, t3 float64) float64 {
 		if t.gLoadRootEarly[ni] == 0 && allZero(t.gDelayNodeEarly[ni]) && allZero(t.gImpSqEarly[ni]) {
 			continue
 		}
-		gr := ns.RC.Backward(t.gDelayNodeEarly[ni], t.gImpSqEarly[ni], t.gLoadRootEarly[ni])
+		// The late pass has already redistributed its per-net gradients, so
+		// the shared buffers are free for reuse here.
+		if t.netGrads[ni] == nil {
+			t.netGrads[ni] = &rctree.Grad{}
+		}
+		gr := t.netGrads[ni]
+		ns.RC.BackwardInto(gr, t.gDelayNodeEarly[ni], t.gImpSqEarly[ni], t.gLoadRootEarly[ni])
 		net := &d.Nets[ni]
 		tree := ns.Tree
 		for j := 0; j < tree.NumNodes(); j++ {

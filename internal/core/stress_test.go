@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dtgp/internal/parallel"
+)
+
+// TestDiffTimingFlowStress drives the full differentiable-timing flow —
+// periodic Steiner rebuilds, geometry refreshes, levelised forward sweeps,
+// objective, backward sweeps and hold analysis — on a multi-lane pool for
+// many iterations, so `go test -race` exercises every barrier handoff and
+// worker-local scratch buffer across hundreds of pool reuses. The same flow
+// is then replayed on a single-lane pool and every per-iteration objective
+// plus the final gradients must match bit for bit: the parallel schedule
+// must not leak into the arithmetic.
+func TestDiffTimingFlowStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	prev := parallel.Workers()
+	defer parallel.SetWorkers(prev)
+
+	const iters = 20
+	run := func(workers int) ([]float64, []float64, []float64) {
+		parallel.SetWorkers(workers)
+		g := makeTestBed(t, 300, 41)
+		// SteinerPeriod 3 alternates rebuild and refresh paths.
+		tm := NewTimer(g, Options{Gamma: 50, SteinerPeriod: 3})
+		vals := make([]float64, 0, 2*iters)
+		for i := 0; i < iters; i++ {
+			f := tm.Evaluate(0.01, 0.001)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Fatalf("workers=%d iter %d: objective %v", workers, i, f)
+			}
+			vals = append(vals, f)
+			fh := tm.EvaluateHold(0.01, 0.001, 0.005)
+			if math.IsNaN(fh) || math.IsInf(fh, 0) {
+				t.Fatalf("workers=%d iter %d: hold objective %v", workers, i, fh)
+			}
+			vals = append(vals, fh)
+		}
+		gx := append([]float64(nil), tm.CellGradX...)
+		gy := append([]float64(nil), tm.CellGradY...)
+		return vals, gx, gy
+	}
+
+	vals4, gx4, gy4 := run(4)
+	vals1, gx1, gy1 := run(1)
+
+	for i := range vals1 {
+		if vals4[i] != vals1[i] {
+			t.Fatalf("objective %d differs across schedules: %v (4 lanes) vs %v (serial)", i, vals4[i], vals1[i])
+		}
+	}
+	for i := range gx1 {
+		if gx4[i] != gx1[i] || gy4[i] != gy1[i] {
+			t.Fatalf("cell %d gradient differs across schedules: (%v,%v) vs (%v,%v)", i, gx4[i], gy4[i], gx1[i], gy1[i])
+		}
+	}
+}

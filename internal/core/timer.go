@@ -26,10 +26,41 @@ func DefaultOptions() Options {
 	return Options{Gamma: 100, SteinerPeriod: 10}
 }
 
+// fwdScratch holds one worker's candidate buffers for the cell-output LSE
+// aggregation. Keyed by the runtime's worker id; padded so two workers'
+// slice headers never share a cache line.
+type fwdScratch struct {
+	u  []int32
+	at []float64
+	sl []float64
+	_  [56]byte
+}
+
+// epState is the per-endpoint slack state of one objective evaluation.
+type epState struct {
+	s    [2]float64 // per transition slack (smoothed ATs)
+	hard [2]float64 // hard-AT slack estimate
+	ok   [2]bool
+	sEp  float64
+	wTr  [2]float64
+}
+
+// bwdGroup is one single-writer unit of the reverse sweep: the net-sink
+// pins of one net, or the output pins of one cell, within one level.
+type bwdGroup struct {
+	pins  []int32
+	isNet bool
+}
+
 // Timer is the differentiable STA engine (Fig. 3). A single Evaluate call
 // runs the full forward propagation (pin locations → Steiner/Elmore → level
 // by level arrival/slew → smoothed slacks → TNS_γ, WNS_γ) and the full
 // backward pass to per-cell location gradients.
+//
+// All per-iteration state lives in buffers owned by the Timer (or by
+// per-worker scratch), so steady-state Evaluate calls are allocation-free;
+// kernels are dispatched through the persistent worker pool with closures
+// created once at construction.
 type Timer struct {
 	G    *timing.Graph
 	Opts Options
@@ -52,7 +83,10 @@ type Timer struct {
 	gDelayNode [][]float64 // per net, per Steiner node: ∂f/∂Delay
 	gImpSq     [][]float64 // per net, per node: ∂f/∂Impulse²
 	gLoadRoot  []float64   // per net: ∂f/∂Load(root)
-	netGrads   []*rctree.Grad
+	// netGrads are persistent per-net Elmore gradient buffers reused by
+	// BackwardInto; netGradUsed marks nets touched this pass.
+	netGrads    []*rctree.Grad
+	netGradUsed []bool
 
 	// Early-mode (hold) state, allocated on first EvaluateHold.
 	hold            *holdState
@@ -78,6 +112,32 @@ type Timer struct {
 	// single-writer per fan-in location.
 	cellGroups [][][]int32
 	netGroups  [][][]int32
+	// bwdGroups merges both group kinds per level into one parallel phase
+	// (the write sets are disjoint: net groups update driver pins and
+	// per-net accumulators, cell groups update cell-input pins).
+	bwdGroups [][]bwdGroup
+	// Start pins and their constraint-derived AT/slew, fixed per design.
+	startPins          []int32
+	startAT, startSlew []float64
+
+	// Worker-local scratch and stored kernel closures. The closures are
+	// built once in NewTimer and capture only the receiver; per-call state
+	// is passed through the cur* fields, keeping the steady state free of
+	// closure allocations.
+	scratch    []fwdScratch
+	curLevel   []int32
+	curBwd     []bwdGroup
+	fwdFn      func(w, lo, hi int)
+	bwdFn      func(i int)
+	elmoreFn   func(w, lo, hi int)
+	refreshFn  func(w, lo, hi int)
+	fwdNetsFn  func(w, lo, hi int)
+	resetTasks []func()
+
+	// Objective scratch.
+	epStates []epState
+	sEps     []float64
+	epIdx    []int
 
 	clockSlew float64
 	period    float64
@@ -93,24 +153,26 @@ func NewTimer(g *timing.Graph, opts Options) *Timer {
 	}
 	n2 := 2 * len(g.D.Pins)
 	t := &Timer{
-		G:         g,
-		Opts:      opts,
-		AT:        make([]float64, n2),
-		Slew:      make([]float64, n2),
-		Valid:     make([]bool, n2),
-		HardAT:    make([]float64, n2),
-		atMax:     make([]float64, n2),
-		atZ:       make([]float64, n2),
-		slMax:     make([]float64, n2),
-		slZ:       make([]float64, n2),
-		gAT:       make([]float64, n2),
-		gSlew:     make([]float64, n2),
-		gLoadRoot: make([]float64, len(g.D.Nets)),
-		netGrads:  make([]*rctree.Grad, len(g.D.Nets)),
-		CellGradX: make([]float64, len(g.D.Cells)),
-		CellGradY: make([]float64, len(g.D.Cells)),
-		clockSlew: 20,
-		period:    math.Inf(1),
+		G:           g,
+		Opts:        opts,
+		AT:          make([]float64, n2),
+		Slew:        make([]float64, n2),
+		Valid:       make([]bool, n2),
+		HardAT:      make([]float64, n2),
+		atMax:       make([]float64, n2),
+		atZ:         make([]float64, n2),
+		slMax:       make([]float64, n2),
+		slZ:         make([]float64, n2),
+		gAT:         make([]float64, n2),
+		gSlew:       make([]float64, n2),
+		gLoadRoot:   make([]float64, len(g.D.Nets)),
+		netGrads:    make([]*rctree.Grad, len(g.D.Nets)),
+		netGradUsed: make([]bool, len(g.D.Nets)),
+		CellGradX:   make([]float64, len(g.D.Cells)),
+		CellGradY:   make([]float64, len(g.D.Cells)),
+		epStates:    make([]epState, len(g.Endpoints)),
+		clockSlew:   20,
+		period:      math.Inf(1),
 	}
 	if g.Con != nil {
 		t.clockSlew = g.Con.ClockSlew
@@ -140,6 +202,8 @@ func NewTimer(g *timing.Graph, opts Options) *Timer {
 		}
 	}
 	t.buildGroups()
+	t.buildStartPins()
+	t.buildKernels()
 	return t
 }
 
@@ -148,6 +212,7 @@ func (t *Timer) buildGroups() {
 	d := g.D
 	t.cellGroups = make([][][]int32, len(g.Levels))
 	t.netGroups = make([][][]int32, len(g.Levels))
+	t.bwdGroups = make([][]bwdGroup, len(g.Levels))
 	for li, level := range g.Levels {
 		cells := map[int32][]int32{}
 		nets := map[int32][]int32{}
@@ -169,7 +234,166 @@ func (t *Timer) buildGroups() {
 		for _, pins := range nets {
 			t.netGroups[li] = append(t.netGroups[li], pins)
 		}
+		for _, pins := range t.netGroups[li] {
+			t.bwdGroups[li] = append(t.bwdGroups[li], bwdGroup{pins: pins, isNet: true})
+		}
+		for _, pins := range t.cellGroups[li] {
+			t.bwdGroups[li] = append(t.bwdGroups[li], bwdGroup{pins: pins})
+		}
 	}
+}
+
+// buildStartPins caches start pins with their constraint AT/slew: these are
+// placement-independent, so the forward pass only copies them.
+func (t *Timer) buildStartPins() {
+	g := t.G
+	d := g.D
+	for pi := range d.Pins {
+		pid := int32(pi)
+		if !g.IsStart[pid] {
+			continue
+		}
+		var at, slew float64
+		if g.IsClockPin[pid] {
+			at, slew = 0, t.clockSlew
+		} else {
+			cell := &d.Cells[d.Pins[pid].Cell]
+			if g.Con != nil {
+				at = g.Con.InputDelayOf(cell.Name)
+				slew = g.Con.InputSlewOf(cell.Name)
+			} else {
+				slew = 30
+			}
+		}
+		t.startPins = append(t.startPins, pid)
+		t.startAT = append(t.startAT, at)
+		t.startSlew = append(t.startSlew, slew)
+	}
+}
+
+// buildKernels creates the stored dispatch closures and reset tasks.
+func (t *Timer) buildKernels() {
+	t.fwdFn = func(w, lo, hi int) {
+		g := t.G
+		level := t.curLevel
+		for i := lo; i < hi; i++ {
+			pid := level[i]
+			switch {
+			case g.IsStart[pid]:
+			case g.IsNetSink[pid]:
+				t.forwardNetSink(pid)
+			case g.IsCellOut[pid]:
+				t.forwardCellOut(pid, w)
+			}
+		}
+	}
+	t.bwdFn = func(i int) {
+		grp := &t.curBwd[i]
+		if grp.isNet {
+			for _, pid := range grp.pins {
+				t.backwardNetSink(pid)
+			}
+		} else {
+			for _, pid := range grp.pins {
+				t.backwardCellOut(pid)
+			}
+		}
+	}
+	t.elmoreFn = func(_, lo, hi int) {
+		for ni := lo; ni < hi; ni++ {
+			ns := &t.Nets[ni]
+			if ns.Tree == nil {
+				continue
+			}
+			if t.gLoadRoot[ni] == 0 && allZero(t.gDelayNode[ni]) && allZero(t.gImpSq[ni]) {
+				continue
+			}
+			if t.netGrads[ni] == nil {
+				t.netGrads[ni] = &rctree.Grad{}
+			}
+			ns.RC.BackwardInto(t.netGrads[ni], t.gDelayNode[ni], t.gImpSq[ni], t.gLoadRoot[ni])
+			t.netGradUsed[ni] = true
+		}
+	}
+	t.refreshFn = func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			timing.RefreshNetState(t.G, &t.Nets[i])
+		}
+	}
+	t.fwdNetsFn = func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if t.Nets[i].RC != nil {
+				t.Nets[i].RC.Forward()
+			}
+		}
+	}
+	t.resetTasks = []func(){
+		func() {
+			for i := range t.gAT {
+				t.gAT[i] = 0
+				t.gSlew[i] = 0
+			}
+		},
+		func() {
+			for i := range t.gLoadRoot {
+				t.gLoadRoot[i] = 0
+				t.netGradUsed[i] = false
+			}
+			for i := range t.CellGradX {
+				t.CellGradX[i] = 0
+				t.CellGradY[i] = 0
+			}
+		},
+		func() {
+			if t.gDelayNode == nil {
+				t.gDelayNode = make([][]float64, len(t.G.D.Nets))
+				t.gImpSq = make([][]float64, len(t.G.D.Nets))
+			}
+			for ni := range t.Nets {
+				ns := &t.Nets[ni]
+				if ns.Tree == nil {
+					t.gDelayNode[ni] = nil
+					t.gImpSq[ni] = nil
+					continue
+				}
+				n := ns.Tree.NumNodes()
+				if cap(t.gDelayNode[ni]) < n {
+					t.gDelayNode[ni] = make([]float64, n)
+					t.gImpSq[ni] = make([]float64, n)
+				} else {
+					t.gDelayNode[ni] = t.gDelayNode[ni][:n]
+					t.gImpSq[ni] = t.gImpSq[ni][:n]
+					for j := 0; j < n; j++ {
+						t.gDelayNode[ni][j] = 0
+						t.gImpSq[ni][j] = 0
+					}
+				}
+			}
+		},
+	}
+}
+
+// ensureScratch sizes per-worker candidate scratch to the runtime's current
+// worker count. Called from serial sections only.
+func (t *Timer) ensureScratch() {
+	if n := parallel.Workers(); n > len(t.scratch) {
+		t.scratch = append(t.scratch, make([]fwdScratch, n-len(t.scratch))...)
+	}
+}
+
+// refreshNets updates or rebuilds the Steiner/RC state and runs the Elmore
+// forward passes (Fig. 3 stages 1-2).
+func (t *Timer) refreshNets() {
+	if t.Nets == nil {
+		t.Nets = timing.BuildNetStates(t.G)
+	} else if t.evalCount%t.Opts.SteinerPeriod == 0 {
+		// Periodic topology rebuild reuses each net's buffers in place.
+		timing.RebuildNetStates(t.G, t.Nets)
+	} else {
+		parallel.ForGuided(len(t.Nets), 16, parallel.CostDefault, t.refreshFn)
+	}
+	t.evalCount++
+	parallel.ForGuided(len(t.Nets), 16, parallel.CostDefault, t.fwdNetsFn)
 }
 
 // Evaluate runs one forward+backward pass. t1 and t2 weight the TNS and WNS
@@ -177,15 +401,7 @@ func (t *Timer) buildGroups() {
 // f = −t1·TNS_γ − t2·WNS_γ (non-negative when violations exist); its
 // gradient with respect to cell positions is left in CellGradX/CellGradY.
 func (t *Timer) Evaluate(t1, t2 float64) float64 {
-	// Stage 1-2 (Fig. 3): Steiner trees and Elmore state.
-	if t.Nets == nil || t.evalCount%t.Opts.SteinerPeriod == 0 {
-		t.Nets = timing.BuildNetStates(t.G)
-	} else {
-		timing.RefreshNetStates(t.G, t.Nets)
-	}
-	t.evalCount++
-	timing.ForwardAll(t.Nets)
-
+	t.refreshNets()
 	t.forward()
 	return t.backward(t1, t2)
 }
@@ -193,15 +409,9 @@ func (t *Timer) Evaluate(t1, t2 float64) float64 {
 // EvaluateValueOnly runs just the forward pass (for tests and finite
 // difference checks) and returns f without touching gradients.
 func (t *Timer) EvaluateValueOnly(t1, t2 float64) float64 {
-	if t.Nets == nil || t.evalCount%t.Opts.SteinerPeriod == 0 {
-		t.Nets = timing.BuildNetStates(t.G)
-	} else {
-		timing.RefreshNetStates(t.G, t.Nets)
-	}
-	t.evalCount++
-	timing.ForwardAll(t.Nets)
+	t.refreshNets()
 	t.forward()
-	f, _ := t.objective(t1, t2, nil)
+	f, _ := t.objective(t1, t2, false)
 	return f
 }
 
@@ -220,8 +430,7 @@ func (t *Timer) ExactResult() *timing.Result {
 // Forward pass (§3.3 steps 3-4).
 
 func (t *Timer) forward() {
-	g := t.G
-	d := g.D
+	t.ensureScratch()
 	ninf := math.Inf(-1)
 	for i := range t.AT {
 		t.AT[i] = ninf
@@ -233,23 +442,8 @@ func (t *Timer) forward() {
 	}
 
 	// Starts.
-	for pi := range d.Pins {
-		pid := int32(pi)
-		if !g.IsStart[pid] {
-			continue
-		}
-		var at, slew float64
-		if g.IsClockPin[pid] {
-			at, slew = 0, t.clockSlew
-		} else {
-			cell := &d.Cells[d.Pins[pid].Cell]
-			if g.Con != nil {
-				at = g.Con.InputDelayOf(cell.Name)
-				slew = g.Con.InputSlewOf(cell.Name)
-			} else {
-				slew = 30
-			}
-		}
+	for k, pid := range t.startPins {
+		at, slew := t.startAT[k], t.startSlew[k]
 		for tr := timing.Rise; tr <= timing.Fall; tr++ {
 			ti := timing.TIdx(pid, tr)
 			t.AT[ti], t.HardAT[ti] = at, at
@@ -258,18 +452,11 @@ func (t *Timer) forward() {
 		}
 	}
 
-	for _, level := range g.Levels {
-		level := level
-		parallel.For(len(level), func(i int) {
-			pid := level[i]
-			switch {
-			case g.IsStart[pid]:
-			case g.IsNetSink[pid]:
-				t.forwardNetSink(pid)
-			case g.IsCellOut[pid]:
-				t.forwardCellOut(pid)
-			}
-		})
+	// Cell-output pins do several LUT evaluations each, so levels are
+	// dispatched at CostHeavy.
+	for _, level := range t.G.Levels {
+		t.curLevel = level
+		parallel.ForWorker(len(level), parallel.CostHeavy, t.fwdFn)
 	}
 }
 
@@ -300,64 +487,64 @@ func (t *Timer) forwardNetSink(pid int32) {
 }
 
 // forwardCellOut applies Eq. 11: LUT delays aggregated with LSE over all
-// (input pin, input transition) candidates.
-func (t *Timer) forwardCellOut(pid int32) {
+// (input pin, input transition) candidates. Candidates are materialised
+// into the worker's scratch so each LUT is evaluated once (the stable
+// two-pass LSE then runs over the cached values).
+func (t *Timer) forwardCellOut(pid int32, worker int) {
+	g := t.G
 	gamma := t.Opts.Gamma
 	load := t.driverLoadOf(pid)
+	sc := &t.scratch[worker]
 	for outTr := timing.Rise; outTr <= timing.Fall; outTr++ {
 		v := timing.TIdx(pid, outTr)
-		// Two-pass stable LSE: max first, then partition sums.
-		atM, slM := math.Inf(-1), math.Inf(-1)
-		hardBest := math.Inf(-1)
-		any := false
-		t.eachCandidate(pid, outTr, load, func(u int32, at, slew float64) {
-			any = true
-			if at > atM {
-				atM = at
+		cu, cat, csl := sc.u[:0], sc.at[:0], sc.sl[:0]
+		for ai := range g.ArcsInto[pid] {
+			ar := &g.ArcsInto[pid][ai]
+			dl, tl := delayTables(ar.Arc, outTr)
+			for _, inTr := range inputTransitions(ar.Arc.Unate, outTr) {
+				if inTr < 0 {
+					continue
+				}
+				u := timing.TIdx(ar.FromPin, timing.Transition(inTr))
+				if !t.Valid[u] {
+					continue
+				}
+				d := dl.Eval(t.Slew[u], load)
+				s := tl.Eval(t.Slew[u], load)
+				cu = append(cu, u)
+				cat = append(cat, t.AT[u]+d)
+				csl = append(csl, s)
 			}
-			if slew > slM {
-				slM = slew
-			}
-			if h := t.HardAT[u] + (at - t.AT[u]); h > hardBest {
-				hardBest = h
-			}
-		})
-		if !any {
+		}
+		sc.u, sc.at, sc.sl = cu, cat, csl
+		if len(cu) == 0 {
 			continue
 		}
+		// Two-pass stable LSE over the cached candidates.
+		atM, slM := math.Inf(-1), math.Inf(-1)
+		hardBest := math.Inf(-1)
+		for k, u := range cu {
+			if cat[k] > atM {
+				atM = cat[k]
+			}
+			if csl[k] > slM {
+				slM = csl[k]
+			}
+			if h := t.HardAT[u] + (cat[k] - t.AT[u]); h > hardBest {
+				hardBest = h
+			}
+		}
 		var atZ, slZ float64
-		t.eachCandidate(pid, outTr, load, func(u int32, at, slew float64) {
-			atZ += math.Exp((at - atM) / gamma)
-			slZ += math.Exp((slew - slM) / gamma)
-		})
+		for k := range cu {
+			atZ += math.Exp((cat[k] - atM) / gamma)
+			slZ += math.Exp((csl[k] - slM) / gamma)
+		}
 		t.AT[v] = atM + gamma*math.Log(atZ)
 		t.Slew[v] = slM + gamma*math.Log(slZ)
 		t.HardAT[v] = hardBest
 		t.atMax[v], t.atZ[v] = atM, atZ
 		t.slMax[v], t.slZ[v] = slM, slZ
 		t.Valid[v] = true
-	}
-}
-
-// eachCandidate enumerates the (fan-in, transition) delay candidates of a
-// cell output transition: fn(u, AT(u)+Delay_u(v), Slew_u(v)).
-func (t *Timer) eachCandidate(pid int32, outTr timing.Transition, load float64, fn func(u int32, at, slew float64)) {
-	g := t.G
-	for ai := range g.ArcsInto[pid] {
-		ar := &g.ArcsInto[pid][ai]
-		dl, tl := delayTables(ar.Arc, outTr)
-		for _, inTr := range inputTransitions(ar.Arc.Unate, outTr) {
-			if inTr < 0 {
-				continue
-			}
-			u := timing.TIdx(ar.FromPin, timing.Transition(inTr))
-			if !t.Valid[u] {
-				continue
-			}
-			d := dl.Eval(t.Slew[u], load)
-			s := tl.Eval(t.Slew[u], load)
-			fn(u, t.AT[u]+d, s)
-		}
 	}
 }
 
@@ -390,24 +577,31 @@ func (t *Timer) driverLoadOf(pid int32) float64 {
 // ---------------------------------------------------------------------------
 // Objective and backward pass (§3.3 step 5).
 
-// endpointSlacks computes, for each (endpoint, transition), the smoothed
-// setup slack; seed != nil additionally receives ∂f/∂slack seeds to spread
-// into gAT/gSlew.
-func (t *Timer) objective(t1, t2 float64, seed func(ti int32, dfds float64, ep *timing.Endpoint, tr timing.Transition)) (float64, bool) {
+// softMin2Grad is the two-input smooth minimum with gradient weights,
+// arithmetically identical to SoftMinGrad(gamma, x0, x1) but allocation-free.
+func softMin2Grad(gamma, x0, x1 float64) (v, w0, w1 float64) {
+	n0, n1 := -x0, -x1
+	m := n0
+	if n1 > m {
+		m = n1
+	}
+	w0 = math.Exp((n0 - m) / gamma)
+	w1 = math.Exp((n1 - m) / gamma)
+	z := w0 + w1
+	return -(m + gamma*math.Log(z)), w0 / z, w1 / z
+}
+
+// objective computes the smoothed slack objective; when seed is true it
+// additionally spreads ∂f/∂slack into gAT/gSlew (the endpoint seeds of the
+// reverse sweep). All scratch is Timer-owned.
+func (t *Timer) objective(t1, t2 float64, seed bool) (float64, bool) {
 	g := t.G
 	gamma := t.Opts.Gamma
 
-	type epState struct {
-		s    [2]float64 // per transition slack (smoothed ATs)
-		hard [2]float64 // hard-AT slack estimate
-		ok   [2]bool
-		sEp  float64
-		wTr  [2]float64
-	}
-	states := make([]epState, len(g.Endpoints))
 	for ei := range g.Endpoints {
 		ep := &g.Endpoints[ei]
-		st := &states[ei]
+		st := &t.epStates[ei]
+		*st = epState{}
 		for tr := timing.Rise; tr <= timing.Fall; tr++ {
 			ti := timing.TIdx(ep.Pin, tr)
 			if !t.Valid[ti] {
@@ -423,9 +617,7 @@ func (t *Timer) objective(t1, t2 float64, seed func(ti int32, dfds float64, ep *
 		}
 		switch {
 		case st.ok[0] && st.ok[1]:
-			v, w := SoftMinGrad(gamma, st.s[0], st.s[1])
-			st.sEp = v
-			st.wTr[0], st.wTr[1] = w[0], w[1]
+			st.sEp, st.wTr[0], st.wTr[1] = softMin2Grad(gamma, st.s[0], st.s[1])
 		case st.ok[0]:
 			st.sEp, st.wTr[0] = st.s[0], 1
 		case st.ok[1]:
@@ -439,17 +631,17 @@ func (t *Timer) objective(t1, t2 float64, seed func(ti int32, dfds float64, ep *
 	// hard estimates.
 	smTNS, estTNS := 0.0, 0.0
 	estWNS := math.Inf(1)
-	var sEps []float64
-	var epIdx []int
-	for ei := range states {
-		st := &states[ei]
+	t.sEps = t.sEps[:0]
+	t.epIdx = t.epIdx[:0]
+	for ei := range t.epStates {
+		st := &t.epStates[ei]
 		if math.IsInf(st.sEp, 1) {
 			continue
 		}
 		sn, _ := SoftNegGrad(gamma, st.sEp)
 		smTNS += sn
-		sEps = append(sEps, st.sEp)
-		epIdx = append(epIdx, ei)
+		t.sEps = append(t.sEps, st.sEp)
+		t.epIdx = append(t.epIdx, ei)
 		hardEp := math.Inf(1)
 		for tr := 0; tr < 2; tr++ {
 			if st.ok[tr] && st.hard[tr] < hardEp {
@@ -463,26 +655,47 @@ func (t *Timer) objective(t1, t2 float64, seed func(ti int32, dfds float64, ep *
 			estTNS += hardEp
 		}
 	}
-	if len(sEps) == 0 {
+	if len(t.sEps) == 0 {
 		t.SmTNS, t.SmWNS, t.EstTNS, t.EstWNS = 0, 0, 0, 0
 		return 0, false
 	}
-	smWNS, wEp := SoftMinGrad(gamma, sEps...)
+	// Inline softmin over endpoint slacks (same shifted form and summation
+	// order as SoftMinGrad, with the weights recomputed in the seed loop).
+	wnsM := math.Inf(-1)
+	for _, s := range t.sEps {
+		if -s > wnsM {
+			wnsM = -s
+		}
+	}
+	wnsZ := 0.0
+	for _, s := range t.sEps {
+		wnsZ += math.Exp((-s - wnsM) / gamma)
+	}
+	smWNS := -(wnsM + gamma*math.Log(wnsZ))
 	t.SmTNS, t.SmWNS = smTNS, smWNS
 	t.EstTNS, t.EstWNS = estTNS, estWNS
 
 	f := -t1*smTNS - t2*smWNS
-	if seed != nil {
-		for k, ei := range epIdx {
-			st := &states[ei]
+	if seed {
+		for _, ei := range t.epIdx {
+			st := &t.epStates[ei]
+			ep := &g.Endpoints[ei]
 			_, dTNS := SoftNegGrad(gamma, st.sEp)
-			dfdsEp := -t1*dTNS - t2*wEp[k]
+			wEp := math.Exp((-st.sEp-wnsM)/gamma) / wnsZ
+			dfdsEp := -t1*dTNS - t2*wEp
 			for tr := timing.Rise; tr <= timing.Fall; tr++ {
 				if !st.ok[tr] {
 					continue
 				}
-				ti := timing.TIdx(g.Endpoints[ei].Pin, tr)
-				seed(ti, dfdsEp*st.wTr[tr], &g.Endpoints[ei], tr)
+				ti := timing.TIdx(ep.Pin, tr)
+				dfds := dfdsEp * st.wTr[tr]
+				// slack = RAT − AT with RAT = T − setup(clockSlew, Slew).
+				t.gAT[ti] -= dfds
+				if ep.Kind == timing.EndFFData && ep.Setup != nil {
+					lut := constraintTable(ep.Setup.Arc, tr)
+					_, _, dRdSlew := lut.EvalGrad(t.clockSlew, t.Slew[ti])
+					t.gSlew[ti] -= dRdSlew * dfds
+				}
 			}
 		}
 	}
@@ -524,87 +737,34 @@ func (t *Timer) backward(t1, t2 float64) float64 {
 	g := t.G
 	d := g.D
 
-	for i := range t.gAT {
-		t.gAT[i] = 0
-		t.gSlew[i] = 0
-	}
-	for i := range t.gLoadRoot {
-		t.gLoadRoot[i] = 0
-		t.netGrads[i] = nil
-	}
-	if t.gDelayNode == nil {
-		t.gDelayNode = make([][]float64, len(d.Nets))
-		t.gImpSq = make([][]float64, len(d.Nets))
-	}
-	for ni := range t.Nets {
-		ns := &t.Nets[ni]
-		if ns.Tree == nil {
-			t.gDelayNode[ni] = nil
-			t.gImpSq[ni] = nil
-			continue
-		}
-		n := ns.Tree.NumNodes()
-		if cap(t.gDelayNode[ni]) < n {
-			t.gDelayNode[ni] = make([]float64, n)
-			t.gImpSq[ni] = make([]float64, n)
-		} else {
-			t.gDelayNode[ni] = t.gDelayNode[ni][:n]
-			t.gImpSq[ni] = t.gImpSq[ni][:n]
-			for j := 0; j < n; j++ {
-				t.gDelayNode[ni][j] = 0
-				t.gImpSq[ni][j] = 0
-			}
-		}
-	}
-	for i := range t.CellGradX {
-		t.CellGradX[i] = 0
-		t.CellGradY[i] = 0
-	}
+	// Clear the accumulators; independent regions run as pool tasks.
+	parallel.Run(t.resetTasks...)
 
-	f, any := t.objective(t1, t2, func(ti int32, dfds float64, ep *timing.Endpoint, tr timing.Transition) {
-		// slack = RAT − AT with RAT = T − setup(clockSlew, Slew).
-		t.gAT[ti] -= dfds
-		if ep.Kind == timing.EndFFData && ep.Setup != nil {
-			lut := constraintTable(ep.Setup.Arc, tr)
-			_, _, dRdSlew := lut.EvalGrad(t.clockSlew, t.Slew[ti])
-			t.gSlew[ti] -= dRdSlew * dfds
-		}
-	})
+	f, any := t.objective(t1, t2, true)
 	if !any {
 		return f
 	}
 
-	// Reverse level sweep. Groups keep each fan-in location single-writer.
+	// Reverse level sweep. Groups keep each fan-in location single-writer:
+	// net groups write driver (cell-output) pins and per-net accumulators,
+	// cell groups write cell-input pins — disjoint sets, so both kinds run
+	// in one parallel phase per level.
 	for li := len(g.Levels) - 1; li >= 0; li-- {
-		cg, ng := t.cellGroups[li], t.netGroups[li]
-		parallel.For(len(ng), func(i int) {
-			for _, pid := range ng[i] {
-				t.backwardNetSink(pid)
-			}
-		})
-		parallel.For(len(cg), func(i int) {
-			for _, pid := range cg[i] {
-				t.backwardCellOut(pid)
-			}
-		})
+		t.curBwd = t.bwdGroups[li]
+		parallel.ForCost(len(t.curBwd), parallel.CostHeavy, t.bwdFn)
 	}
 
-	// Elmore backward per net (Eq. 8), then Fig. 4 redistribution.
-	parallel.For(len(t.Nets), func(ni int) {
-		ns := &t.Nets[ni]
-		if ns.Tree == nil {
-			return
-		}
-		if t.gLoadRoot[ni] == 0 && allZero(t.gDelayNode[ni]) && allZero(t.gImpSq[ni]) {
-			return
-		}
-		t.netGrads[ni] = ns.RC.Backward(t.gDelayNode[ni], t.gImpSq[ni], t.gLoadRoot[ni])
-	})
+	// Elmore backward per net (Eq. 8) into persistent per-net buffers;
+	// guided chunking balances the power-law net-size distribution.
+	parallel.ForGuided(len(t.Nets), 4, parallel.CostHeavy, t.elmoreFn)
+
+	// Fig. 4 redistribution: serial, preserving net-index accumulation
+	// order so results are schedule-independent.
 	for ni := range t.Nets {
-		gr := t.netGrads[ni]
-		if gr == nil {
+		if !t.netGradUsed[ni] {
 			continue
 		}
+		gr := t.netGrads[ni]
 		ns := &t.Nets[ni]
 		net := &d.Nets[ni]
 		tree := ns.Tree

@@ -13,6 +13,7 @@ import (
 
 	"dtgp/internal/fft"
 	"dtgp/internal/geom"
+	"dtgp/internal/parallel"
 )
 
 // Grid is the electrostatic bin grid over the placement region.
@@ -38,6 +39,15 @@ type Grid struct {
 	wu, wv       []float64 // frequencies
 	// movableArea of the last BuildDensity call (for overflow).
 	movableArea float64
+
+	// Reused scratch: transform column/output buffers (sized max(M,N)),
+	// the overflow histogram, and the Gradient dispatch state.
+	tCol, tOut []float64
+	overBuf    []float64
+	gradFn     func(i int)
+	gx, gy     []float64
+	gw, gh     []float64
+	ggx, ggy   []float64
 }
 
 // NewGrid creates a bin grid with m×n bins (powers of two) over region.
@@ -79,6 +89,20 @@ func NewGrid(region geom.Rect, m, n int, targetDensity float64) (*Grid, error) {
 	}
 	for v := 0; v < n; v++ {
 		g.wv[v] = math.Pi * float64(v) / float64(n)
+	}
+	g.tCol = make([]float64, max(m, n))
+	g.tOut = make([]float64, max(m, n))
+	g.overBuf = make([]float64, m*n)
+	g.gradFn = func(i int) {
+		we, he, scale := g.effectiveShape(g.gw[i], g.gh[i])
+		cx := g.gx[i] + g.gw[i]/2 - we/2
+		cy := g.gy[i] + g.gh[i]/2 - he/2
+		fx, fy := g.fieldOverlap(cx, cy, we, he)
+		// Negative: the field pushes charge toward lower potential. The
+		// constant factor is immaterial — the placer calibrates λ against
+		// the wirelength gradient magnitude.
+		g.ggx[i] -= scale * fx
+		g.ggy[i] -= scale * fy
 	}
 	return g, nil
 }
@@ -284,8 +308,7 @@ func (g *Grid) Solve() float64 {
 func (g *Grid) dct2Rows(a []float64) {
 	// "Rows" here means transforming along u (x index) for each fixed v.
 	m, n := g.M, g.N
-	col := make([]float64, m)
-	out := make([]float64, m)
+	col, out := g.tCol[:m], g.tOut[:m]
 	for v := 0; v < n; v++ {
 		for u := 0; u < m; u++ {
 			col[u] = a[u*n+v]
@@ -299,8 +322,7 @@ func (g *Grid) dct2Rows(a []float64) {
 
 func (g *Grid) dct3Rows(a []float64) {
 	m, n := g.M, g.N
-	col := make([]float64, m)
-	out := make([]float64, m)
+	col, out := g.tCol[:m], g.tOut[:m]
 	for v := 0; v < n; v++ {
 		for u := 0; u < m; u++ {
 			col[u] = a[u*n+v]
@@ -314,8 +336,7 @@ func (g *Grid) dct3Rows(a []float64) {
 
 func (g *Grid) dst3Rows(a []float64) {
 	m, n := g.M, g.N
-	col := make([]float64, m)
-	out := make([]float64, m)
+	col, out := g.tCol[:m], g.tOut[:m]
 	for v := 0; v < n; v++ {
 		for u := 0; u < m; u++ {
 			col[u] = a[u*n+v]
@@ -329,7 +350,7 @@ func (g *Grid) dst3Rows(a []float64) {
 
 func (g *Grid) dct2Cols(a []float64) {
 	m, n := g.M, g.N
-	out := make([]float64, n)
+	out := g.tOut[:n]
 	for u := 0; u < m; u++ {
 		g.planY.DCT2(out, a[u*n:(u+1)*n])
 		copy(a[u*n:(u+1)*n], out)
@@ -338,7 +359,7 @@ func (g *Grid) dct2Cols(a []float64) {
 
 func (g *Grid) dct3Cols(a []float64) {
 	m, n := g.M, g.N
-	out := make([]float64, n)
+	out := g.tOut[:n]
 	for u := 0; u < m; u++ {
 		g.planY.DCT3(out, a[u*n:(u+1)*n])
 		copy(a[u*n:(u+1)*n], out)
@@ -347,7 +368,7 @@ func (g *Grid) dct3Cols(a []float64) {
 
 func (g *Grid) dst3Cols(a []float64) {
 	m, n := g.M, g.N
-	out := make([]float64, n)
+	out := g.tOut[:n]
 	for u := 0; u < m; u++ {
 		g.planY.DST3(out, a[u*n:(u+1)*n])
 		copy(a[u*n:(u+1)*n], out)
@@ -356,26 +377,18 @@ func (g *Grid) dst3Cols(a []float64) {
 
 // Gradient accumulates the density gradient of each cell into
 // (gradX, gradY): ∂D/∂x_i = −q_i·ξx(cell), with the charge spread over the
-// bins the (smoothed) cell overlaps. Solve must have been called.
+// bins the (smoothed) cell overlaps. Solve must have been called. Cells are
+// independent (cell i writes only index i), so the loop runs on the pool.
 func (g *Grid) Gradient(x, y, w, h, gradX, gradY []float64) {
-	for i := range x {
-		we, he, scale := g.effectiveShape(w[i], h[i])
-		cx := x[i] + w[i]/2 - we/2
-		cy := y[i] + h[i]/2 - he/2
-		var fx, fy float64
-		g.eachOverlap(cx, cy, we, he, func(idx int, area float64) {
-			fx += g.FieldX[idx] * area
-			fy += g.FieldY[idx] * area
-		})
-		// Negative: the field pushes charge toward lower potential. The
-		// constant factor is immaterial — the placer calibrates λ against
-		// the wirelength gradient magnitude.
-		gradX[i] -= scale * fx
-		gradY[i] -= scale * fy
-	}
+	g.gx, g.gy, g.gw, g.gh = x, y, w, h
+	g.ggx, g.ggy = gradX, gradY
+	parallel.ForCost(len(x), parallel.CostDefault, g.gradFn)
+	g.gx, g.gy, g.gw, g.gh = nil, nil, nil, nil
+	g.ggx, g.ggy = nil, nil
 }
 
-func (g *Grid) eachOverlap(x, y, w, h float64, fn func(idx int, area float64)) {
+// fieldOverlap integrates the field over the bins a rectangle overlaps.
+func (g *Grid) fieldOverlap(x, y, w, h float64) (fx, fy float64) {
 	x0, y0 := x-g.Region.Lo.X, y-g.Region.Lo.Y
 	ix0 := int(math.Floor(x0 / g.BinW))
 	iy0 := int(math.Floor(y0 / g.BinH))
@@ -405,17 +418,20 @@ func (g *Grid) eachOverlap(x, y, w, h float64, fn func(idx int, area float64)) {
 			if oy <= 0 {
 				continue
 			}
-			fn(ix*g.N+iy, ox*oy)
+			idx := ix*g.N + iy
+			area := ox * oy
+			fx += g.FieldX[idx] * area
+			fy += g.FieldY[idx] * area
 		}
 	}
+	return fx, fy
 }
 
 // Overflow returns the density overflow ratio: the total movable area in
 // excess of each bin's target capacity, divided by total movable area. This
 // is the placement stop criterion used in the paper's Fig. 8.
 func (g *Grid) Overflow(x, y, w, h []float64) float64 {
-	m, n := g.M, g.N
-	over := make([]float64, m*n)
+	over := g.overBuf
 	copy(over, g.FixedDensity)
 	for i := range x {
 		// Raw (unsmoothed) footprints for the overflow metric.

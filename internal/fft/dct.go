@@ -23,6 +23,7 @@ type DCTPlan struct {
 	buf  []complex128
 	rot  []complex128 // e^{-iπk/(2N)}
 	rotI []complex128 // e^{+iπk/(2N)}
+	rev  []float64    // DST3 reversal scratch
 }
 
 // NewDCTPlan builds a plan for length-n transforms (n a power of two).
@@ -31,7 +32,7 @@ func NewDCTPlan(n int) (*DCTPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &DCTPlan{n: n, fft: f, buf: make([]complex128, 2*n)}
+	p := &DCTPlan{n: n, fft: f, buf: make([]complex128, 2*n), rev: make([]float64, n)}
 	p.rot = make([]complex128, n)
 	p.rotI = make([]complex128, n)
 	for k := 0; k < n; k++ {
@@ -83,7 +84,7 @@ func (p *DCTPlan) DCT3(dst, x []float64) {
 // DST3 computes the DST-III of x into dst via the reversal identity.
 func (p *DCTPlan) DST3(dst, x []float64) {
 	n := p.n
-	rev := make([]float64, n)
+	rev := p.rev
 	for i := range rev {
 		rev[i] = x[n-1-i]
 	}

@@ -46,20 +46,13 @@ func DefaultParams(name string, cells int, seed int64) Params {
 		Seed:           seed,
 		NumCells:       cells,
 		SeqFraction:    0.14,
-		NumInputs:      maxInt(8, cells/100),
-		NumOutputs:     maxInt(8, cells/100),
+		NumInputs:      max(8, cells/100),
+		NumOutputs:     max(8, cells/100),
 		ClockPeriod:    0, // auto: derived from expected depth below
 		Utilization:    0.70,
-		HighFanoutNets: maxInt(2, cells/800),
-		LocalityWindow: maxInt(24, cells/40),
+		HighFanoutNets: max(2, cells/800),
+		LocalityWindow: max(24, cells/40),
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Generate synthesises a design and its constraints.

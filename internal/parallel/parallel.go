@@ -1,86 +1,485 @@
-// Package parallel provides the tiny data-parallel scaffolding used by the
-// timing and placement kernels. It stands in for the paper's CUDA kernel
-// launches: every GPU kernel over an index set becomes a For over the same
-// index set, chunked across GOMAXPROCS workers.
+// Package parallel provides the data-parallel runtime used by the timing
+// and placement kernels. It stands in for the paper's CUDA kernel launches:
+// every GPU kernel over an index set becomes a For over the same index set,
+// executed by a persistent pool of workers.
+//
+// Unlike the usual fork/join idiom (spawn goroutines + WaitGroup per call),
+// the pool is created once and kept parked between kernels, so a placement
+// run that dispatches thousands of level-sweeps per iteration pays no
+// goroutine creation or scheduler churn on the critical path — the Go
+// analogue of keeping kernel dispatch off the critical path (DG-RePlAce).
+//
+// Dispatch model:
+//
+//   - The submitting goroutine participates as lane 0; background workers
+//     are lanes 1..Workers()-1. Worker ids are exposed to chunked kernels so
+//     callers can keep per-worker scratch (the "worker-local scratch
+//     convention" — see DESIGN.md §Parallel runtime).
+//   - Workers wait for work with a spin-then-park barrier: a bounded spin on
+//     an atomic job sequence number, then parking on a per-worker channel.
+//     The same barrier object is reused for every kernel launch.
+//   - Whether a kernel runs in parallel is decided by a cost model
+//     (n × per-element cost hint), not a bare element count: a 200-pin level
+//     of LUT evaluations is worth distributing, 200 trivial copies are not.
+//   - Nested or concurrent submissions fall back to inline serial execution
+//     (as worker 0), so kernels never deadlock on the shared pool.
+//
+// All results must be independent of the execution interleaving: kernels
+// write disjoint locations, so every schedule produces bit-identical output
+// to the serial path.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// threshold below which parallel dispatch costs more than it saves.
-const threshold = 256
+// Per-element cost hints for the dispatch cost model, in rough units of
+// "nanoseconds of work per element". They only need to be right within an
+// order of magnitude.
+const (
+	// CostTrivial: a copy or a couple of flops.
+	CostTrivial = 1
+	// CostLight: a short arithmetic kernel, a few branches.
+	CostLight = 16
+	// CostDefault: unknown work; matches the historical n≥256 cutoff.
+	CostDefault = 128
+	// CostHeavy: LUT interpolations, per-net tree walks, transcendentals.
+	CostHeavy = 512
+)
 
-// For runs fn(i) for every i in [0, n), splitting the range across workers
-// when n is large enough to pay for the goroutine overhead. fn must be safe
-// to call concurrently for distinct i.
-func For(n int, fn func(i int)) {
+// minParallelWork is the total work (n × cost) below which parallel
+// dispatch costs more than it saves.
+const minParallelWork = 1 << 15
+
+// laneMinWork is the minimum work assigned to each participating lane;
+// fewer lanes are used when the job cannot feed all of them (this fixes the
+// old chunk-rounding behaviour that launched near-empty goroutines).
+const laneMinWork = 1 << 12
+
+// spinIters bounds the barrier spin phase before a worker parks.
+const spinIters = 1 << 13
+
+type jobKind int8
+
+const (
+	jobNone   jobKind = iota
+	jobIdx            // fn(i) over a static partition
+	jobChunk          // fn(lo, hi), one chunk per lane
+	jobWorker         // fn(worker, lo, hi), one chunk per lane
+	jobGuided         // fn(worker, lo, hi), dynamic guided chunks
+	jobTasks          // tasks[i](), dynamic
+	jobExit           // worker shutdown
+)
+
+// lane is the per-worker barrier state, padded to avoid false sharing
+// between the parked flags of adjacent workers.
+type lane struct {
+	parked atomic.Int32
+	wake   chan struct{} // capacity 1; tokens may go stale, receivers recheck
+	_      [40]byte
+}
+
+// Pool is a persistent worker pool. The zero value is not usable; use
+// NewPool or the package-level functions (which share one process-wide
+// default pool).
+type Pool struct {
+	lanes int // total lanes including the submitter
+	ws    []*lane
+
+	// Barrier state: seq is bumped once per job; pending counts background
+	// lanes still running the current job; done carries one completion token
+	// per job.
+	seq     atomic.Uint64
+	pending atomic.Int64
+	done    chan struct{}
+
+	// mu serialises submitters. TryLock-failure (nested or concurrent
+	// submission) falls back to inline serial execution.
+	mu sync.Mutex
+
+	// Current job descriptor. Written by the submitter before bumping seq,
+	// read by workers after observing the bump.
+	kind     jobKind
+	n        int
+	nLanes   int // lanes participating in the static split
+	grain    int
+	fnIdx    func(i int)
+	fnChunk  func(lo, hi int)
+	fnWorker func(worker, lo, hi int)
+	tasks    []func()
+	cursor   atomic.Int64
+}
+
+// NewPool creates a pool with the given number of lanes (including the
+// submitting goroutine). workers <= 1 yields a serial pool with no
+// background goroutines.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{lanes: workers, done: make(chan struct{}, 1)}
+	p.ws = make([]*lane, workers-1)
+	for i := range p.ws {
+		p.ws[i] = &lane{wake: make(chan struct{}, 1)}
+		go p.worker(i+1, p.ws[i])
+	}
+	return p
+}
+
+// Workers returns the number of lanes (maximum worker id + 1). Kernels that
+// keep worker-keyed scratch should size it with this.
+func (p *Pool) Workers() int { return p.lanes }
+
+// Close shuts the background workers down. Subsequent calls run serially.
+// Intended for tests; the process-wide default pool is never closed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lanes <= 1 {
+		return
+	}
+	p.kind = jobExit
+	p.launch()
+	p.await0()
+	p.lanes = 1
+	p.ws = nil
+}
+
+// ---------------------------------------------------------------------------
+// Public kernels.
+
+// For runs fn(i) for every i in [0, n) with the default cost hint. fn must
+// be safe to call concurrently for distinct i.
+func (p *Pool) For(n int, fn func(i int)) { p.ForCost(n, CostDefault, fn) }
+
+// ForCost runs fn(i) for every i in [0, n); cost is the approximate
+// per-element work (use the Cost* hints) driving the serial cutoff.
+func (p *Pool) ForCost(n, cost int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if n < threshold || workers <= 1 {
+	if !p.acquire(n, cost) {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
-	if workers > n {
-		workers = n
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	p.kind, p.n, p.fnIdx = jobIdx, n, fn
+	p.nLanes = p.laneCount(n, cost)
+	p.run()
 }
 
-// ForChunked runs fn(lo, hi) over contiguous chunks covering [0, n). Use it
-// when per-call setup (scratch buffers) should amortise across a chunk.
-func ForChunked(n int, fn func(lo, hi int)) {
+// ForChunked runs fn(lo, hi) over contiguous chunks covering [0, n), one
+// chunk per participating lane. Use it when per-call setup should amortise
+// across a chunk.
+func (p *Pool) ForChunked(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if n < threshold || workers <= 1 {
+	if !p.acquire(n, CostDefault) {
 		fn(0, n)
 		return
 	}
-	if workers > n {
-		workers = n
+	p.kind, p.n, p.fnChunk = jobChunk, n, fn
+	p.nLanes = p.laneCount(n, CostDefault)
+	p.run()
+}
+
+// ForWorker runs fn(worker, lo, hi) over contiguous chunks covering [0, n),
+// one chunk per participating lane, passing the executing worker id so the
+// kernel can use worker-keyed scratch. On the serial path fn(0, 0, n) runs
+// inline.
+func (p *Pool) ForWorker(n, cost int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
 	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
+	if !p.acquire(n, cost) {
+		fn(0, 0, n)
+		return
+	}
+	p.kind, p.n, p.fnWorker = jobWorker, n, fn
+	p.nLanes = p.laneCount(n, cost)
+	p.run()
+}
+
+// ForGuided runs fn(worker, lo, hi) over [0, n) with dynamic (guided)
+// chunking: lanes repeatedly claim a chunk sized max(grain, remaining/(2×
+// lanes)) from an atomic cursor. Use it for irregular index sets where
+// per-element work varies by orders of magnitude (e.g. per-net Elmore
+// kernels, where net sizes are power-law distributed); static splits would
+// leave lanes idle behind one huge element.
+func (p *Pool) ForGuided(n, grain, cost int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if !p.acquire(n, cost) {
+		fn(0, 0, n)
+		return
+	}
+	p.kind, p.n, p.grain, p.fnWorker = jobGuided, n, grain, fn
+	p.cursor.Store(0)
+	p.run()
+}
+
+// Run executes the given tasks, distributing them across lanes. Intended
+// for small fixed fan-outs of chunky independent work (e.g. zeroing the
+// handful of accumulator arrays of a backward pass); there is no cost-model
+// cutoff, so do not use it for trivial tasks.
+func (p *Pool) Run(tasks ...func()) {
+	if len(tasks) <= 1 || p.lanes <= 1 || !p.mu.TryLock() {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	p.kind, p.tasks = jobTasks, tasks
+	p.cursor.Store(0)
+	p.run()
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch internals.
+
+// acquire decides parallel vs serial and takes the submission lock when
+// parallel. Callers must call run() (which unlocks) when it returns true.
+func (p *Pool) acquire(n, cost int) bool {
+	if p.lanes <= 1 || n < 2 || n*cost < minParallelWork {
+		return false
+	}
+	return p.mu.TryLock()
+}
+
+// laneCount caps the number of participating lanes so each gets at least
+// laneMinWork of estimated work.
+func (p *Pool) laneCount(n, cost int) int {
+	lanes := n * cost / laneMinWork
+	if lanes < 2 {
+		lanes = 2
+	}
+	if lanes > p.lanes {
+		lanes = p.lanes
+	}
+	if lanes > n {
+		lanes = n
+	}
+	return lanes
+}
+
+// run launches the posted job on all lanes, participates as lane 0, waits
+// for the barrier, and releases the submission lock.
+func (p *Pool) run() {
+	p.launch()
+	p.runLane(0)
+	p.await0()
+	// Drop references so completed kernels aren't pinned by the pool.
+	p.fnIdx, p.fnChunk, p.fnWorker, p.tasks = nil, nil, nil, nil
+	p.kind = jobNone
+	p.mu.Unlock()
+}
+
+// launch publishes the job to the background lanes: bump the sequence, then
+// wake any parked worker. The seq bump is the release edge for the plain
+// job-descriptor writes that precede it.
+func (p *Pool) launch() {
+	p.pending.Store(int64(len(p.ws)))
+	p.seq.Add(1)
+	for _, ls := range p.ws {
+		if ls.parked.Load() != 0 {
+			select {
+			case ls.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// await0 is the submitter side of the barrier: spin briefly for the last
+// worker, then consume the completion token (exactly one per job).
+func (p *Pool) await0() {
+	for i := 0; i < spinIters; i++ {
+		if p.pending.Load() == 0 {
+			break
+		}
+		if i&255 == 255 {
+			runtime.Gosched()
+		}
+	}
+	<-p.done
+}
+
+// worker is the background lane main loop.
+func (p *Pool) worker(id int, ls *lane) {
+	var seq uint64
+	for {
+		seq++
+		p.awaitJob(ls, seq)
+		exit := p.kind == jobExit
+		if !exit {
+			p.runLane(id)
+		}
+		if p.pending.Add(-1) == 0 {
+			p.done <- struct{}{}
+		}
+		if exit {
+			return
+		}
+	}
+}
+
+// awaitJob blocks lane ls until job number s is posted: bounded spin on the
+// job sequence, then park on the wake channel. Wake tokens can be stale
+// (sent for a job the spin already observed), so every wake rechecks the
+// sequence; the Store(parked) → recheck ordering pairs with the submitter's
+// bump → read(parked) ordering, so at least one side always notices.
+func (p *Pool) awaitJob(ls *lane, s uint64) {
+	for i := 0; i < spinIters; i++ {
+		if p.seq.Load() >= s {
+			return
+		}
+		if i&255 == 255 {
+			runtime.Gosched()
+		}
+	}
+	for {
+		ls.parked.Store(1)
+		if p.seq.Load() >= s {
+			ls.parked.Store(0)
+			// Drop a stale token if one already landed.
+			select {
+			case <-ls.wake:
+			default:
+			}
+			return
+		}
+		<-ls.wake
+		ls.parked.Store(0)
+		if p.seq.Load() >= s {
+			return
+		}
+	}
+}
+
+// runLane executes lane w's share of the current job.
+func (p *Pool) runLane(w int) {
+	switch p.kind {
+	case jobIdx:
+		lo, hi := split(p.n, p.nLanes, w)
+		fn := p.fnIdx
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	case jobChunk:
+		if lo, hi := split(p.n, p.nLanes, w); lo < hi {
+			p.fnChunk(lo, hi)
+		}
+	case jobWorker:
+		if lo, hi := split(p.n, p.nLanes, w); lo < hi {
+			p.fnWorker(w, lo, hi)
+		}
+	case jobGuided:
+		p.runGuided(w)
+	case jobTasks:
+		tasks := p.tasks
+		for {
+			i := int(p.cursor.Add(1)) - 1
+			if i >= len(tasks) {
+				return
+			}
+			tasks[i]()
+		}
+	}
+}
+
+// split returns lane w's balanced share of [0, n) over `lanes` lanes:
+// every chunk has ⌊n/lanes⌋ or ⌈n/lanes⌉ elements, never a near-empty
+// remainder chunk.
+func split(n, lanes, w int) (lo, hi int) {
+	if w >= lanes {
+		return 0, 0
+	}
+	return w * n / lanes, (w + 1) * n / lanes
+}
+
+// runGuided claims guided chunks until the cursor is exhausted.
+func (p *Pool) runGuided(w int) {
+	n, grain, lanes := p.n, p.grain, p.lanes
+	fn := p.fnWorker
+	for {
+		seen := int(p.cursor.Load())
+		if seen >= n {
+			return
+		}
+		c := (n - seen) / (2 * lanes)
+		if c < grain {
+			c = grain
+		}
+		lo := int(p.cursor.Add(int64(c))) - c
+		if lo >= n {
+			return
+		}
+		hi := lo + c
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		fn(w, lo, hi)
 	}
-	wg.Wait()
 }
+
+// ---------------------------------------------------------------------------
+// Process-wide default pool.
+
+var defaultPool atomic.Pointer[Pool]
+
+// Default returns the process-wide pool, creating it with GOMAXPROCS lanes
+// on first use.
+func Default() *Pool {
+	if p := defaultPool.Load(); p != nil {
+		return p
+	}
+	p := NewPool(runtime.GOMAXPROCS(0))
+	if defaultPool.CompareAndSwap(nil, p) {
+		return p
+	}
+	p.Close()
+	return defaultPool.Load()
+}
+
+// SetWorkers replaces the default pool with one of the given size and
+// returns the previous pool (which is closed). Intended for tests that need
+// real multi-lane execution regardless of GOMAXPROCS; not safe to call
+// while kernels are in flight.
+func SetWorkers(n int) {
+	old := defaultPool.Swap(NewPool(n))
+	if old != nil {
+		old.Close()
+	}
+}
+
+// Workers returns the lane count of the default pool.
+func Workers() int { return Default().Workers() }
+
+// For runs fn(i) for every i in [0, n) on the default pool. fn must be safe
+// to call concurrently for distinct i.
+func For(n int, fn func(i int)) { Default().For(n, fn) }
+
+// ForCost is For with an explicit per-element cost hint.
+func ForCost(n, cost int, fn func(i int)) { Default().ForCost(n, cost, fn) }
+
+// ForChunked runs fn(lo, hi) over contiguous chunks covering [0, n).
+func ForChunked(n int, fn func(lo, hi int)) { Default().ForChunked(n, fn) }
+
+// ForWorker runs fn(worker, lo, hi) over a static partition of [0, n).
+func ForWorker(n, cost int, fn func(worker, lo, hi int)) { Default().ForWorker(n, cost, fn) }
+
+// ForGuided runs fn(worker, lo, hi) over [0, n) with guided dynamic chunks.
+func ForGuided(n, grain, cost int, fn func(worker, lo, hi int)) {
+	Default().ForGuided(n, grain, cost, fn)
+}
+
+// Run executes the tasks across lanes (small fixed fan-outs).
+func Run(tasks ...func()) { Default().Run(tasks...) }

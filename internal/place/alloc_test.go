@@ -1,0 +1,28 @@
+package place
+
+import (
+	"testing"
+
+	"dtgp/internal/gen"
+)
+
+// TestGradientSteadyStateAllocFree guards the optimizer's inner loop: one
+// full objective-gradient evaluation (wirelength + density, including the
+// FFT-based Poisson solve) must not allocate once scratch is warm.
+func TestGradientSteadyStateAllocFree(t *testing.T) {
+	d, con, err := gen.Generate(gen.DefaultParams("alloc", 400, 63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := newEngine(d, con, DefaultOptions(ModeWirelength))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSlots := e.nReal + e.nFill
+	grad := make([]float64, 2*nSlots)
+	e.gradient(e.z, grad, 0)
+	e.gradient(e.z, grad, 1)
+	if allocs := testing.AllocsPerRun(10, func() { e.gradient(e.z, grad, 2) }); allocs != 0 {
+		t.Errorf("gradient allocated %v objects/op in steady state, want 0", allocs)
+	}
+}

@@ -232,9 +232,12 @@ type engine struct {
 
 	// scratch
 	gradX, gradY   []float64
+	wlGX, wlGY     []float64 // wirelength gradient over real cells
 	dx, dy, dw, dh []float64 // density arrays over movable slots
+	dgx, dgy       []float64 // density gradient over movable slots
 	dSlot          []int32
 	mx, my, mw, mh []float64 // overflow arrays over real movable cells
+	nMov           int       // movable real (non-filler) cell count
 }
 
 func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, error) {
@@ -361,6 +364,15 @@ func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, 
 	e.dy = make([]float64, len(e.dSlot))
 	e.dw = make([]float64, len(e.dSlot))
 	e.dh = make([]float64, len(e.dSlot))
+	e.dgx = make([]float64, len(e.dSlot))
+	e.dgy = make([]float64, len(e.dSlot))
+	e.wlGX = make([]float64, e.nReal)
+	e.wlGY = make([]float64, e.nReal)
+	for ci := 0; ci < e.nReal; ci++ {
+		if e.movable[ci] {
+			e.nMov++
+		}
+	}
 	for k, slot := range e.dSlot {
 		e.dw[k], e.dh[k] = e.w[slot], e.h[slot]
 	}
@@ -413,8 +425,11 @@ func (e *engine) gradient(z, grad []float64, iter int) (wlNorm, dNorm float64) {
 	}
 
 	// Wirelength (real cells only).
-	wlGX := make([]float64, e.nReal)
-	wlGY := make([]float64, e.nReal)
+	wlGX, wlGY := e.wlGX, e.wlGY
+	for ci := range wlGX {
+		wlGX[ci] = 0
+		wlGY[ci] = 0
+	}
 	e.wl.Evaluate(wlGX, wlGY)
 	for ci := 0; ci < e.nReal; ci++ {
 		e.gradX[ci] += wlGX[ci]
@@ -429,8 +444,11 @@ func (e *engine) gradient(z, grad []float64, iter int) (wlNorm, dNorm float64) {
 	}
 	e.grid.BuildDensity(e.dx, e.dy, e.dw, e.dh)
 	e.grid.Solve()
-	dgx := make([]float64, len(e.dSlot))
-	dgy := make([]float64, len(e.dSlot))
+	dgx, dgy := e.dgx, e.dgy
+	for k := range dgx {
+		dgx[k] = 0
+		dgy[k] = 0
+	}
 	e.grid.Gradient(e.dx, e.dy, e.dw, e.dh, dgx, dgy)
 	for k, slot := range e.dSlot {
 		dNorm += math.Abs(dgx[k]) + math.Abs(dgy[k])
@@ -447,13 +465,7 @@ func (e *engine) gradient(z, grad []float64, iter int) (wlNorm, dNorm float64) {
 	// the wirelength gradient norm.
 	if e.timingActive && e.timer != nil {
 		e.timer.Evaluate(e.opts.T1, e.opts.T2)
-		nMov := 0
-		for ci := 0; ci < e.nReal; ci++ {
-			if e.movable[ci] {
-				nMov++
-			}
-		}
-		meanWL := wlNorm / math.Max(1, float64(2*nMov))
+		meanWL := wlNorm / math.Max(1, float64(2*e.nMov))
 		clip := 50 * meanWL
 		tNorm := 0.0
 		for ci := 0; ci < e.nReal; ci++ {
@@ -535,7 +547,7 @@ func (e *engine) optimize(res *Result) error {
 
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		// Net-weighting hook: exact STA on the current major iterate.
-		if e.nwUp != nil && e.timingActive && iter%maxInt(1, opts.NetWeightPeriod) == 0 {
+		if e.nwUp != nil && e.timingActive && iter%max(1, opts.NetWeightPeriod) == 0 {
 			e.writePositions(u)
 			sta := timing.Analyze(e.graph)
 			e.nwUp.Update(e.d, sta)
@@ -656,11 +668,4 @@ func (e *engine) optimize(res *Result) error {
 
 	e.writePositions(u)
 	return nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -10,6 +10,7 @@ package rctree
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dtgp/internal/rsmt"
 )
@@ -52,54 +53,113 @@ type Grad struct {
 	X, Y []float64
 }
 
+// buildScratch holds the CSR adjacency buffers used while orienting the
+// Steiner tree; a pooled instance makes Rebuild allocation-free once the
+// target Tree's own slices are warm.
+type buildScratch struct {
+	off, cur, adj []int32
+}
+
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
 // Build roots the Steiner tree st at the node carrying the driver pin and
 // extracts RC values. pinCap[i] is the attached pin capacitance of Steiner
 // node i (input pin caps at sink nodes, 0 at the driver and pure Steiner
 // nodes). rPerUnit/cPerUnit are wire RC densities per DBU.
 func Build(st *rsmt.Tree, root int32, pinCap []float64, rPerUnit, cPerUnit float64) (*Tree, error) {
+	t := &Tree{}
+	if err := t.Rebuild(st, root, pinCap, rPerUnit, cPerUnit); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Rebuild re-extracts the RC tree in place (new topology, reused slices).
+// Steady-state periodic Steiner rebuilds reuse the previous extraction's
+// memory entirely.
+func (t *Tree) Rebuild(st *rsmt.Tree, root int32, pinCap []float64, rPerUnit, cPerUnit float64) error {
 	n := st.NumNodes()
 	if n == 0 {
-		return nil, fmt.Errorf("rctree: empty Steiner tree")
+		return fmt.Errorf("rctree: empty Steiner tree")
 	}
 	if int(root) >= n || root < 0 {
-		return nil, fmt.Errorf("rctree: root %d out of range (%d nodes)", root, n)
+		return fmt.Errorf("rctree: root %d out of range (%d nodes)", root, n)
 	}
 	if len(pinCap) != n {
-		return nil, fmt.Errorf("rctree: pinCap has %d entries, want %d", len(pinCap), n)
+		return fmt.Errorf("rctree: pinCap has %d entries, want %d", len(pinCap), n)
 	}
-	t := &Tree{
-		N:        n,
-		Root:     root,
-		Parent:   make([]int32, n),
-		Order:    make([]int32, 0, n),
-		Res:      make([]float64, n),
-		Cap:      append([]float64(nil), pinCap...),
-		Load:     make([]float64, n),
-		Delay:    make([]float64, n),
-		LDelay:   make([]float64, n),
-		Beta:     make([]float64, n),
-		Impulse:  make([]float64, n),
-		st:       st,
-		rPerUnit: rPerUnit,
-		cPerUnit: cPerUnit,
-		edgeLen:  make([]float64, n),
+	t.N = n
+	t.Root = root
+	t.st = st
+	t.rPerUnit = rPerUnit
+	t.cPerUnit = cPerUnit
+	if cap(t.Parent) < n {
+		t.Parent = make([]int32, n)
+		t.Order = make([]int32, 0, n)
+		// One backing array for all eight per-node float64 slices.
+		f := make([]float64, 8*n)
+		t.Res = f[0*n : 1*n : 1*n]
+		t.Cap = f[1*n : 2*n : 2*n]
+		t.Load = f[2*n : 3*n : 3*n]
+		t.Delay = f[3*n : 4*n : 4*n]
+		t.LDelay = f[4*n : 5*n : 5*n]
+		t.Beta = f[5*n : 6*n : 6*n]
+		t.Impulse = f[6*n : 7*n : 7*n]
+		t.edgeLen = f[7*n : 8*n : 8*n]
+	} else {
+		t.Parent = t.Parent[:n]
+		t.Res = t.Res[:n]
+		t.Cap = t.Cap[:n]
+		t.Load = t.Load[:n]
+		t.Delay = t.Delay[:n]
+		t.LDelay = t.LDelay[:n]
+		t.Beta = t.Beta[:n]
+		t.Impulse = t.Impulse[:n]
+		t.edgeLen = t.edgeLen[:n]
+		for i := 0; i < n; i++ {
+			t.Res[i] = 0
+			t.edgeLen[i] = 0
+		}
 	}
-	// Adjacency, then BFS from root to orient edges.
-	adj := make([][]int32, n)
+	copy(t.Cap, pinCap)
+	// CSR adjacency (neighbor order matches edge iteration order), then BFS
+	// from root to orient edges; Order doubles as the BFS queue.
+	s := buildPool.Get().(*buildScratch)
+	if cap(s.off) < n+1 {
+		s.off = make([]int32, n+1)
+		s.cur = make([]int32, n+1)
+	}
+	off := s.off[:n+1]
+	cur := s.cur[:n+1]
+	for i := range off {
+		off[i] = 0
+	}
 	for _, e := range st.Edges {
-		adj[e[0]] = append(adj[e[0]], e[1])
-		adj[e[1]] = append(adj[e[1]], e[0])
+		off[e[0]+1]++
+		off[e[1]+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	if cap(s.adj) < 2*len(st.Edges) {
+		s.adj = make([]int32, 2*len(st.Edges))
+	}
+	adj := s.adj[:2*len(st.Edges)]
+	copy(cur, off)
+	for _, e := range st.Edges {
+		adj[cur[e[0]]] = e[1]
+		cur[e[0]]++
+		adj[cur[e[1]]] = e[0]
+		cur[e[1]]++
 	}
 	for i := range t.Parent {
 		t.Parent[i] = -2 // unvisited
 	}
 	t.Parent[root] = -1
-	queue := []int32{root}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		t.Order = append(t.Order, u)
-		for _, v := range adj[u] {
+	t.Order = append(t.Order[:0], root)
+	for qi := 0; qi < len(t.Order); qi++ {
+		u := t.Order[qi]
+		for _, v := range adj[off[u]:off[u+1]] {
 			if t.Parent[v] != -2 {
 				continue
 			}
@@ -110,13 +170,14 @@ func Build(st *rsmt.Tree, root int32, pinCap []float64, rPerUnit, cPerUnit float
 			wc := cPerUnit * length / 2
 			t.Cap[u] += wc
 			t.Cap[v] += wc
-			queue = append(queue, v)
+			t.Order = append(t.Order, v)
 		}
 	}
+	buildPool.Put(s)
 	if len(t.Order) != n {
-		return nil, fmt.Errorf("rctree: Steiner tree is disconnected (%d of %d nodes reachable)", len(t.Order), n)
+		return fmt.Errorf("rctree: Steiner tree is disconnected (%d of %d nodes reachable)", len(t.Order), n)
 	}
-	return t, nil
+	return nil
 }
 
 // RefreshGeometry recomputes edge RC after node coordinates changed but the
@@ -210,16 +271,42 @@ func (t *Tree) Forward() {
 //     LDelay(u)·∇Beta(u) — the printed ∇Delay(fa(u)) / Beta(u)·∇LDelay(u)
 //     do not follow from Eq. 7 by the chain rule.
 func (t *Tree) Backward(gradDelay, gradImpulseSq []float64, gradLoadRoot float64) *Grad {
+	g := &Grad{}
+	t.BackwardInto(g, gradDelay, gradImpulseSq, gradLoadRoot)
+	return g
+}
+
+// BackwardInto is Backward writing into a caller-owned Grad, growing its
+// slices on first use and reusing them afterwards. Steady-state callers
+// (the timer's per-net gradient buffers) pay zero allocations per sweep.
+func (t *Tree) BackwardInto(g *Grad, gradDelay, gradImpulseSq []float64, gradLoadRoot float64) {
 	n := t.N
-	g := &Grad{
-		Beta:   make([]float64, n),
-		LDelay: make([]float64, n),
-		Delay:  append([]float64(nil), gradDelay...),
-		Load:   make([]float64, n),
-		Cap:    make([]float64, n),
-		Res:    make([]float64, n),
-		X:      make([]float64, n),
-		Y:      make([]float64, n),
+	if cap(g.Beta) < n {
+		g.Beta = make([]float64, n)
+		g.LDelay = make([]float64, n)
+		g.Delay = make([]float64, n)
+		g.Load = make([]float64, n)
+		g.Cap = make([]float64, n)
+		g.Res = make([]float64, n)
+		g.X = make([]float64, n)
+		g.Y = make([]float64, n)
+	} else {
+		g.Beta = g.Beta[:n]
+		g.LDelay = g.LDelay[:n]
+		g.Delay = g.Delay[:n]
+		g.Load = g.Load[:n]
+		g.Cap = g.Cap[:n]
+		g.Res = g.Res[:n]
+		g.X = g.X[:n]
+		g.Y = g.Y[:n]
+	}
+	copy(g.Delay, gradDelay)
+	// Beta, LDelay, Load and Cap are fully overwritten below; Res is only
+	// written for non-root nodes and X/Y accumulate, so clear those.
+	g.Res[t.Root] = 0
+	for i := 0; i < n; i++ {
+		g.X[i] = 0
+		g.Y[i] = 0
 	}
 	// Reverse pass 1 (bottom-up, mirrors forward pass 4):
 	// ∇Beta(u) = 2·∇Impulse²(u) + Σ_child ∇Beta(v).
@@ -277,7 +364,6 @@ func (t *Tree) Backward(gradDelay, gradImpulseSq []float64, gradLoadRoot float64
 		}
 	}
 	t.geometryGrad(g)
-	return g
 }
 
 // geometryGrad maps ∇Res / ∇Cap onto node coordinates. Each tree edge e =

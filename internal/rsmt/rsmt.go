@@ -13,7 +13,7 @@ package rsmt
 
 import (
 	"math"
-	"sort"
+	"sync"
 
 	"dtgp/internal/geom"
 )
@@ -58,48 +58,109 @@ func (t *Tree) UpdateFromPins(px, py []float64) {
 	}
 }
 
+// hanan is a candidate Steiner point on the Hanan grid, tagged with the pins
+// that own its coordinates.
+type hanan struct {
+	x, y       float64
+	xPin, yPin int32
+}
+
+// buildScratch bundles every working buffer the construction path needs, so
+// a pooled instance makes Build allocation-free apart from the returned Tree
+// itself. Trees outlive the call (the timer keeps them across iterations),
+// so anything stored into the Tree is copied out of the scratch first.
+type buildScratch struct {
+	mst       mstScratch
+	cands     []hanan
+	bestEdges [][2]int32
+	bestPts   []hanan
+	deg       []int
+	adj       [][]int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
 // Build constructs a Steiner tree over the given pin coordinates.
 func Build(px, py []float64) *Tree {
+	return BuildInto(&Tree{}, px, py)
+}
+
+// BuildInto rebuilds t in place over new pin coordinates, reusing its slice
+// capacity. With a warm tree and the pooled construction scratch, a rebuild
+// allocates nothing in steady state. Returns t.
+func BuildInto(t *Tree, px, py []float64) *Tree {
 	n := len(px)
-	t := &Tree{
-		X:       append([]float64(nil), px...),
-		Y:       append([]float64(nil), py...),
-		NumPins: n,
-		XPin:    make([]int32, n),
-		YPin:    make([]int32, n),
-	}
+	// The previous Edges backing is owned by t; keep it aside so the final
+	// copy out of scratch can reuse it.
+	owned := t.Edges[:0]
+	t.X = append(t.X[:0], px...)
+	t.Y = append(t.Y[:0], py...)
+	t.NumPins = n
+	t.XPin = t.XPin[:0]
+	t.YPin = t.YPin[:0]
+	t.Edges = nil
 	for i := 0; i < n; i++ {
-		t.XPin[i] = int32(i)
-		t.YPin[i] = int32(i)
+		t.XPin = append(t.XPin, int32(i))
+		t.YPin = append(t.YPin, int32(i))
 	}
 	switch {
 	case n <= 1:
+		t.Edges = owned
 		return t
 	case n == 2:
-		t.Edges = [][2]int32{{0, 1}}
-		return t
-	case n <= 4:
-		buildExact(t)
-		return t
-	default:
-		buildHeuristic(t)
+		t.Edges = append(owned, [2]int32{0, 1})
 		return t
 	}
+	s := scratchPool.Get().(*buildScratch)
+	if n <= 4 {
+		buildExact(t, s)
+	} else {
+		buildHeuristic(t, s)
+	}
+	// The edge list aliases scratch buffers; copy into the owned backing.
+	t.Edges = append(owned, t.Edges...)
+	scratchPool.Put(s)
+	return t
 }
 
 func dist(t *Tree, a, b int32) float64 {
 	return math.Abs(t.X[a]-t.X[b]) + math.Abs(t.Y[a]-t.Y[b])
 }
 
+// mstScratch holds Prim working arrays so repeated MST evaluations (the
+// Hanan-subset enumeration runs ~40 per 4-pin net) reuse one allocation set.
+type mstScratch struct {
+	inTree []bool
+	best   []float64
+	from   []int32
+	edges  [][2]int32
+}
+
+func (s *mstScratch) ensure(n int) {
+	if cap(s.inTree) < n {
+		s.inTree = make([]bool, n)
+		s.best = make([]float64, n)
+		s.from = make([]int32, n)
+		s.edges = make([][2]int32, 0, n-1)
+	}
+	s.inTree = s.inTree[:n]
+	s.best = s.best[:n]
+	s.from = s.from[:n]
+	for i := 0; i < n; i++ {
+		s.inTree[i] = false
+		s.from[i] = 0
+	}
+}
+
 // mstEdges computes a rectilinear minimum spanning tree over nodes [0, n)
 // of t with Prim's algorithm (O(n²), fine for net degrees seen in practice).
-func mstEdges(t *Tree, n int) [][2]int32 {
+// The returned slice aliases the scratch and is valid until the next call.
+func mstEdges(t *Tree, n int, s *mstScratch) [][2]int32 {
 	if n < 2 {
 		return nil
 	}
-	inTree := make([]bool, n)
-	best := make([]float64, n)
-	from := make([]int32, n)
+	s.ensure(n)
+	inTree, best, from := s.inTree, s.best, s.from
 	for i := range best {
 		best[i] = math.Inf(1)
 	}
@@ -108,7 +169,7 @@ func mstEdges(t *Tree, n int) [][2]int32 {
 		best[i] = dist(t, 0, int32(i))
 		from[i] = 0
 	}
-	edges := make([][2]int32, 0, n-1)
+	edges := s.edges[:0]
 	for added := 1; added < n; added++ {
 		minD, minI := math.Inf(1), -1
 		for i := 0; i < n; i++ {
@@ -129,19 +190,40 @@ func mstEdges(t *Tree, n int) [][2]int32 {
 			}
 		}
 	}
+	s.edges = edges
 	return edges
+}
+
+// tryExact materialises pts as extra nodes, measures the MST over pins ∪
+// pts, and records it in the scratch's best slots when strictly better (so
+// the empty subset — the plain MST — wins ties and useless degree-2 Steiner
+// candidates are avoided). Nodes are rolled back before returning.
+func tryExact(t *Tree, s *buildScratch, pts []hanan, bestLen *float64) {
+	base := len(t.X)
+	for _, h := range pts {
+		t.X = append(t.X, h.x)
+		t.Y = append(t.Y, h.y)
+	}
+	edges := mstEdges(t, base+len(pts), &s.mst)
+	length := 0.0
+	for _, e := range edges {
+		length += dist(t, e[0], e[1])
+	}
+	if length < *bestLen-1e-12 {
+		*bestLen = length
+		s.bestEdges = append(s.bestEdges[:0], edges...)
+		s.bestPts = append(s.bestPts[:0], pts...)
+	}
+	t.X = t.X[:base]
+	t.Y = t.Y[:base]
 }
 
 // buildExact finds an optimal RSMT for 3–4 pins by enumerating Hanan-grid
 // Steiner point subsets of size ≤ n−2 and taking the spanning tree of
 // pins ∪ subset with minimum length.
-func buildExact(t *Tree) {
+func buildExact(t *Tree, s *buildScratch) {
 	n := t.NumPins
-	type hanan struct {
-		x, y       float64
-		xPin, yPin int32
-	}
-	var cands []hanan
+	cands := s.cands[:0]
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {
@@ -150,66 +232,48 @@ func buildExact(t *Tree) {
 			cands = append(cands, hanan{t.X[i], t.Y[j], int32(i), int32(j)})
 		}
 	}
+	s.cands = cands
 
 	bestLen := math.Inf(1)
-	var bestEdges [][2]int32
-	var bestPts []hanan
+	s.bestEdges = s.bestEdges[:0]
+	s.bestPts = s.bestPts[:0]
 
-	try := func(pts []hanan) {
-		// Materialise candidate nodes, measure the MST, roll back.
-		base := len(t.X)
-		for _, h := range pts {
-			t.X = append(t.X, h.x)
-			t.Y = append(t.Y, h.y)
-		}
-		edges := mstEdges(t, base+len(pts))
-		length := 0.0
-		used := make(map[int32]bool)
-		for _, e := range edges {
-			length += dist(t, e[0], e[1])
-			used[e[0]] = true
-			used[e[1]] = true
-		}
-		// A candidate Steiner point of degree ≤ 2 never helps; still, the
-		// MST length is what it is — only accept strictly better trees so
-		// the empty subset (plain MST) wins ties and we avoid useless
-		// degree-2 Steiner nodes.
-		if length < bestLen-1e-12 {
-			bestLen = length
-			bestEdges = append([][2]int32(nil), edges...)
-			bestPts = append([]hanan(nil), pts...)
-		}
-		t.X = t.X[:base]
-		t.Y = t.Y[:base]
-	}
-
-	try(nil)
+	tryExact(t, s, nil, &bestLen)
 	for i := range cands {
-		try(cands[i : i+1])
+		tryExact(t, s, cands[i:i+1], &bestLen)
 	}
 	if n == 4 {
 		for i := range cands {
 			for j := i + 1; j < len(cands); j++ {
-				try([]hanan{cands[i], cands[j]})
+				pair := [2]hanan{cands[i], cands[j]}
+				tryExact(t, s, pair[:], &bestLen)
 			}
 		}
 	}
 
-	for _, h := range bestPts {
+	for _, h := range s.bestPts {
 		t.X = append(t.X, h.x)
 		t.Y = append(t.Y, h.y)
 		t.XPin = append(t.XPin, h.xPin)
 		t.YPin = append(t.YPin, h.yPin)
 	}
-	t.Edges = pruneDegenerate(t, bestEdges)
+	t.Edges = pruneDegenerate(t, s.bestEdges, s)
 }
 
 // pruneDegenerate removes Steiner nodes of degree ≤ 2 by splicing their
 // edges together (a degree-2 Steiner point on a Manhattan path is free but
-// pointless; degree-0/1 are dead). Pins are never removed.
-func pruneDegenerate(t *Tree, edges [][2]int32) [][2]int32 {
+// pointless; degree-0/1 are dead). Pins are never removed. The edge list is
+// filtered in place: every iteration removes at least one more edge than it
+// adds, so the write index never catches the read index.
+func pruneDegenerate(t *Tree, edges [][2]int32, s *buildScratch) [][2]int32 {
 	for {
-		deg := make([]int, len(t.X))
+		if cap(s.deg) < len(t.X) {
+			s.deg = make([]int, len(t.X))
+		}
+		deg := s.deg[:len(t.X)]
+		for i := range deg {
+			deg[i] = 0
+		}
 		for _, e := range edges {
 			deg[e[0]]++
 			deg[e[1]]++
@@ -224,23 +288,25 @@ func pruneDegenerate(t *Tree, edges [][2]int32) [][2]int32 {
 		if victim < 0 {
 			return edges
 		}
-		var keep [][2]int32
-		var nbrs []int32
+		keep := edges[:0]
+		var nbrs [2]int32
+		nn := 0
 		for _, e := range edges {
 			switch {
 			case e[0] == victim:
-				nbrs = append(nbrs, e[1])
+				nbrs[nn] = e[1]
+				nn++
 			case e[1] == victim:
-				nbrs = append(nbrs, e[0])
+				nbrs[nn] = e[0]
+				nn++
 			default:
 				keep = append(keep, e)
 			}
 		}
-		if len(nbrs) == 2 {
+		if nn == 2 {
 			keep = append(keep, [2]int32{nbrs[0], nbrs[1]})
 		}
 		// Remove the node, remapping indices above it.
-		last := int32(len(t.X) - 1)
 		t.X = append(t.X[:victim], t.X[victim+1:]...)
 		t.Y = append(t.Y[:victim], t.Y[victim+1:]...)
 		t.XPin = append(t.XPin[:victim], t.XPin[victim+1:]...)
@@ -252,7 +318,6 @@ func pruneDegenerate(t *Tree, edges [][2]int32) [][2]int32 {
 				}
 			}
 		}
-		_ = last
 		edges = keep
 	}
 }
@@ -261,25 +326,31 @@ func pruneDegenerate(t *Tree, edges [][2]int32) [][2]int32 {
 // u with two neighbours v, w, the Hanan point s = (med(xu,xv,xw),
 // med(yu,yv,yw)) replaces edges (u,v),(u,w) with (u,s),(v,s),(w,s); the
 // insertion with the largest positive gain is applied repeatedly.
-func buildHeuristic(t *Tree) {
+func buildHeuristic(t *Tree, s *buildScratch) {
 	n := t.NumPins
-	t.Edges = mstEdges(t, n)
+	t.Edges = mstEdges(t, n, &s.mst)
 
 	type cand struct {
 		u, v, w int32
 		gain    float64
 	}
-	adj := func() [][]int32 {
-		a := make([][]int32, len(t.X))
+
+	for pass := 0; pass < len(t.X)+8; pass++ {
+		// Rebuild adjacency in reused buffers (inner slices keep their
+		// capacity across passes and across pooled Build calls).
+		if cap(s.adj) < len(t.X) {
+			s.adj = append(s.adj[:cap(s.adj)], make([][]int32, len(t.X)-cap(s.adj))...)
+		}
+		a := s.adj[:len(t.X)]
+		for i := range a {
+			a[i] = a[i][:0]
+		}
 		for _, e := range t.Edges {
 			a[e[0]] = append(a[e[0]], e[1])
 			a[e[1]] = append(a[e[1]], e[0])
 		}
-		return a
-	}
+		s.adj = a[:len(t.X)]
 
-	for pass := 0; pass < len(t.X)+8; pass++ {
-		a := adj()
 		best := cand{gain: 1e-9}
 		for u := int32(0); int(u) < len(t.X); u++ {
 			nb := a[u]
@@ -302,12 +373,14 @@ func buildHeuristic(t *Tree) {
 		u, v, w := best.u, best.v, best.w
 		sx, sxo := median3Owner(t.X[u], t.X[v], t.X[w], u, v, w)
 		sy, syo := median3Owner(t.Y[u], t.Y[v], t.Y[w], u, v, w)
-		s := int32(len(t.X))
+		sn := int32(len(t.X))
 		t.X = append(t.X, sx)
 		t.Y = append(t.Y, sy)
 		t.XPin = append(t.XPin, t.XPin[sxo])
 		t.YPin = append(t.YPin, t.YPin[syo])
-		var keep [][2]int32
+		// Filter in place: two edges leave, three arrive; append handles
+		// the one-slot growth past the original backing if needed.
+		keep := t.Edges[:0]
 		for _, e := range t.Edges {
 			if (e[0] == u && e[1] == v) || (e[0] == v && e[1] == u) ||
 				(e[0] == u && e[1] == w) || (e[0] == w && e[1] == u) {
@@ -315,40 +388,53 @@ func buildHeuristic(t *Tree) {
 			}
 			keep = append(keep, e)
 		}
-		keep = append(keep, [2]int32{u, s}, [2]int32{v, s}, [2]int32{w, s})
+		keep = append(keep, [2]int32{u, sn}, [2]int32{v, sn}, [2]int32{w, sn})
 		t.Edges = keep
 	}
-	t.Edges = pruneDegenerate(t, t.Edges)
+	t.Edges = pruneDegenerate(t, t.Edges, s)
 }
 
 func l1(dx, dy float64) float64 { return math.Abs(dx) + math.Abs(dy) }
 
 func median3(a, b, c float64) float64 {
-	v := []float64{a, b, c}
-	sort.Float64s(v)
-	return v[1]
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
 }
 
 // median3Owner returns the median of three values together with the node
 // that contributed it (ties resolved toward the first occurrence, which
-// keeps attribution deterministic).
+// keeps attribution deterministic — the same order a stable sort yields).
 func median3Owner(a, b, c float64, na, nb, nc int32) (float64, int32) {
-	type vp struct {
-		v float64
-		n int32
+	v0, n0, v1, n1, v2, n2 := a, na, b, nb, c, nc
+	if v1 < v0 {
+		v0, v1, n0, n1 = v1, v0, n1, n0
 	}
-	v := []vp{{a, na}, {b, nb}, {c, nc}}
-	sort.SliceStable(v, func(i, j int) bool { return v[i].v < v[j].v })
-	return v[1].v, v[1].n
+	if v2 < v1 {
+		v1, n1, v2, n2 = v2, n2, v1, n1
+		if v1 < v0 {
+			v0, v1, n0, n1 = v1, v0, n1, n0
+		}
+	}
+	_, _, _, _ = v0, n0, v2, n2
+	return v1, n1
 }
 
 // SpanningLength returns the rectilinear MST length over the pins alone —
 // an upper bound on the Steiner length used in tests and as the net-degree
 // normaliser in net weighting.
 func SpanningLength(px, py []float64) float64 {
-	t := &Tree{X: append([]float64(nil), px...), Y: append([]float64(nil), py...), NumPins: len(px)}
+	t := &Tree{X: px, Y: py, NumPins: len(px)}
+	var s mstScratch
 	total := 0.0
-	for _, e := range mstEdges(t, len(px)) {
+	for _, e := range mstEdges(t, len(px), &s) {
 		total += dist(t, e[0], e[1])
 	}
 	return total

@@ -233,8 +233,8 @@ func (inc *Incremental) MoveCells(cells []int32) {
 			continue
 		}
 		// Re-extract with fresh topology: cheap per net and always valid.
-		inc.Nets[ni] = buildNetState(g, ni)
-		inc.Nets[ni].RC.Forward()
+		buildNetStateInto(g, ni, ns)
+		ns.RC.Forward()
 		net := &d.Nets[ni]
 		// Sinks see new delays; the driver sees a new load (its cell arcs
 		// must be re-evaluated).

@@ -22,6 +22,10 @@ type NetState struct {
 	// PinOfNode[j] maps tree node j back to the design pin id, or -1 for
 	// Steiner points.
 	PinOfNode []int32
+	// px, py are scratch coordinate buffers reused by RefreshNetState so
+	// the steady-state geometry update is allocation-free; pinCap is the
+	// per-node capacitance scratch for RC re-extraction.
+	px, py, pinCap []float64
 }
 
 // SinkDelay returns the Elmore delay from the driver to net pin k.
@@ -36,25 +40,41 @@ func (ns *NetState) DriverLoad() float64 { return ns.RC.Load[ns.RC.Root] }
 // BuildNetStates constructs Steiner and RC trees for every timed net, in
 // parallel. This is the "FLUTE + Elmore" stage of Fig. 3/7; the forward
 // Elmore passes are left to the caller (ForwardAll) so that the reuse path
-// can skip tree construction.
+// can skip tree construction. Net sizes follow a power law, so the work is
+// distributed with guided chunking rather than static splits.
 func BuildNetStates(g *Graph) []NetState {
-	d := g.D
-	states := make([]NetState, len(d.Nets))
-	parallel.For(len(d.Nets), func(ni int) {
-		states[ni] = buildNetState(g, int32(ni))
-	})
+	states := make([]NetState, len(g.D.Nets))
+	RebuildNetStates(g, states)
 	return states
 }
 
-func buildNetState(g *Graph, ni int32) NetState {
+// RebuildNetStates re-extracts every net's Steiner and RC trees in place,
+// reusing each NetState's buffers (coordinate scratch, node maps, RC
+// storage). The periodic topology rebuild is allocation-free once warm.
+// states must have one entry per design net.
+func RebuildNetStates(g *Graph, states []NetState) {
+	parallel.ForGuided(len(states), 8, parallel.CostHeavy, func(_, lo, hi int) {
+		for ni := lo; ni < hi; ni++ {
+			buildNetStateInto(g, int32(ni), &states[ni])
+		}
+	})
+}
+
+func buildNetStateInto(g *Graph, ni int32, ns *NetState) {
 	d := g.D
-	ns := NetState{Net: ni}
+	ns.Net = ni
 	net := &d.Nets[ni]
 	if g.IsClockNet[ni] || net.Driver < 0 || len(net.Pins) < 2 {
-		return ns
+		ns.Tree, ns.RC = nil, nil
+		return
 	}
-	px := make([]float64, len(net.Pins))
-	py := make([]float64, len(net.Pins))
+	np := len(net.Pins)
+	if cap(ns.px) < np {
+		ns.px = make([]float64, np)
+		ns.py = make([]float64, np)
+	}
+	px, py := ns.px[:np], ns.py[:np]
+	ns.px, ns.py = px, py
 	rootIdx := int32(-1)
 	for k, pid := range net.Pins {
 		pos := d.PinPos(pid)
@@ -63,13 +83,27 @@ func buildNetState(g *Graph, ni int32) NetState {
 			rootIdx = int32(k)
 		}
 	}
-	tree := rsmt.Build(px, py)
-	pinCap := make([]float64, tree.NumNodes())
-	pinOfNode := make([]int32, tree.NumNodes())
-	for j := range pinOfNode {
+	if ns.Tree == nil {
+		ns.Tree = &rsmt.Tree{}
+	}
+	tree := rsmt.BuildInto(ns.Tree, px, py)
+	nn := tree.NumNodes()
+	if cap(ns.pinCap) < nn {
+		ns.pinCap = make([]float64, nn)
+		ns.PinOfNode = make([]int32, nn)
+	}
+	pinCap := ns.pinCap[:nn]
+	pinOfNode := ns.PinOfNode[:nn]
+	ns.pinCap, ns.PinOfNode = pinCap, pinOfNode
+	for j := 0; j < nn; j++ {
+		pinCap[j] = 0
 		pinOfNode[j] = -1
 	}
-	node := make([]int32, len(net.Pins))
+	if cap(ns.Node) < np {
+		ns.Node = make([]int32, np)
+	}
+	node := ns.Node[:np]
+	ns.Node = node
 	for k, pid := range net.Pins {
 		node[k] = int32(k) // rsmt keeps pins as nodes 0..NumPins-1 in order
 		pinOfNode[k] = pid
@@ -77,46 +111,56 @@ func buildNetState(g *Graph, ni int32) NetState {
 			pinCap[k] = g.SinkCap[pid]
 		}
 	}
-	rc, err := rctree.Build(tree, rootIdx, pinCap, d.Lib.WireResPerDBU, d.Lib.WireCapPerDBU)
-	if err != nil {
+	if ns.RC == nil {
+		ns.RC = &rctree.Tree{}
+	}
+	if err := ns.RC.Rebuild(tree, rootIdx, pinCap, d.Lib.WireResPerDBU, d.Lib.WireCapPerDBU); err != nil {
 		// A disconnected Steiner tree cannot happen by construction; treat
 		// defensively as an untimed net.
-		return NetState{Net: ni}
+		ns.Tree, ns.RC = nil, nil
 	}
-	ns.Tree = tree
-	ns.RC = rc
-	ns.Node = node
-	ns.PinOfNode = pinOfNode
-	return ns
 }
 
-// RefreshNetStates updates node coordinates and RC values from current pin
-// positions without rebuilding Steiner topology (§3.6: reuse the stored
-// Steiner points, moving them along with their attributed pins).
-func RefreshNetStates(g *Graph, states []NetState) {
+// RefreshNetState updates one net's node coordinates and RC values from
+// current pin positions without rebuilding Steiner topology (§3.6: reuse
+// the stored Steiner points, moving them along with their attributed pins).
+// Allocation-free after the first call on a given NetState.
+func RefreshNetState(g *Graph, ns *NetState) {
+	if ns.Tree == nil {
+		return
+	}
 	d := g.D
-	parallel.For(len(states), func(i int) {
-		ns := &states[i]
-		if ns.Tree == nil {
-			return
+	net := &d.Nets[ns.Net]
+	if cap(ns.px) < len(net.Pins) {
+		ns.px = make([]float64, len(net.Pins))
+		ns.py = make([]float64, len(net.Pins))
+	}
+	px := ns.px[:len(net.Pins)]
+	py := ns.py[:len(net.Pins)]
+	for k, pid := range net.Pins {
+		pos := d.PinPos(pid)
+		px[k], py[k] = pos.X, pos.Y
+	}
+	ns.Tree.UpdateFromPins(px, py)
+	ns.RC.RefreshGeometry()
+}
+
+// RefreshNetStates updates every net from current pin positions.
+func RefreshNetStates(g *Graph, states []NetState) {
+	parallel.ForGuided(len(states), 16, parallel.CostDefault, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			RefreshNetState(g, &states[i])
 		}
-		net := &d.Nets[ns.Net]
-		px := make([]float64, len(net.Pins))
-		py := make([]float64, len(net.Pins))
-		for k, pid := range net.Pins {
-			pos := d.PinPos(pid)
-			px[k], py[k] = pos.X, pos.Y
-		}
-		ns.Tree.UpdateFromPins(px, py)
-		ns.RC.RefreshGeometry()
 	})
 }
 
 // ForwardAll runs the Elmore forward passes on every net, in parallel.
 func ForwardAll(states []NetState) {
-	parallel.For(len(states), func(i int) {
-		if states[i].RC != nil {
-			states[i].RC.Forward()
+	parallel.ForGuided(len(states), 16, parallel.CostDefault, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if states[i].RC != nil {
+				states[i].RC.Forward()
+			}
 		}
 	})
 }

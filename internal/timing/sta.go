@@ -152,9 +152,11 @@ func (r *Result) propagateArrival() {
 		}
 	}
 
+	// Each pin evaluates multiple LUT lookups, so even short levels are
+	// worth fanning out (CostHeavy in the dispatch cost model).
 	for _, level := range g.Levels {
 		level := level
-		parallel.For(len(level), func(i int) {
+		parallel.ForCost(len(level), parallel.CostHeavy, func(i int) {
 			pid := level[i]
 			switch {
 			case g.IsStart[pid]:
@@ -350,7 +352,7 @@ func (r *Result) propagateRequired() {
 	// is processed, and pins within one level are independent.
 	for li := len(g.Levels) - 1; li >= 0; li-- {
 		level := g.Levels[li]
-		parallel.For(len(level), func(i int) {
+		parallel.ForCost(len(level), parallel.CostHeavy, func(i int) {
 			r.pullRequired(level[i])
 		})
 	}

@@ -15,6 +15,24 @@ import (
 	"dtgp/internal/parallel"
 )
 
+// wlScratch holds one worker's per-net coordinate and exponential buffers,
+// padded so two workers' slice headers never share a cache line.
+type wlScratch struct {
+	coords, as, bs []float64
+	_              [56]byte
+}
+
+func (sc *wlScratch) ensure(n int) {
+	if cap(sc.coords) < n {
+		sc.coords = make([]float64, n)
+		sc.as = make([]float64, n)
+		sc.bs = make([]float64, n)
+	}
+	sc.coords = sc.coords[:n]
+	sc.as = sc.as[:n]
+	sc.bs = sc.bs[:n]
+}
+
 // Model evaluates weighted-average wirelength over a design.
 type Model struct {
 	D *netlist.Design
@@ -22,35 +40,50 @@ type Model struct {
 	// of the bin size, annealed downward as placement converges).
 	Gamma float64
 
-	// Per-pin gradient scratch, accumulated into cells by Gradient.
+	// Per-pin gradient scratch, accumulated into cells by Evaluate.
 	pinGradX, pinGradY []float64
+	// Per-net totals, reduced serially in net order so the result is
+	// independent of the parallel schedule.
+	totals  []float64
+	scratch []wlScratch
+	evalFn  func(w, lo, hi int)
 }
 
 // NewModel builds a WA model.
 func NewModel(d *netlist.Design, gamma float64) *Model {
-	return &Model{
+	m := &Model{
 		D:        d,
 		Gamma:    gamma,
 		pinGradX: make([]float64, len(d.Pins)),
 		pinGradY: make([]float64, len(d.Pins)),
+		totals:   make([]float64, len(d.Nets)),
 	}
+	m.evalFn = func(w, lo, hi int) {
+		sc := &m.scratch[w]
+		for ni := lo; ni < hi; ni++ {
+			m.totals[ni] = m.evalNet(int32(ni), sc)
+		}
+	}
+	return m
 }
 
 // Evaluate returns the total net-weighted WA wirelength and fills
 // (gradX, gradY) with its gradient with respect to cell positions
-// (accumulating — callers zero the slices).
+// (accumulating — callers zero the slices). Allocation-free in steady
+// state: all per-net work runs in worker-local scratch.
 func (m *Model) Evaluate(gradX, gradY []float64) float64 {
 	d := m.D
+	if n := parallel.Workers(); n > len(m.scratch) {
+		m.scratch = append(m.scratch, make([]wlScratch, n-len(m.scratch))...)
+	}
 	for i := range m.pinGradX {
 		m.pinGradX[i] = 0
 		m.pinGradY[i] = 0
 	}
-	totals := make([]float64, len(d.Nets))
-	parallel.For(len(d.Nets), func(ni int) {
-		totals[ni] = m.evalNet(int32(ni))
-	})
+	// Net sizes follow a power law; guided chunking keeps lanes busy.
+	parallel.ForGuided(len(d.Nets), 16, parallel.CostHeavy, m.evalFn)
 	total := 0.0
-	for _, v := range totals {
+	for _, v := range m.totals {
 		total += v
 	}
 	// Pin gradients land on owning cells (pin offsets are rigid).
@@ -67,27 +100,28 @@ func (m *Model) Evaluate(gradX, gradY []float64) float64 {
 
 // evalNet computes one net's weighted WA wirelength and its pin gradients.
 // Safe to run concurrently across nets: each net touches only its own pins.
-func (m *Model) evalNet(ni int32) float64 {
+func (m *Model) evalNet(ni int32, sc *wlScratch) float64 {
 	d := m.D
 	net := &d.Nets[ni]
 	if len(net.Pins) < 2 || net.Weight == 0 {
 		return 0
 	}
-	wx := m.axis(net, true)
-	wy := m.axis(net, false)
+	wx := m.axis(net, true, sc)
+	wy := m.axis(net, false, sc)
 	return net.Weight * (wx + wy)
 }
 
 // axis evaluates the WA length of one net along one axis, accumulating pin
 // gradients scaled by the net weight.
-func (m *Model) axis(net *netlist.Net, isX bool) float64 {
+func (m *Model) axis(net *netlist.Net, isX bool, sc *wlScratch) float64 {
 	d := m.D
 	gamma := m.Gamma
 	n := len(net.Pins)
+	sc.ensure(n)
+	coords, as, bs := sc.coords, sc.as, sc.bs
 
 	// Gather coordinates; find extremes for stable exponentials.
 	maxC, minC := math.Inf(-1), math.Inf(1)
-	coords := make([]float64, n)
 	for k, pid := range net.Pins {
 		p := d.PinPos(pid)
 		c := p.Y
@@ -106,8 +140,6 @@ func (m *Model) axis(net *netlist.Net, isX bool) float64 {
 	// Max side: aᵢ = e^{(xᵢ−max)/γ}; sa = Σaᵢ, sxa = Σxᵢaᵢ.
 	// Min side: bᵢ = e^{(min−xᵢ)/γ}; sb = Σbᵢ, sxb = Σxᵢbᵢ.
 	var sa, sxa, sb, sxb float64
-	as := make([]float64, n)
-	bs := make([]float64, n)
 	for k, c := range coords {
 		a := math.Exp((c - maxC) / gamma)
 		b := math.Exp((minC - c) / gamma)
