@@ -1,19 +1,34 @@
 GO ?= go
 
-.PHONY: build test race bench
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: build vet test race bench check
 
 build:
 	$(GO) build ./...
 
-test:
+# Static-analysis suite: mapiter, parsafe, hotalloc, floatdet (see
+# internal/analysis and DESIGN.md §6). Fails on any unsuppressed finding.
+vet: build
+	$(GO) run ./cmd/dtgp-vet ./...
+
+test: vet
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+# check is the full pre-merge gate: compile, static analysis, the whole test
+# suite, and the race detector over the quick (-short) suite.
+check: build vet
+	$(GO) test ./...
+	$(GO) test -race -short ./...
+
 # Full benchmark sweep with allocation stats, repeated for stable medians.
 # The JSON stream (one object per test2json event) lands in BENCH_pool.json
-# for tooling; the human-readable log is printed as it runs.
+# for tooling; the human-readable log is printed as it runs. pipefail makes
+# a benchmark failure fail the target instead of vanishing into the filter.
 bench:
 	$(GO) test -json -bench . -benchmem -run '^$$' -count 3 ./... | tee BENCH_pool.json | \
-		grep -o '"Output":".*"' | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//g' || true
+		grep -o '"Output":".*"' | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//g'

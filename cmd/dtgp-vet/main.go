@@ -1,0 +1,70 @@
+// Command dtgp-vet runs the repo's static-analysis suite: four analyzers
+// (mapiter, parsafe, hotalloc, floatdet) that enforce the determinism,
+// parallel-safety and zero-allocation invariants of the placement and
+// timing hot paths. See internal/analysis for the checks and DESIGN.md §6
+// for why each invariant exists.
+//
+// Usage:
+//
+//	dtgp-vet [-C dir] [-allow file] [-noescapes] [packages]
+//
+// Packages are go-style patterns relative to the module root (default
+// ./...); the whole module is always loaded — patterns only filter which
+// packages' findings are reported. Exits 1 when findings remain after
+// //dtgp:allow(<check>) suppressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtgp/internal/analysis"
+)
+
+func main() {
+	var (
+		dir       = flag.String("C", ".", "directory inside the module to vet")
+		allowFile = flag.String("allow", "", "hotalloc allowlist path (default <module>/internal/analysis/hotalloc.allow)")
+		noEscapes = flag.Bool("noescapes", false, "skip the hotalloc escape-analysis check (no `go build` subprocess)")
+		emitAllow = flag.Bool("emit-allow", false, "print hotalloc allowlist lines covering every reported escape and exit")
+		quiet     = flag.Bool("q", false, "suppress the success summary")
+	)
+	flag.Parse()
+
+	rep, err := analysis.Vet(analysis.Options{
+		Dir:       *dir,
+		Patterns:  flag.Args(),
+		Escapes:   !*noEscapes,
+		AllowFile: *allowFile,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtgp-vet: %v\n", err)
+		os.Exit(2)
+	}
+	if *emitAllow {
+		// Ready-to-append hotalloc.allow lines for every escape not yet
+		// covered; review each before committing — the allowlist is for
+		// guarded warm-up growth and error paths, not steady-state allocs.
+		for _, p := range rep.ProposedAllow {
+			fmt.Println(p)
+		}
+		if len(rep.ProposedAllow) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	for _, w := range rep.Warnings {
+		fmt.Fprintf(os.Stderr, "dtgp-vet: warning: %s\n", w)
+	}
+	if len(rep.Diagnostics) > 0 {
+		for _, d := range rep.Diagnostics {
+			fmt.Println(d)
+		}
+		fmt.Fprintf(os.Stderr, "dtgp-vet: %d finding(s)\n", len(rep.Diagnostics))
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Println("dtgp-vet: ok")
+	}
+}

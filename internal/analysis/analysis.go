@@ -1,0 +1,176 @@
+// Package analysis is dtgp's in-tree static-analysis framework: a small
+// go/ast + go/types driver (stdlib only — no golang.org/x/tools) with a
+// go/analysis-style Analyzer interface, plus the four project analyzers
+// that turn the repo's determinism, parallel-safety and zero-allocation
+// conventions into build failures:
+//
+//   - mapiter:  no `range` over a map in any function reachable from a
+//     //dtgp:hotpath root — map iteration order is nondeterministic and
+//     would break bit-identical placements across runs and worker counts.
+//   - parsafe:  function literals passed to parallel.For*/Run must not
+//     write captured variables non-disjointly, must not dispatch nested
+//     pool work, and must not call non-reentrant APIs (global math/rand).
+//   - hotalloc: functions annotated //dtgp:hotpath must not introduce heap
+//     escapes beyond the committed allowlist (checked against parsed
+//     `go build -gcflags=-m` escape-analysis output).
+//   - floatdet: no floating-point accumulation across the iterations of a
+//     map range — the summation order, and therefore the rounded result,
+//     would depend on map iteration order.
+//
+// Diagnostics are position-accurate and individually suppressible with a
+// trailing or preceding `//dtgp:allow(<check>)` comment.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one named check, mirroring the x/tools go/analysis
+// shape so checks stay portable if the repo ever adopts the real driver.
+type Analyzer struct {
+	Name string // short kebab/lower name used in reports and dtgp:allow
+	Doc  string // one-paragraph description of what the check enforces
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one analyzer invocation over one package, plus the
+// whole-program facts every dtgp analyzer needs (hot-path reachability is
+// inherently cross-package).
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+	Facts    *Facts
+	report   func(Diagnostic)
+}
+
+// Fset returns the program-wide file set.
+func (p *Pass) Fset() *token.FileSet { return p.Prog.Fset }
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.reportAt(p.Prog.Fset.Position(pos), format, args...)
+}
+
+// reportAt records a diagnostic at an already-resolved position (used by
+// hotalloc, whose positions come from compiler output, not the FileSet).
+func (p *Pass) reportAt(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:    p.Analyzer.Name,
+		Position: pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Check    string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Check, d.Message)
+}
+
+// sortDiagnostics orders findings by (file, line, column, check, message).
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+
+var allowRE = regexp.MustCompile(`dtgp:allow\(([a-zA-Z0-9_,\- ]+)\)`)
+
+// allowSet maps file name → line → the set of checks allowed on that line.
+type allowSet map[string]map[int]map[string]bool
+
+// collectAllows scans every comment of every loaded file for
+// //dtgp:allow(check[,check...]) annotations.
+func collectAllows(prog *Program) allowSet {
+	as := allowSet{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := allowRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					lines := as[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						as[pos.Filename] = lines
+					}
+					checks := lines[pos.Line]
+					if checks == nil {
+						checks = map[string]bool{}
+						lines[pos.Line] = checks
+					}
+					for _, name := range strings.Split(m[1], ",") {
+						checks[strings.TrimSpace(name)] = true
+					}
+				}
+			}
+		}
+	}
+	return as
+}
+
+// suppressed reports whether d is covered by a dtgp:allow annotation on the
+// same line or on the line directly above it.
+func (as allowSet) suppressed(d Diagnostic) bool {
+	lines := as[d.Position.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{d.Position.Line, d.Position.Line - 1} {
+		if checks := lines[ln]; checks != nil && (checks[d.Check] || checks["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Small AST helpers shared by the analyzers.
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// within reports whether pos lies inside node's source extent.
+func within(pos token.Pos, node ast.Node) bool {
+	return node.Pos() <= pos && pos < node.End()
+}

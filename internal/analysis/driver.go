@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// All is the dtgp analyzer suite in report order.
+var All = []*Analyzer{FloatDet, HotAlloc, MapIter, ParSafe}
+
+// Options configure one Vet run.
+type Options struct {
+	// Dir is any directory inside the module to vet; the module root is
+	// found by walking up to go.mod. Defaults to ".".
+	Dir string
+	// Patterns restrict which packages' findings are reported, in go-tool
+	// syntax relative to the module root: "./..." (default), "./x/...",
+	// "./x". The whole module is always loaded and analyzed — hot-path
+	// reachability is cross-package — only reporting is filtered.
+	Patterns []string
+	// Escapes enables the hotalloc analyzer, which shells out to
+	// `go build -gcflags=-m`. On by default in the CLI; tests that only
+	// exercise the AST analyzers switch it off.
+	Escapes bool
+	// AllowFile overrides the hotalloc allowlist path. Default:
+	// <module root>/internal/analysis/hotalloc.allow.
+	AllowFile string
+}
+
+// Report is the outcome of a Vet run.
+type Report struct {
+	Diagnostics []Diagnostic
+	// Warnings are non-failing observations (stale allowlist entries).
+	Warnings []string
+	// ProposedAllow holds sorted, deduplicated hotalloc allowlist lines
+	// covering every reported escape (for `dtgp-vet -emit-allow`).
+	ProposedAllow []string
+}
+
+// Vet loads the module around opts.Dir, runs the analyzer suite and
+// returns the surviving (non-suppressed) findings.
+func Vet(opts Options) (*Report, error) {
+	dir := opts.Dir
+	if dir == "" {
+		dir = "."
+	}
+	root, modPath, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := Load(Mapping{Prefix: modPath, Dir: root})
+	if err != nil {
+		return nil, err
+	}
+	facts := ComputeFacts(prog)
+
+	if opts.Escapes {
+		cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out)
+		}
+		facts.Escapes = ParseEscapes(string(out), root)
+		facts.EscapesValid = true
+		allowFile := opts.AllowFile
+		if allowFile == "" {
+			allowFile = filepath.Join(root, "internal", "analysis", "hotalloc.allow")
+		}
+		facts.HotAllow, err = LoadHotAllow(allowFile)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	match := matchPatterns(modPath, opts.Patterns)
+	diags, err := RunAnalyzers(prog, facts, All, match)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Diagnostics: diags}
+	if opts.Escapes {
+		// Staleness is only decidable on an unfiltered run: a filtered run
+		// never visits the other packages, so their entries would all look
+		// unused.
+		if match == nil {
+			for _, entry := range facts.StaleHotAllow() {
+				rep.Warnings = append(rep.Warnings,
+					fmt.Sprintf("stale hotalloc allowlist entry (escape no longer reported): %s", entry))
+			}
+		}
+		seen := map[string]bool{}
+		for _, p := range facts.ProposedAllow {
+			if !seen[p] {
+				seen[p] = true
+				rep.ProposedAllow = append(rep.ProposedAllow, p)
+			}
+		}
+		sort.Strings(rep.ProposedAllow)
+	}
+	return rep, nil
+}
+
+// RunAnalyzers runs the given analyzers over every loaded package whose
+// import path passes the filter, applies dtgp:allow suppressions, and
+// returns the findings sorted by position.
+func RunAnalyzers(prog *Program, facts *Facts, analyzers []*Analyzer, match func(pkgPath string) bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+	for _, pkg := range prog.Pkgs {
+		if match != nil && !match(pkg.Path) {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, Facts: facts, report: collect}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	allows := collectAllows(prog)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allows.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sortDiagnostics(kept)
+	return kept, nil
+}
+
+// matchPatterns compiles go-style package patterns into a path filter.
+func matchPatterns(modPath string, patterns []string) func(string) bool {
+	if len(patterns) == 0 {
+		return nil
+	}
+	type rule struct {
+		prefix string // match prefix (for /... patterns) or exact path
+		tree   bool
+	}
+	var rules []rule
+	for _, p := range patterns {
+		switch {
+		case p == "./..." || p == "all" || p == modPath+"/...":
+			return nil // everything
+		case strings.HasSuffix(p, "/..."):
+			base := strings.TrimSuffix(p, "/...")
+			rules = append(rules, rule{prefix: resolvePattern(modPath, base), tree: true})
+		default:
+			rules = append(rules, rule{prefix: resolvePattern(modPath, p)})
+		}
+	}
+	return func(pkgPath string) bool {
+		for _, r := range rules {
+			if pkgPath == r.prefix || (r.tree && strings.HasPrefix(pkgPath, r.prefix+"/")) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func resolvePattern(modPath, p string) string {
+	p = strings.TrimPrefix(p, "./")
+	p = strings.TrimSuffix(p, "/")
+	if p == "" || p == "." {
+		return modPath
+	}
+	if strings.HasPrefix(p, modPath) {
+		return p
+	}
+	return modPath + "/" + p
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatDet flags floating-point accumulation across the iterations of a
+// map range. Float addition is not associative, so a sum whose term order
+// follows map iteration order rounds differently on every run — even when
+// every term is identical. Unlike mapiter this check applies everywhere,
+// not just on hot paths: a nondeterministic sum in reporting code still
+// makes two runs of the same binary disagree.
+var FloatDet = &Analyzer{
+	Name: "floatdet",
+	Doc:  "forbid order-sensitive float accumulation inside map ranges",
+	Run:  runFloatDet,
+}
+
+func runFloatDet(pass *Pass) error {
+	for _, fi := range pass.Facts.All() {
+		if fi.Pkg != pass.Pkg {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeBody looks for float accumulators mutated inside the range
+// body but declared outside it.
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				checkAccumTarget(pass, rs, lhs)
+			}
+		case token.ASSIGN:
+			// x = x + e (or x - e, x * e) spelled out.
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				bin, ok := unparen(as.Rhs[i]).(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.ADD && bin.Op != token.SUB && bin.Op != token.MUL) {
+					continue
+				}
+				li, ok := unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				xi, ok := unparen(bin.X).(*ast.Ident)
+				if ok && info.Uses[xi] != nil && info.Uses[xi] == info.Uses[li] {
+					checkAccumTarget(pass, rs, lhs)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAccumTarget reports lhs when it is a float-typed location that
+// outlives one iteration: a plain identifier or un-indexed selector chain
+// rooted outside the range statement. Indexed writes (m2[k] += v) are
+// per-element and keep a deterministic per-key result, so they pass.
+func checkAccumTarget(pass *Pass, rs *ast.RangeStmt, lhs ast.Expr) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[lhs]
+	if !ok || !isFloat(tv.Type) {
+		return
+	}
+	root, indexed := lvalueRoot(lhs)
+	if indexed || root == nil {
+		return
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		obj = info.Defs[root]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || within(v.Pos(), rs) {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"float accumulation into %s inside range over map %s (summation order follows map iteration order; iterate a sorted key slice instead)",
+		types.ExprString(lhs), types.ExprString(rs.X))
+}
+
+// lvalueRoot unwraps an assignable expression to its root identifier,
+// reporting whether any index step was crossed on the way.
+func lvalueRoot(e ast.Expr) (root *ast.Ident, indexed bool) {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x, indexed
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			indexed = true
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, indexed
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HotAlloc checks that functions annotated //dtgp:hotpath stay free of
+// heap allocation: every compiler-reported escape ("escapes to heap" /
+// "moved to heap" from `go build -gcflags=-m`) whose position falls inside
+// an annotated function must be covered by the committed allowlist
+// (internal/analysis/hotalloc.allow). The allowlist keys on the function
+// and the escape message, not on line numbers, so unrelated edits do not
+// invalidate it — but a *new* escape, or deleting an allowlist entry that
+// is still needed, fails the build.
+//
+// The driver populates Facts.Escapes (parsed -m output) and
+// Facts.HotAllow before this analyzer runs; when escape data was not
+// collected the analyzer is a no-op.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid unallowlisted heap escapes in //dtgp:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+// An EscapeSite is one heap-escape diagnostic from the compiler.
+type EscapeSite struct {
+	File    string // absolute path
+	Line    int
+	Column  int
+	Message string
+}
+
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// ParseEscapes extracts heap-escape sites from `go build -gcflags=-m`
+// output. Relative file names are resolved against baseDir. Sites are
+// deduplicated: the compiler re-prints a diagnostic for every inlined
+// copy of a function, all at the original source position.
+func ParseEscapes(output, baseDir string) []EscapeSite {
+	var sites []EscapeSite
+	seen := map[EscapeSite]bool{}
+	sc := bufio.NewScanner(strings.NewReader(output))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := escapeLineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(baseDir, file)
+		}
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		site := EscapeSite{File: file, Line: line, Column: col, Message: msg}
+		if seen[site] {
+			continue
+		}
+		seen[site] = true
+		sites = append(sites, site)
+	}
+	return sites
+}
+
+// LoadHotAllow reads the allowlist: one entry per line in the form
+//
+//	<function full name>\t<escape message>
+//
+// with '#' comments and blank lines ignored. A missing file is an empty
+// allowlist.
+func LoadHotAllow(path string) (map[string]map[string]bool, error) {
+	allow := map[string]map[string]bool{}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return allow, nil
+		}
+		return nil, err
+	}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		key, msg, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: malformed allowlist entry (want \"func\\tmessage\"): %q", path, ln+1, line)
+		}
+		if allow[key] == nil {
+			allow[key] = map[string]bool{}
+		}
+		allow[key][msg] = true
+	}
+	return allow, nil
+}
+
+func runHotAlloc(pass *Pass) error {
+	facts := pass.Facts
+	if !facts.EscapesValid {
+		return nil
+	}
+	fset := pass.Fset()
+	for _, fi := range facts.All() {
+		if fi.Pkg != pass.Pkg || !fi.Hot {
+			continue
+		}
+		start := fset.Position(fi.Decl.Pos())
+		end := fset.Position(fi.Decl.End())
+		key := funcKey(fi.Obj)
+		for _, es := range facts.Escapes {
+			if es.File != start.Filename || es.Line < start.Line || es.Line > end.Line {
+				continue
+			}
+			if facts.HotAllow[key][es.Message] {
+				facts.markAllowUsed(key, es.Message)
+				continue
+			}
+			facts.ProposedAllow = append(facts.ProposedAllow, key+"\t"+es.Message)
+			pass.reportAt(token.Position{Filename: es.File, Line: es.Line, Column: es.Column},
+				"heap escape in //dtgp:hotpath function %s: %s (hot paths must be allocation-free in steady state; hoist the allocation into construction or extend internal/analysis/hotalloc.allow only for one-time warm-up)",
+				fi.Obj.Name(), es.Message)
+		}
+	}
+	return nil
+}
+
+// StaleHotAllow returns allowlist entries that matched no escape, in
+// stable order. A stale entry usually means the escape was fixed — delete
+// the line — or that the function was renamed.
+func (f *Facts) StaleHotAllow() []string {
+	var stale []string
+	for key, msgs := range f.HotAllow {
+		for msg := range msgs {
+			if !f.hotAllowUsed[key][msg] {
+				stale = append(stale, key+"\t"+msg)
+			}
+		}
+	}
+	sort.Strings(stale)
+	return stale
+}
+
+func (f *Facts) markAllowUsed(key, msg string) {
+	if f.hotAllowUsed == nil {
+		f.hotAllowUsed = map[string]map[string]bool{}
+	}
+	if f.hotAllowUsed[key] == nil {
+		f.hotAllowUsed[key] = map[string]bool{}
+	}
+	f.hotAllowUsed[key][msg] = true
+}

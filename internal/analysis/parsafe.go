@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ParSafe inspects every function literal passed directly to a parallel
+// dispatch primitive (parallel.For / ForCost / ForChunked / ForWorker /
+// ForGuided / Run, package-level or Pool method) and flags three classes
+// of kernel-body bug:
+//
+//   - writes to captured variables that are not index-disjoint: the pool
+//     runs the literal concurrently on several lanes, so a plain captured
+//     write is a data race, and even a "benign" one makes the result
+//     schedule-dependent. Indexed writes (out[i] = …) are assumed
+//     disjoint — that is the pool's documented contract — except map
+//     writes, which race on the map header regardless of key.
+//   - nested dispatch: a kernel body submitting to the pool again. It
+//     cannot deadlock (TryLock falls back to serial) but it silently
+//     serialises the inner kernel; restructure instead.
+//   - calls to non-reentrant package-level APIs: the global math/rand
+//     generator serialises lanes on its internal lock and makes results
+//     schedule-dependent.
+var ParSafe = &Analyzer{
+	Name: "parsafe",
+	Doc:  "check function literals passed to parallel.For*/Run for captured writes, nested dispatch and non-reentrant calls",
+	Run:  runParSafe,
+}
+
+// dispatchNames are the parallel primitives that execute a kernel body on
+// multiple lanes.
+var dispatchNames = map[string]bool{
+	"For": true, "ForCost": true, "ForChunked": true,
+	"ForWorker": true, "ForGuided": true, "Run": true,
+}
+
+// parallelPkgSuffix identifies the pool package by import-path suffix, so
+// fixture packages can stub it without colliding with the real module path.
+const parallelPkgSuffix = "internal/parallel"
+
+// isDispatch reports whether the call invokes a parallel dispatch
+// primitive, resolving through pass type info.
+func isDispatch(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	var obj types.Object
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil, false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || !dispatchNames[fn.Name()] {
+		return nil, false
+	}
+	if !strings.HasSuffix(fn.Pkg().Path(), parallelPkgSuffix) {
+		return nil, false
+	}
+	return fn, true
+}
+
+func runParSafe(pass *Pass) error {
+	for _, fi := range pass.Facts.All() {
+		if fi.Pkg != pass.Pkg {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := isDispatch(pass.Pkg.Info, call); !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := unparen(arg).(*ast.FuncLit); ok {
+					checkKernelBody(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkKernelBody applies the three parsafe checks to one kernel literal.
+func checkKernelBody(pass *Pass, lit *ast.FuncLit) {
+	info := pass.Pkg.Info
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				checkKernelWrite(pass, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkKernelWrite(pass, lit, stmt.X)
+		case *ast.CallExpr:
+			if fn, ok := isDispatch(info, stmt); ok {
+				pass.Reportf(stmt.Pos(),
+					"nested parallel dispatch %s inside a kernel body (runs serially via the TryLock fallback; hoist or restructure the kernel)", fn.Name())
+			} else if fn := calleeOf(info, stmt); fn != nil && isNonReentrant(fn) {
+				pass.Reportf(stmt.Pos(),
+					"call to non-reentrant %s from a parallel kernel (global generator state serialises lanes and makes results schedule-dependent; use a per-worker rand.Rand)", funcKey(fn))
+			}
+		}
+		return true
+	})
+}
+
+// checkKernelWrite flags writes through captured, non-indexed locations.
+func checkKernelWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	info := pass.Pkg.Info
+	if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	// A write to a map element races on the map header no matter how
+	// disjoint the keys are.
+	if ix, ok := unparen(lhs).(*ast.IndexExpr); ok {
+		if tv, ok := info.Types[ix.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(lhs.Pos(),
+					"write to map %s from a parallel kernel (concurrent map writes race regardless of key disjointness)",
+					types.ExprString(ix.X))
+				return
+			}
+		}
+	}
+	root, indexed := lvalueRoot(lhs)
+	if indexed || root == nil {
+		return // indexed writes are the pool's disjoint-write contract
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		obj = info.Defs[root]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || within(v.Pos(), lit) {
+		return // kernel-local variable or parameter
+	}
+	pass.Reportf(lhs.Pos(),
+		"write to captured variable %s from a parallel kernel (not index- or worker-disjoint; lanes race and the result depends on the schedule)",
+		types.ExprString(lhs))
+}
+
+// calleeOf resolves a call's static callee, if any.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isNonReentrant lists package-level APIs whose hidden global state makes
+// them unsafe or schedule-dependent inside kernels.
+func isNonReentrant(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false // methods on caller-owned state (e.g. *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+// Package acc exercises the floatdet analyzer: float accumulators mutated
+// across map-range iterations are flagged anywhere in the program, not just
+// on hot paths.
+package acc
+
+type stats struct{ sum float64 }
+
+// Total accumulates in compound-assignment form: flagged.
+func Total(byNet map[int32]float64) float64 {
+	var total float64
+	for _, v := range byNet {
+		total += v
+	}
+	return total
+}
+
+// TotalSpelled accumulates in x = x + v form: flagged.
+func TotalSpelled(byNet map[int32]float64) float64 {
+	total := 0.0
+	for _, v := range byNet {
+		total = total + v
+	}
+	return total
+}
+
+// Fields accumulates through a selector rooted outside the range: flagged.
+func Fields(byNet map[int32]float64, s *stats) {
+	for _, v := range byNet {
+		s.sum += v
+	}
+}
+
+// Count is integer accumulation: order-independent, not flagged.
+func Count(byNet map[int32]float64) int {
+	n := 0
+	for range byNet {
+		n++
+	}
+	return n
+}
+
+// PerKey writes disjoint elements: deterministic per key, not flagged.
+func PerKey(byNet map[int32]float64, out []float64) {
+	for k, v := range byNet {
+		out[k] += v
+	}
+}
+
+// Local accumulates into a variable scoped inside the range body: each
+// iteration gets a fresh accumulator, so order cannot matter.
+func Local(byNet map[int32][]float64, out []float64) {
+	for k, vs := range byNet {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+}
+
+// Tolerated documents a deliberate exception.
+func Tolerated(byNet map[int32]float64) float64 {
+	var total float64
+	for _, v := range byNet {
+		total += v //dtgp:allow(floatdet)
+	}
+	return total
+}

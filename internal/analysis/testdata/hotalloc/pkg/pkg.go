@@ -1,0 +1,25 @@
+// Package pkg exercises the hotalloc analyzer. Escape sites are synthesized
+// by the test from the WANT-ESCAPE markers below, so the fixture never
+// shells out to the compiler.
+package pkg
+
+// Grow allocates only under a capacity guard; the fixture allowlist covers
+// the escape, so no finding.
+//dtgp:hotpath
+func Grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n) // WANT-ESCAPE: make([]float64, n) escapes to heap
+	}
+	return buf[:n]
+}
+
+// Leak allocates per call with no allowlist entry: flagged.
+//dtgp:hotpath
+func Leak(n int) []float64 {
+	return make([]float64, n) // WANT-ESCAPE: make([]float64, n) escapes to heap
+}
+
+// Cold is unannotated: escapes outside hot functions are ignored.
+func Cold(n int) []float64 {
+	return make([]float64, n) // WANT-ESCAPE: make([]float64, n) escapes to heap
+}

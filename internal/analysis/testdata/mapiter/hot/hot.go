@@ -1,0 +1,39 @@
+// Package hot exercises the mapiter analyzer: map ranges are flagged in
+// functions reachable from a //dtgp:hotpath root, allowed elsewhere, and
+// suppressible with //dtgp:allow(mapiter).
+package hot
+
+// Accumulate is a hot-path root.
+//dtgp:hotpath
+func Accumulate(weights map[int32]float64, out []float64) {
+	for pid, w := range weights {
+		out[pid] += w
+	}
+	spill(weights, out)
+}
+
+// spill is hot by reachability (referenced from Accumulate).
+func spill(weights map[int32]float64, out []float64) {
+	for pid := range weights {
+		out[pid] = 0
+	}
+}
+
+// Report is cold: map iteration is fine off the hot path.
+func Report(weights map[int32]float64) int {
+	n := 0
+	for range weights {
+		n++
+	}
+	return n
+}
+
+// Drain documents a deliberate exception.
+//dtgp:hotpath
+func Drain(pending map[int32]bool, out []int32) []int32 {
+	//dtgp:allow(mapiter)
+	for pid := range pending {
+		out = append(out, pid)
+	}
+	return out
+}

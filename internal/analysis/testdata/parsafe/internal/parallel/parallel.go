@@ -1,0 +1,15 @@
+// Package parallel is a hermetic stand-in for the repo's worker pool: the
+// parsafe analyzer matches dispatch functions by name and by the
+// "internal/parallel" import-path suffix, so fixtures never depend on the
+// real runtime.
+package parallel
+
+// For runs fn(worker, i) for i in [0, n).
+func For(n int, fn func(worker, i int)) {
+	for i := 0; i < n; i++ {
+		fn(0, i)
+	}
+}
+
+// Run executes fn on the pool.
+func Run(fn func()) { fn() }

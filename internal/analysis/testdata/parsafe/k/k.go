@@ -1,0 +1,58 @@
+// Package k exercises the parsafe analyzer on function literals passed to
+// parallel dispatch primitives.
+package k
+
+import (
+	"math/rand"
+
+	"fx/internal/parallel"
+)
+
+// Scale writes disjoint indices — the pool's contract — not flagged.
+func Scale(out []float64, f float64) {
+	parallel.For(len(out), func(_, i int) {
+		out[i] *= f
+	})
+}
+
+// Sum races on a captured accumulator: flagged.
+func Sum(xs []float64) float64 {
+	var sum float64
+	parallel.For(len(xs), func(_, i int) {
+		sum += xs[i]
+	})
+	return sum
+}
+
+// Index writes a shared map: flagged regardless of key disjointness.
+func Index(xs []float64, byIdx map[int]float64) {
+	parallel.For(len(xs), func(_, i int) {
+		byIdx[i] = xs[i]
+	})
+}
+
+// Nested dispatches from inside a kernel: flagged.
+func Nested(xs []float64) {
+	parallel.For(len(xs), func(_, i int) {
+		parallel.Run(func() {
+			xs[i] *= 2
+		})
+	})
+}
+
+// Jitter calls the global locked generator from kernels: flagged.
+func Jitter(out []float64) {
+	parallel.For(len(out), func(_, i int) {
+		out[i] = rand.Float64()
+	})
+}
+
+// Reduce documents a tolerated exception (say, a reduction the caller
+// serialises by other means the analyzer cannot see).
+func Reduce(xs []float64) float64 {
+	var sum float64
+	parallel.For(len(xs), func(_, i int) {
+		sum += xs[i] //dtgp:allow(parsafe)
+	})
+	return sum
+}

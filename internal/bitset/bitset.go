@@ -1,0 +1,72 @@
+// Package bitset provides a dense bit set keyed by small non-negative
+// integers. It backs the deterministic worklists of the incremental timer
+// (and anywhere else a map[int32]bool used to serve as a membership set):
+// membership tests are branch-free word operations, and — unlike a map —
+// the set has no iteration order to leak into results, so code that drains
+// an explicit worklist with bitset membership is deterministic by
+// construction.
+package bitset
+
+// Set is a growable bit set. The zero value is an empty set ready for use.
+type Set struct {
+	words []uint64
+}
+
+// Grow ensures the set can hold members in [0, n) without reallocating.
+func (s *Set) Grow(n int) {
+	if need := (n + 63) >> 6; need > len(s.words) {
+		w := make([]uint64, need)
+		copy(w, s.words)
+		s.words = w
+	}
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int32) bool {
+	w := int(i >> 6)
+	return w < len(s.words) && s.words[w]&(1<<uint(i&63)) != 0
+}
+
+// Add inserts i, growing the set as needed.
+func (s *Set) Add(i int32) {
+	s.Grow(int(i) + 1)
+	s.words[i>>6] |= 1 << uint(i&63)
+}
+
+// TryAdd inserts i and reports whether it was newly added (false when i was
+// already a member). It grows the set as needed.
+func (s *Set) TryAdd(i int32) bool {
+	s.Grow(int(i) + 1)
+	mask := uint64(1) << uint(i&63)
+	w := &s.words[i>>6]
+	if *w&mask != 0 {
+		return false
+	}
+	*w |= mask
+	return true
+}
+
+// Remove deletes i from the set (no-op when absent).
+func (s *Set) Remove(i int32) {
+	if w := int(i >> 6); w < len(s.words) {
+		s.words[w] &^= 1 << uint(i&63)
+	}
+}
+
+// Clear empties the set, keeping its capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the number of members.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

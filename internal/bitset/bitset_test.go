@@ -1,0 +1,49 @@
+package bitset
+
+import "testing"
+
+func TestBasicOps(t *testing.T) {
+	var s Set
+	if s.Has(0) || s.Has(1000) {
+		t.Fatal("zero-value set should be empty")
+	}
+	if !s.TryAdd(5) {
+		t.Fatal("TryAdd of a new member must return true")
+	}
+	if s.TryAdd(5) {
+		t.Fatal("TryAdd of an existing member must return false")
+	}
+	if !s.Has(5) || s.Count() != 1 {
+		t.Fatalf("expected {5}, count=%d", s.Count())
+	}
+	s.Add(64) // word boundary
+	s.Add(65)
+	if !s.Has(64) || !s.Has(65) || s.Count() != 3 {
+		t.Fatalf("word-boundary members missing, count=%d", s.Count())
+	}
+	s.Remove(64)
+	if s.Has(64) || !s.Has(65) {
+		t.Fatal("Remove(64) removed the wrong bit")
+	}
+	s.Remove(4096) // absent, beyond capacity: no-op
+	s.Clear()
+	if s.Count() != 0 || s.Has(5) || s.Has(65) {
+		t.Fatal("Clear must empty the set")
+	}
+	// Capacity survives Clear.
+	if s.TryAdd(65) != true {
+		t.Fatal("re-adding after Clear must succeed")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	var s Set
+	s.Grow(129)
+	if len(s.words) != 3 {
+		t.Fatalf("Grow(129): want 3 words, got %d", len(s.words))
+	}
+	s.Add(1 << 14)
+	if !s.Has(1 << 14) {
+		t.Fatal("Add must grow the set")
+	}
+}

@@ -56,6 +56,7 @@ func (t *Timer) ensureHold() {
 // (weights t1, t2 — Eq. 6) plus smoothed total hold slack (weight t3).
 // Gradients accumulate into CellGradX/CellGradY; SmTHS/EstTHS report the
 // hold objective.
+//dtgp:hotpath
 func (t *Timer) EvaluateHold(t1, t2, t3 float64) float64 {
 	t.refreshNets()
 	t.forward()
@@ -66,6 +67,7 @@ func (t *Timer) EvaluateHold(t1, t2, t3 float64) float64 {
 
 // forwardEarly propagates earliest arrivals and fastest slews with
 // soft-min aggregation at cell outputs.
+//dtgp:hotpath
 func (t *Timer) forwardEarly() {
 	g := t.G
 	d := g.D
@@ -117,6 +119,7 @@ func (t *Timer) forwardEarly() {
 	}
 }
 
+//dtgp:hotpath
 func (t *Timer) forwardEarlyNetSink(pid int32) {
 	ni := t.netOfSink[pid]
 	if ni < 0 || t.Nets[ni].Tree == nil {
@@ -142,6 +145,7 @@ func (t *Timer) forwardEarlyNetSink(pid int32) {
 
 // forwardEarlyCellOut aggregates candidates with soft-min: stores the LSE
 // state of the negated values so backward recovers the weights.
+//dtgp:hotpath
 func (t *Timer) forwardEarlyCellOut(pid int32) {
 	h := t.hold
 	gamma := t.Opts.Gamma
@@ -182,6 +186,7 @@ func (t *Timer) forwardEarlyCellOut(pid int32) {
 }
 
 // eachEarlyCandidate mirrors eachCandidate with early-mode input slews.
+//dtgp:hotpath
 func (t *Timer) eachEarlyCandidate(pid int32, outTr timing.Transition, load float64, fn func(u int32, at, slew float64)) {
 	g := t.G
 	h := t.hold
@@ -205,6 +210,7 @@ func (t *Timer) eachEarlyCandidate(pid int32, outTr timing.Transition, load floa
 
 // SmTHS and EstTHS report the smoothed / hard total hold slack of the last
 // EvaluateHold call.
+//dtgp:hotpath
 func (t *Timer) holdObjective(t3 float64, seed bool) float64 {
 	g := t.G
 	h := t.hold
@@ -277,6 +283,7 @@ func (t *Timer) holdObjective(t3 float64, seed bool) float64 {
 	return -t3 * smTHS
 }
 
+//dtgp:hotpath
 func holdConstraintTable(arc *liberty.TimingArc, dataTr timing.Transition) *liberty.LUT {
 	if dataTr == timing.Rise {
 		return arc.RiseConstraint
@@ -285,6 +292,7 @@ func holdConstraintTable(arc *liberty.TimingArc, dataTr timing.Transition) *libe
 }
 
 // backwardWithHold is backward() extended with the early-mode chain.
+//dtgp:hotpath
 func (t *Timer) backwardWithHold(t1, t2, t3 float64) float64 {
 	h := t.hold
 	for i := range h.gAT {
@@ -377,6 +385,7 @@ func (t *Timer) backwardWithHold(t1, t2, t3 float64) float64 {
 	return f
 }
 
+//dtgp:hotpath
 func (t *Timer) backwardEarlyNetSink(pid int32) {
 	ni := t.netOfSink[pid]
 	if ni < 0 || t.Nets[ni].Tree == nil {
@@ -404,6 +413,7 @@ func (t *Timer) backwardEarlyNetSink(pid int32) {
 	}
 }
 
+//dtgp:hotpath
 func (t *Timer) backwardEarlyCellOut(pid int32) {
 	h := t.hold
 	gamma := t.Opts.Gamma

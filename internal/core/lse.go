@@ -12,6 +12,7 @@ import "math"
 //	LSE_γ(x…) = γ·log Σ exp(x_i/γ)
 //
 // in the numerically stable shifted form. γ must be positive.
+//dtgp:hotpath
 func LSE(gamma float64, xs ...float64) float64 {
 	v, _ := lseShifted(gamma, xs)
 	return v
@@ -19,6 +20,7 @@ func LSE(gamma float64, xs ...float64) float64 {
 
 // lseShifted returns the LSE value and the shifted partition function
 // Σ exp((x_i−m)/γ) together with... the max is recoverable as v − γ·log(z).
+//dtgp:hotpath
 func lseShifted(gamma float64, xs []float64) (val, z float64) {
 	m := math.Inf(-1)
 	for _, x := range xs {
@@ -60,13 +62,28 @@ func LSEGrad(gamma float64, xs ...float64) (float64, []float64) {
 }
 
 // SoftMin is the smooth minimum: −LSE_γ(−x…) ("we transform min to the max
-// of the inverse value of operands", §3.2).
+// of the inverse value of operands", §3.2). Computed directly from the
+// shifted form so no negated copy of the inputs is allocated:
+// softmin(x) = m − γ·log Σ exp((m − xᵢ)/γ) with m = min(x).
+//dtgp:hotpath
 func SoftMin(gamma float64, xs ...float64) float64 {
-	neg := make([]float64, len(xs))
-	for i, x := range xs {
-		neg[i] = -x
+	if len(xs) == 0 {
+		return math.Inf(1)
 	}
-	return -LSE(gamma, neg...)
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	if math.IsInf(m, 0) {
+		return m
+	}
+	var z float64
+	for _, x := range xs {
+		z += math.Exp((m - x) / gamma)
+	}
+	return m - gamma*math.Log(z)
 }
 
 // SoftMinGrad returns the smooth minimum and its gradient weights (which
@@ -85,16 +102,19 @@ func SoftMinGrad(gamma float64, xs ...float64) (float64, []float64) {
 //	softneg_γ(s) = −γ·log(1 + exp(−s/γ))
 //
 // It approaches s for s ≪ 0 and 0 for s ≫ 0.
+//dtgp:hotpath
 func SoftNeg(gamma, s float64) float64 {
 	return -gamma * softplus(-s/gamma)
 }
 
 // SoftNegGrad returns softneg and d softneg/ds = σ(−s/γ) ∈ (0, 1).
+//dtgp:hotpath
 func SoftNegGrad(gamma, s float64) (float64, float64) {
 	return SoftNeg(gamma, s), sigmoid(-s / gamma)
 }
 
 // softplus computes log(1+exp(x)) without overflow.
+//dtgp:hotpath
 func softplus(x float64) float64 {
 	if x > 30 {
 		return x
@@ -105,6 +125,7 @@ func softplus(x float64) float64 {
 	return math.Log1p(math.Exp(x))
 }
 
+//dtgp:hotpath
 func sigmoid(x float64) float64 {
 	if x >= 0 {
 		return 1 / (1 + math.Exp(-x))

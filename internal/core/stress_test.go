@@ -2,9 +2,12 @@ package core
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
+	"dtgp/internal/gen"
 	"dtgp/internal/parallel"
+	"dtgp/internal/timing"
 )
 
 // TestDiffTimingFlowStress drives the full differentiable-timing flow —
@@ -57,6 +60,79 @@ func TestDiffTimingFlowStress(t *testing.T) {
 	for i := range gx1 {
 		if gx4[i] != gx1[i] || gy4[i] != gy1[i] {
 			t.Fatalf("cell %d gradient differs across schedules: (%v,%v) vs (%v,%v)", i, gx4[i], gy4[i], gx1[i], gy1[i])
+		}
+	}
+}
+
+// TestIncrementalTimerStress replays a deterministic move/update sequence on
+// the incremental timer under a multi-lane pool and again on a single lane.
+// Construction (the parallel Steiner/RC build) and every worklist-driven
+// incremental update must produce bit-identical arrival times, slews and
+// WNS/TNS across schedules, the same contract the full differentiable flow
+// is held to above.
+func TestIncrementalTimerStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	prev := parallel.Workers()
+	defer parallel.SetWorkers(prev)
+
+	const rounds = 12
+	type snapshot struct {
+		wns, tns []float64
+		at, slew []float64
+	}
+	run := func(workers int) snapshot {
+		parallel.SetWorkers(workers)
+		d, con, err := gen.Generate(gen.DefaultParams("core-inc-stress", 300, 57))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := timing.NewGraph(d, con)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tighten the clock so WNS/TNS are non-trivial.
+		con.Period = 0.8 * timing.Analyze(g).CriticalDelay()
+		g, err = timing.NewGraph(d, con)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc := timing.NewIncremental(g)
+		var s snapshot
+		rng := rand.New(rand.NewSource(7))
+		for round := 0; round < rounds; round++ {
+			var moved []int32
+			for len(moved) < 8 {
+				ci := int32(rng.Intn(len(d.Cells)))
+				if !d.Cells[ci].Movable() {
+					continue
+				}
+				d.Cells[ci].Pos.X += rng.NormFloat64() * 30
+				d.Cells[ci].Pos.Y += rng.NormFloat64() * 30
+				moved = append(moved, ci)
+			}
+			inc.MoveCells(moved)
+			s.wns = append(s.wns, inc.WNS)
+			s.tns = append(s.tns, inc.TNS)
+		}
+		s.at = append([]float64(nil), inc.AT...)
+		s.slew = append([]float64(nil), inc.Slew...)
+		return s
+	}
+
+	s4 := run(4)
+	s1 := run(1)
+	for i := range s1.wns {
+		if s4.wns[i] != s1.wns[i] || s4.tns[i] != s1.tns[i] {
+			t.Fatalf("round %d metrics differ across schedules: WNS %v vs %v, TNS %v vs %v",
+				i, s4.wns[i], s1.wns[i], s4.tns[i], s1.tns[i])
+		}
+	}
+	for i := range s1.at {
+		if s4.at[i] != s1.at[i] || s4.slew[i] != s1.slew[i] {
+			t.Fatalf("pin-transition %d state differs across schedules: AT %v vs %v, slew %v vs %v",
+				i, s4.at[i], s1.at[i], s4.slew[i], s1.slew[i])
 		}
 	}
 }

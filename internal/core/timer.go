@@ -214,25 +214,35 @@ func (t *Timer) buildGroups() {
 	t.netGroups = make([][][]int32, len(g.Levels))
 	t.bwdGroups = make([][]bwdGroup, len(g.Levels))
 	for li, level := range g.Levels {
-		cells := map[int32][]int32{}
-		nets := map[int32][]int32{}
+		// Groups are built in first-seen pin order (maps are used for key
+		// lookup only, never iterated), so group order — and with it the
+		// parallel schedule and any serial fallback order — is a pure
+		// function of the levelisation.
+		cellIdx := map[int32]int{}
+		netIdx := map[int32]int{}
 		for _, pid := range level {
 			switch {
 			case g.IsStart[pid]:
 			case g.IsNetSink[pid]:
 				if ni := t.netOfSink[pid]; ni >= 0 {
-					nets[ni] = append(nets[ni], pid)
+					k, ok := netIdx[ni]
+					if !ok {
+						k = len(t.netGroups[li])
+						netIdx[ni] = k
+						t.netGroups[li] = append(t.netGroups[li], nil)
+					}
+					t.netGroups[li][k] = append(t.netGroups[li][k], pid)
 				}
 			case g.IsCellOut[pid]:
 				ci := d.Pins[pid].Cell
-				cells[ci] = append(cells[ci], pid)
+				k, ok := cellIdx[ci]
+				if !ok {
+					k = len(t.cellGroups[li])
+					cellIdx[ci] = k
+					t.cellGroups[li] = append(t.cellGroups[li], nil)
+				}
+				t.cellGroups[li][k] = append(t.cellGroups[li][k], pid)
 			}
-		}
-		for _, pins := range cells {
-			t.cellGroups[li] = append(t.cellGroups[li], pins)
-		}
-		for _, pins := range nets {
-			t.netGroups[li] = append(t.netGroups[li], pins)
 		}
 		for _, pins := range t.netGroups[li] {
 			t.bwdGroups[li] = append(t.bwdGroups[li], bwdGroup{pins: pins, isNet: true})
@@ -375,6 +385,7 @@ func (t *Timer) buildKernels() {
 
 // ensureScratch sizes per-worker candidate scratch to the runtime's current
 // worker count. Called from serial sections only.
+//dtgp:hotpath
 func (t *Timer) ensureScratch() {
 	if n := parallel.Workers(); n > len(t.scratch) {
 		t.scratch = append(t.scratch, make([]fwdScratch, n-len(t.scratch))...)
@@ -383,6 +394,7 @@ func (t *Timer) ensureScratch() {
 
 // refreshNets updates or rebuilds the Steiner/RC state and runs the Elmore
 // forward passes (Fig. 3 stages 1-2).
+//dtgp:hotpath
 func (t *Timer) refreshNets() {
 	if t.Nets == nil {
 		t.Nets = timing.BuildNetStates(t.G)
@@ -400,6 +412,7 @@ func (t *Timer) refreshNets() {
 // objectives (Eq. 6). It returns the timing objective value
 // f = −t1·TNS_γ − t2·WNS_γ (non-negative when violations exist); its
 // gradient with respect to cell positions is left in CellGradX/CellGradY.
+//dtgp:hotpath
 func (t *Timer) Evaluate(t1, t2 float64) float64 {
 	t.refreshNets()
 	t.forward()
@@ -408,6 +421,7 @@ func (t *Timer) Evaluate(t1, t2 float64) float64 {
 
 // EvaluateValueOnly runs just the forward pass (for tests and finite
 // difference checks) and returns f without touching gradients.
+//dtgp:hotpath
 func (t *Timer) EvaluateValueOnly(t1, t2 float64) float64 {
 	t.refreshNets()
 	t.forward()
@@ -429,6 +443,7 @@ func (t *Timer) ExactResult() *timing.Result {
 // ---------------------------------------------------------------------------
 // Forward pass (§3.3 steps 3-4).
 
+//dtgp:hotpath
 func (t *Timer) forward() {
 	t.ensureScratch()
 	ninf := math.Inf(-1)
@@ -461,6 +476,7 @@ func (t *Timer) forward() {
 }
 
 // forwardNetSink applies Eq. 9 per transition.
+//dtgp:hotpath
 func (t *Timer) forwardNetSink(pid int32) {
 	ni := t.netOfSink[pid]
 	if ni < 0 {
@@ -490,6 +506,7 @@ func (t *Timer) forwardNetSink(pid int32) {
 // (input pin, input transition) candidates. Candidates are materialised
 // into the worker's scratch so each LUT is evaluated once (the stable
 // two-pass LSE then runs over the cached values).
+//dtgp:hotpath
 func (t *Timer) forwardCellOut(pid int32, worker int) {
 	g := t.G
 	gamma := t.Opts.Gamma
@@ -548,6 +565,7 @@ func (t *Timer) forwardCellOut(pid int32, worker int) {
 	}
 }
 
+//dtgp:hotpath
 func delayTables(arc *liberty.TimingArc, out timing.Transition) (delay, trans *liberty.LUT) {
 	if out == timing.Rise {
 		return arc.CellRise, arc.RiseTransition
@@ -555,6 +573,7 @@ func delayTables(arc *liberty.TimingArc, out timing.Transition) (delay, trans *l
 	return arc.CellFall, arc.FallTransition
 }
 
+//dtgp:hotpath
 func inputTransitions(u liberty.Unateness, out timing.Transition) [2]int8 {
 	switch u {
 	case liberty.PositiveUnate:
@@ -566,6 +585,7 @@ func inputTransitions(u liberty.Unateness, out timing.Transition) [2]int8 {
 	}
 }
 
+//dtgp:hotpath
 func (t *Timer) driverLoadOf(pid int32) float64 {
 	net := t.G.D.Pins[pid].Net
 	if net < 0 || t.Nets[net].Tree == nil {
@@ -579,6 +599,7 @@ func (t *Timer) driverLoadOf(pid int32) float64 {
 
 // softMin2Grad is the two-input smooth minimum with gradient weights,
 // arithmetically identical to SoftMinGrad(gamma, x0, x1) but allocation-free.
+//dtgp:hotpath
 func softMin2Grad(gamma, x0, x1 float64) (v, w0, w1 float64) {
 	n0, n1 := -x0, -x1
 	m := n0
@@ -594,6 +615,7 @@ func softMin2Grad(gamma, x0, x1 float64) (v, w0, w1 float64) {
 // objective computes the smoothed slack objective; when seed is true it
 // additionally spreads ∂f/∂slack into gAT/gSlew (the endpoint seeds of the
 // reverse sweep). All scratch is Timer-owned.
+//dtgp:hotpath
 func (t *Timer) objective(t1, t2 float64, seed bool) (float64, bool) {
 	g := t.G
 	gamma := t.Opts.Gamma
@@ -706,6 +728,7 @@ func (t *Timer) objective(t1, t2 float64, seed bool) (float64, bool) {
 // endpoint transition. For register endpoints the setup requirement depends
 // on the data slew through the constraint LUT, so the returned value is a
 // function of placement and the backward pass must chain through it.
+//dtgp:hotpath
 func (t *Timer) requiredAt(ep *timing.Endpoint, tr timing.Transition, ti int32) (float64, bool) {
 	switch ep.Kind {
 	case timing.EndFFData:
@@ -723,6 +746,7 @@ func (t *Timer) requiredAt(ep *timing.Endpoint, tr timing.Transition, ti int32) 
 	}
 }
 
+//dtgp:hotpath
 func constraintTable(arc *liberty.TimingArc, dataTr timing.Transition) *liberty.LUT {
 	if dataTr == timing.Rise {
 		return arc.RiseConstraint
@@ -733,6 +757,7 @@ func constraintTable(arc *liberty.TimingArc, dataTr timing.Transition) *liberty.
 // backward seeds endpoint gradients and sweeps the levels in reverse,
 // applying Eq. 12 (cell arcs), Eq. 10 (net arcs) and Eq. 8 (Elmore), then
 // maps Steiner-node gradients onto cells via pin attribution (Fig. 4).
+//dtgp:hotpath
 func (t *Timer) backward(t1, t2 float64) float64 {
 	g := t.G
 	d := g.D
@@ -782,6 +807,7 @@ func (t *Timer) backward(t1, t2 float64) float64 {
 	return f
 }
 
+//dtgp:hotpath
 func allZero(v []float64) bool {
 	for _, x := range v {
 		if x != 0 {
@@ -792,6 +818,7 @@ func allZero(v []float64) bool {
 }
 
 // backwardNetSink applies Eq. 10 for every sink transition of a pin.
+//dtgp:hotpath
 func (t *Timer) backwardNetSink(pid int32) {
 	ni := t.netOfSink[pid]
 	if ni < 0 || t.Nets[ni].Tree == nil {
@@ -822,6 +849,7 @@ func (t *Timer) backwardNetSink(pid int32) {
 }
 
 // backwardCellOut applies Eq. 12 for every output transition of a pin.
+//dtgp:hotpath
 func (t *Timer) backwardCellOut(pid int32) {
 	gamma := t.Opts.Gamma
 	netID := t.G.D.Pins[pid].Net

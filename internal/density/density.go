@@ -108,6 +108,7 @@ func NewGrid(region geom.Rect, m, n int, targetDensity float64) (*Grid, error) {
 }
 
 // binIndex returns clamped bin coordinates of a point.
+//dtgp:hotpath
 func (g *Grid) binIndex(x, y float64) (int, int) {
 	ix := int((x - g.Region.Lo.X) / g.BinW)
 	iy := int((y - g.Region.Lo.Y) / g.BinH)
@@ -150,6 +151,7 @@ func (g *Grid) SetFixed(rects []geom.Rect) {
 
 // splat adds a rectangle's area into bins, normalised by bin area, with
 // charge scaled by `scale`.
+//dtgp:hotpath
 func (g *Grid) splat(x, y, w, h, scale float64, dst []float64) {
 	if w <= 0 || h <= 0 {
 		return
@@ -192,6 +194,7 @@ func (g *Grid) splat(x, y, w, h, scale float64, dst []float64) {
 // effectiveShape applies ePlace's density smoothing: cells smaller than
 // √2× the bin size are inflated to that size with proportionally reduced
 // charge density, keeping total charge equal to the cell area.
+//dtgp:hotpath
 func (g *Grid) effectiveShape(w, h float64) (we, he, scale float64) {
 	we, he = w, h
 	scale = 1.0
@@ -210,6 +213,7 @@ func (g *Grid) effectiveShape(w, h float64) (we, he, scale float64) {
 
 // BuildDensity recomputes the movable charge distribution from cell
 // rectangles (lower-left + size) and adds the fixed contribution.
+//dtgp:hotpath
 func (g *Grid) BuildDensity(x, y, w, h []float64) {
 	copy(g.Density, g.FixedDensity)
 	g.movableArea = 0
@@ -226,6 +230,7 @@ func (g *Grid) BuildDensity(x, y, w, h []float64) {
 // Solve computes potential and field from the current Density via the
 // spectral Poisson solution and returns the total electrostatic energy
 // ½·Σ ρψ·binArea.
+//dtgp:hotpath
 func (g *Grid) Solve() float64 {
 	m, n := g.M, g.N
 	// RHS: density relative to its mean (DC removed; the u=v=0 mode is
@@ -305,6 +310,7 @@ func (g *Grid) Solve() float64 {
 	return e * binArea / 2
 }
 
+//dtgp:hotpath
 func (g *Grid) dct2Rows(a []float64) {
 	// "Rows" here means transforming along u (x index) for each fixed v.
 	m, n := g.M, g.N
@@ -320,6 +326,7 @@ func (g *Grid) dct2Rows(a []float64) {
 	}
 }
 
+//dtgp:hotpath
 func (g *Grid) dct3Rows(a []float64) {
 	m, n := g.M, g.N
 	col, out := g.tCol[:m], g.tOut[:m]
@@ -334,6 +341,7 @@ func (g *Grid) dct3Rows(a []float64) {
 	}
 }
 
+//dtgp:hotpath
 func (g *Grid) dst3Rows(a []float64) {
 	m, n := g.M, g.N
 	col, out := g.tCol[:m], g.tOut[:m]
@@ -348,6 +356,7 @@ func (g *Grid) dst3Rows(a []float64) {
 	}
 }
 
+//dtgp:hotpath
 func (g *Grid) dct2Cols(a []float64) {
 	m, n := g.M, g.N
 	out := g.tOut[:n]
@@ -357,6 +366,7 @@ func (g *Grid) dct2Cols(a []float64) {
 	}
 }
 
+//dtgp:hotpath
 func (g *Grid) dct3Cols(a []float64) {
 	m, n := g.M, g.N
 	out := g.tOut[:n]
@@ -366,6 +376,7 @@ func (g *Grid) dct3Cols(a []float64) {
 	}
 }
 
+//dtgp:hotpath
 func (g *Grid) dst3Cols(a []float64) {
 	m, n := g.M, g.N
 	out := g.tOut[:n]
@@ -379,6 +390,7 @@ func (g *Grid) dst3Cols(a []float64) {
 // (gradX, gradY): ∂D/∂x_i = −q_i·ξx(cell), with the charge spread over the
 // bins the (smoothed) cell overlaps. Solve must have been called. Cells are
 // independent (cell i writes only index i), so the loop runs on the pool.
+//dtgp:hotpath
 func (g *Grid) Gradient(x, y, w, h, gradX, gradY []float64) {
 	g.gx, g.gy, g.gw, g.gh = x, y, w, h
 	g.ggx, g.ggy = gradX, gradY
@@ -388,6 +400,7 @@ func (g *Grid) Gradient(x, y, w, h, gradX, gradY []float64) {
 }
 
 // fieldOverlap integrates the field over the bins a rectangle overlaps.
+//dtgp:hotpath
 func (g *Grid) fieldOverlap(x, y, w, h float64) (fx, fy float64) {
 	x0, y0 := x-g.Region.Lo.X, y-g.Region.Lo.Y
 	ix0 := int(math.Floor(x0 / g.BinW))
@@ -430,6 +443,7 @@ func (g *Grid) fieldOverlap(x, y, w, h float64) (fx, fy float64) {
 // Overflow returns the density overflow ratio: the total movable area in
 // excess of each bin's target capacity, divided by total movable area. This
 // is the placement stop criterion used in the paper's Fig. 8.
+//dtgp:hotpath
 func (g *Grid) Overflow(x, y, w, h []float64) float64 {
 	over := g.overBuf
 	copy(over, g.FixedDensity)

@@ -390,6 +390,7 @@ func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, 
 }
 
 // writePositions pushes a position vector into the design (real cells).
+//dtgp:hotpath
 func (e *engine) writePositions(z []float64) {
 	nSlots := e.nReal + e.nFill
 	for ci := range e.d.Cells {
@@ -401,6 +402,7 @@ func (e *engine) writePositions(z []float64) {
 }
 
 // clamp keeps every movable slot inside the die.
+//dtgp:hotpath
 func (e *engine) clamp(z []float64) {
 	nSlots := e.nReal + e.nFill
 	die := e.d.Die
@@ -416,6 +418,7 @@ func (e *engine) clamp(z []float64) {
 // gradient evaluates the full objective gradient at z into grad (same
 // layout), returning the wirelength and density gradient L1 norms for λ
 // calibration.
+//dtgp:hotpath
 func (e *engine) gradient(z, grad []float64, iter int) (wlNorm, dNorm float64) {
 	nSlots := e.nReal + e.nFill
 	e.writePositions(z)
@@ -509,6 +512,7 @@ func (e *engine) gradient(z, grad []float64, iter int) (wlNorm, dNorm float64) {
 }
 
 // overflow computes the density overflow of the real movable cells at z.
+//dtgp:hotpath
 func (e *engine) overflow(z []float64) float64 {
 	nSlots := e.nReal + e.nFill
 	k := 0

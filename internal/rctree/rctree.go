@@ -77,6 +77,7 @@ func Build(st *rsmt.Tree, root int32, pinCap []float64, rPerUnit, cPerUnit float
 // Rebuild re-extracts the RC tree in place (new topology, reused slices).
 // Steady-state periodic Steiner rebuilds reuse the previous extraction's
 // memory entirely.
+//dtgp:hotpath
 func (t *Tree) Rebuild(st *rsmt.Tree, root int32, pinCap []float64, rPerUnit, cPerUnit float64) error {
 	n := st.NumNodes()
 	if n == 0 {
@@ -182,6 +183,7 @@ func (t *Tree) Rebuild(st *rsmt.Tree, root int32, pinCap []float64, rPerUnit, cP
 
 // RefreshGeometry recomputes edge RC after node coordinates changed but the
 // topology did not (the Steiner-reuse fast path, §3.6).
+//dtgp:hotpath
 func (t *Tree) RefreshGeometry() {
 	st := t.st
 	// Reset caps to pin caps by subtracting old wire caps is error-prone;
@@ -209,6 +211,7 @@ func (t *Tree) RefreshGeometry() {
 
 // Forward runs the four Elmore DP passes (Eq. 7) and the impulse extraction
 // (Eq. 7e).
+//dtgp:hotpath
 func (t *Tree) Forward() {
 	// Pass 1 (bottom-up): Load(u) = Cap(u) + Σ_child Load(v).
 	copy(t.Load, t.Cap)
@@ -279,6 +282,7 @@ func (t *Tree) Backward(gradDelay, gradImpulseSq []float64, gradLoadRoot float64
 // BackwardInto is Backward writing into a caller-owned Grad, growing its
 // slices on first use and reusing them afterwards. Steady-state callers
 // (the timer's per-net gradient buffers) pay zero allocations per sweep.
+//dtgp:hotpath
 func (t *Tree) BackwardInto(g *Grad, gradDelay, gradImpulseSq []float64, gradLoadRoot float64) {
 	n := t.N
 	if cap(g.Beta) < n {
@@ -372,6 +376,7 @@ func (t *Tree) BackwardInto(g *Grad, gradDelay, gradImpulseSq []float64, gradLoa
 //
 //	∂f/∂L(e) = r·∇Res(e) + (c/2)·(∇Cap(p) + ∇Cap(u))
 //	∂L/∂x_u = sign(x_u − x_p), ∂L/∂x_p = −sign(x_u − x_p)   (same for y)
+//dtgp:hotpath
 func (t *Tree) geometryGrad(g *Grad) {
 	st := t.st
 	for _, u := range t.Order {
@@ -389,6 +394,7 @@ func (t *Tree) geometryGrad(g *Grad) {
 	}
 }
 
+//dtgp:hotpath
 func sign(v float64) float64 {
 	switch {
 	case v > 0:

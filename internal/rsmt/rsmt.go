@@ -40,6 +40,7 @@ type Tree struct {
 func (t *Tree) NumNodes() int { return len(t.X) }
 
 // Length returns the total rectilinear wirelength.
+//dtgp:hotpath
 func (t *Tree) Length() float64 {
 	total := 0.0
 	for _, e := range t.Edges {
@@ -51,6 +52,7 @@ func (t *Tree) Length() float64 {
 // UpdateFromPins refreshes all node coordinates from new pin locations
 // without rebuilding topology — the paper's Steiner-reuse strategy (§3.6):
 // Steiner points move along with the pins that own their branches.
+//dtgp:hotpath
 func (t *Tree) UpdateFromPins(px, py []float64) {
 	for i := range t.X {
 		t.X[i] = px[t.XPin[i]]
@@ -88,6 +90,7 @@ func Build(px, py []float64) *Tree {
 // BuildInto rebuilds t in place over new pin coordinates, reusing its slice
 // capacity. With a warm tree and the pooled construction scratch, a rebuild
 // allocates nothing in steady state. Returns t.
+//dtgp:hotpath
 func BuildInto(t *Tree, px, py []float64) *Tree {
 	n := len(px)
 	// The previous Edges backing is owned by t; keep it aside so the final
@@ -123,6 +126,7 @@ func BuildInto(t *Tree, px, py []float64) *Tree {
 	return t
 }
 
+//dtgp:hotpath
 func dist(t *Tree, a, b int32) float64 {
 	return math.Abs(t.X[a]-t.X[b]) + math.Abs(t.Y[a]-t.Y[b])
 }
@@ -136,6 +140,7 @@ type mstScratch struct {
 	edges  [][2]int32
 }
 
+//dtgp:hotpath
 func (s *mstScratch) ensure(n int) {
 	if cap(s.inTree) < n {
 		s.inTree = make([]bool, n)
@@ -155,6 +160,7 @@ func (s *mstScratch) ensure(n int) {
 // mstEdges computes a rectilinear minimum spanning tree over nodes [0, n)
 // of t with Prim's algorithm (O(n²), fine for net degrees seen in practice).
 // The returned slice aliases the scratch and is valid until the next call.
+//dtgp:hotpath
 func mstEdges(t *Tree, n int, s *mstScratch) [][2]int32 {
 	if n < 2 {
 		return nil
@@ -198,6 +204,7 @@ func mstEdges(t *Tree, n int, s *mstScratch) [][2]int32 {
 // pts, and records it in the scratch's best slots when strictly better (so
 // the empty subset — the plain MST — wins ties and useless degree-2 Steiner
 // candidates are avoided). Nodes are rolled back before returning.
+//dtgp:hotpath
 func tryExact(t *Tree, s *buildScratch, pts []hanan, bestLen *float64) {
 	base := len(t.X)
 	for _, h := range pts {
@@ -221,6 +228,7 @@ func tryExact(t *Tree, s *buildScratch, pts []hanan, bestLen *float64) {
 // buildExact finds an optimal RSMT for 3–4 pins by enumerating Hanan-grid
 // Steiner point subsets of size ≤ n−2 and taking the spanning tree of
 // pins ∪ subset with minimum length.
+//dtgp:hotpath
 func buildExact(t *Tree, s *buildScratch) {
 	n := t.NumPins
 	cands := s.cands[:0]
@@ -265,6 +273,7 @@ func buildExact(t *Tree, s *buildScratch) {
 // pointless; degree-0/1 are dead). Pins are never removed. The edge list is
 // filtered in place: every iteration removes at least one more edge than it
 // adds, so the write index never catches the read index.
+//dtgp:hotpath
 func pruneDegenerate(t *Tree, edges [][2]int32, s *buildScratch) [][2]int32 {
 	for {
 		if cap(s.deg) < len(t.X) {
@@ -326,6 +335,7 @@ func pruneDegenerate(t *Tree, edges [][2]int32, s *buildScratch) [][2]int32 {
 // u with two neighbours v, w, the Hanan point s = (med(xu,xv,xw),
 // med(yu,yv,yw)) replaces edges (u,v),(u,w) with (u,s),(v,s),(w,s); the
 // insertion with the largest positive gain is applied repeatedly.
+//dtgp:hotpath
 func buildHeuristic(t *Tree, s *buildScratch) {
 	n := t.NumPins
 	t.Edges = mstEdges(t, n, &s.mst)
@@ -394,8 +404,10 @@ func buildHeuristic(t *Tree, s *buildScratch) {
 	t.Edges = pruneDegenerate(t, t.Edges, s)
 }
 
+//dtgp:hotpath
 func l1(dx, dy float64) float64 { return math.Abs(dx) + math.Abs(dy) }
 
+//dtgp:hotpath
 func median3(a, b, c float64) float64 {
 	if a > b {
 		a, b = b, a
@@ -412,6 +424,7 @@ func median3(a, b, c float64) float64 {
 // median3Owner returns the median of three values together with the node
 // that contributed it (ties resolved toward the first occurrence, which
 // keeps attribution deterministic — the same order a stable sort yields).
+//dtgp:hotpath
 func median3Owner(a, b, c float64, na, nb, nc int32) (float64, int32) {
 	v0, n0, v1, n1, v2, n2 := a, na, b, nb, c, nc
 	if v1 < v0 {

@@ -3,6 +3,8 @@ package timing
 import (
 	"math"
 	"sort"
+
+	"dtgp/internal/bitset"
 )
 
 // Incremental is an incremental late-mode STA engine in the spirit of the
@@ -29,9 +31,18 @@ type Incremental struct {
 	WNS, TNS float64
 
 	netOfSink, posOfSink []int32
-	// dirty pins per level for the pending propagation.
-	dirty  map[int32]bool
-	derate float64
+	// Pending propagation state: work holds dirty pins sorted by
+	// (level, pid), inDirty is their membership bitset. An explicit
+	// worklist instead of a map keyed set makes the drain order
+	// deterministic by construction (map iteration order would otherwise
+	// leak into the re-evaluation schedule) and avoids per-move map churn.
+	work    []int32
+	inDirty bitset.Set
+	// netWork/netTouched collect the incident nets of a move batch in
+	// first-touched order.
+	netWork    []int32
+	netTouched bitset.Set
+	derate     float64
 	// Epsilon below which an AT/slew change does not propagate further.
 	Epsilon float64
 }
@@ -44,7 +55,6 @@ func NewIncremental(g *Graph) *Incremental {
 		AT:      make([]float64, n2),
 		Slew:    make([]float64, n2),
 		Valid:   make([]bool, n2),
-		dirty:   map[int32]bool{},
 		derate:  1,
 		Epsilon: 1e-6,
 	}
@@ -79,6 +89,7 @@ func NewIncremental(g *Graph) *Incremental {
 }
 
 // fullForward runs the complete late propagation from scratch.
+//dtgp:hotpath
 func (inc *Incremental) fullForward() {
 	g := inc.G
 	ninf := math.Inf(-1)
@@ -106,6 +117,7 @@ func (inc *Incremental) fullForward() {
 	}
 }
 
+//dtgp:hotpath
 func (inc *Incremental) initStart(pid int32) {
 	g := inc.G
 	var at, slew float64
@@ -133,6 +145,7 @@ func (inc *Incremental) initStart(pid int32) {
 
 // evalNetSink recomputes a sink pin; returns true when its AT/slew moved by
 // more than Epsilon.
+//dtgp:hotpath
 func (inc *Incremental) evalNetSink(pid int32) bool {
 	ni := inc.netOfSink[pid]
 	if ni < 0 || inc.Nets[ni].Tree == nil {
@@ -162,6 +175,7 @@ func (inc *Incremental) evalNetSink(pid int32) bool {
 }
 
 // evalCellOut recomputes a cell output pin (exact max aggregation).
+//dtgp:hotpath
 func (inc *Incremental) evalCellOut(pid int32) bool {
 	g := inc.G
 	load := 0.0
@@ -216,18 +230,23 @@ func (inc *Incremental) evalCellOut(pid int32) bool {
 // MoveCells informs the engine that the given cells changed position. The
 // incident nets' interconnect is re-extracted and arrival changes propagate
 // forward; endpoint metrics are refreshed.
+//dtgp:hotpath
 func (inc *Incremental) MoveCells(cells []int32) {
 	g := inc.G
 	d := g.D
-	touched := map[int32]bool{}
+	// Collect incident nets in first-touched order (deterministic given
+	// the caller's cell order; a map keyed set would re-extract in random
+	// order and, worse, dirty pins in random order).
+	inc.netWork = inc.netWork[:0]
 	for _, ci := range cells {
 		for _, pid := range d.Cells[ci].Pins {
-			if ni := d.Pins[pid].Net; ni >= 0 && !g.IsClockNet[ni] {
-				touched[ni] = true
+			if ni := d.Pins[pid].Net; ni >= 0 && !g.IsClockNet[ni] && inc.netTouched.TryAdd(ni) {
+				inc.netWork = append(inc.netWork, ni)
 			}
 		}
 	}
-	for ni := range touched {
+	for _, ni := range inc.netWork {
+		inc.netTouched.Remove(ni)
 		ns := &inc.Nets[ni]
 		if ns.Tree == nil {
 			continue
@@ -235,39 +254,37 @@ func (inc *Incremental) MoveCells(cells []int32) {
 		// Re-extract with fresh topology: cheap per net and always valid.
 		buildNetStateInto(g, ni, ns)
 		ns.RC.Forward()
-		net := &d.Nets[ni]
 		// Sinks see new delays; the driver sees a new load (its cell arcs
 		// must be re-evaluated).
-		for _, pid := range net.Pins {
-			if pid == net.Driver {
-				inc.dirty[pid] = true
-			} else {
-				inc.dirty[pid] = true
-			}
+		for _, pid := range d.Nets[ni].Pins {
+			inc.markDirty(pid)
 		}
 	}
 	inc.propagate()
 	inc.recomputeMetrics()
 }
 
-// propagate drains the dirty set in level order, re-evaluating pins and
-// expanding to fanouts when values changed.
+// markDirty appends pid to the worklist unless it is already pending.
+//dtgp:hotpath
+func (inc *Incremental) markDirty(pid int32) {
+	if inc.inDirty.TryAdd(pid) {
+		inc.work = append(inc.work, pid)
+	}
+}
+
+// propagate drains the dirty worklist in (level, pid) order, re-evaluating
+// pins and expanding to fanouts when values changed. The order is total, so
+// the drain schedule — not just the final values — is deterministic.
+//dtgp:hotpath
 func (inc *Incremental) propagate() {
 	g := inc.G
-	if len(inc.dirty) == 0 {
+	if len(inc.work) == 0 {
 		return
 	}
-	// Order dirty pins by level with a sorted worklist.
-	var work []int32
-	for pid := range inc.dirty {
-		work = append(work, pid)
-	}
-	sort.Slice(work, func(i, j int) bool { return g.Level[work[i]] < g.Level[work[j]] })
-	inDirty := inc.dirty
-	for len(work) > 0 {
-		pid := work[0]
-		work = work[1:]
-		delete(inDirty, pid)
+	inc.sortWork()
+	for head := 0; head < len(inc.work); head++ {
+		pid := inc.work[head]
+		inc.inDirty.Remove(pid)
 		var changed bool
 		switch {
 		case g.IsStart[pid]:
@@ -282,13 +299,13 @@ func (inc *Incremental) propagate() {
 			continue
 		}
 		// Expand to fanouts: net sinks if pid drives a net; cell outputs
-		// fed by pid.
+		// fed by pid. Fanouts are strictly deeper than pid, so insertion
+		// always lands beyond head and the pending tail stays sorted.
 		pin := &g.D.Pins[pid]
 		if ni := pin.Net; ni >= 0 && !g.IsClockNet[ni] && g.D.Nets[ni].Driver == pid {
 			for _, q := range g.D.Nets[ni].Pins {
-				if q != pid && !inDirty[q] {
-					inDirty[q] = true
-					work = insertByLevel(g, work, q)
+				if q != pid && inc.inDirty.TryAdd(q) {
+					inc.insertPending(head+1, q)
 				}
 			}
 		}
@@ -300,27 +317,55 @@ func (inc *Incremental) propagate() {
 				if arc.IsCheck() || cell.Pins[arc.From] != pid {
 					continue
 				}
-				q := cell.Pins[arc.To]
-				if !inDirty[q] {
-					inDirty[q] = true
-					work = insertByLevel(g, work, q)
+				if q := cell.Pins[arc.To]; inc.inDirty.TryAdd(q) {
+					inc.insertPending(head+1, q)
 				}
 			}
 		}
 	}
+	inc.work = inc.work[:0]
 }
 
-// insertByLevel keeps the worklist sorted by topological level.
-func insertByLevel(g *Graph, work []int32, pid int32) []int32 {
-	lv := g.Level[pid]
-	i := sort.Search(len(work), func(i int) bool { return g.Level[work[i]] >= lv })
-	work = append(work, 0)
-	copy(work[i+1:], work[i:])
-	work[i] = pid
-	return work
+// sortWork insertion-sorts the worklist by (level, pid). Insertion sort
+// keeps the hot path allocation-free (sort.Slice's closure escapes to the
+// heap) and is fast on the small, mostly-ordered dirty sets incremental
+// moves produce.
+//dtgp:hotpath
+func (inc *Incremental) sortWork() {
+	w := inc.work
+	for i := 1; i < len(w); i++ {
+		x := w[i]
+		j := i - 1
+		for j >= 0 && inc.before(x, w[j]) {
+			w[j+1] = w[j]
+			j--
+		}
+		w[j+1] = x
+	}
+}
+
+// before is the worklist drain order: topological level, then pin id.
+//dtgp:hotpath
+func (inc *Incremental) before(a, b int32) bool {
+	la, lb := inc.G.Level[a], inc.G.Level[b]
+	if la != lb {
+		return la < lb
+	}
+	return a < b
+}
+
+// insertPending inserts pid into the sorted pending region work[from:].
+//dtgp:hotpath
+func (inc *Incremental) insertPending(from int, pid int32) {
+	tail := inc.work[from:]
+	i := from + sort.Search(len(tail), func(i int) bool { return !inc.before(tail[i], pid) })
+	inc.work = append(inc.work, 0)
+	copy(inc.work[i+1:], inc.work[i:])
+	inc.work[i] = pid
 }
 
 // recomputeMetrics refreshes endpoint slacks and WNS/TNS.
+//dtgp:hotpath
 func (inc *Incremental) recomputeMetrics() {
 	g := inc.G
 	period := g.Period()

@@ -29,12 +29,15 @@ type NetState struct {
 }
 
 // SinkDelay returns the Elmore delay from the driver to net pin k.
+//dtgp:hotpath
 func (ns *NetState) SinkDelay(k int) float64 { return ns.RC.Delay[ns.Node[k]] }
 
 // SinkImpulse returns the slew impulse at net pin k.
+//dtgp:hotpath
 func (ns *NetState) SinkImpulse(k int) float64 { return ns.RC.Impulse[ns.Node[k]] }
 
 // DriverLoad returns the total capacitive load seen by the driver.
+//dtgp:hotpath
 func (ns *NetState) DriverLoad() float64 { return ns.RC.Load[ns.RC.Root] }
 
 // BuildNetStates constructs Steiner and RC trees for every timed net, in
@@ -52,6 +55,7 @@ func BuildNetStates(g *Graph) []NetState {
 // reusing each NetState's buffers (coordinate scratch, node maps, RC
 // storage). The periodic topology rebuild is allocation-free once warm.
 // states must have one entry per design net.
+//dtgp:hotpath
 func RebuildNetStates(g *Graph, states []NetState) {
 	parallel.ForGuided(len(states), 8, parallel.CostHeavy, func(_, lo, hi int) {
 		for ni := lo; ni < hi; ni++ {
@@ -60,6 +64,7 @@ func RebuildNetStates(g *Graph, states []NetState) {
 	})
 }
 
+//dtgp:hotpath
 func buildNetStateInto(g *Graph, ni int32, ns *NetState) {
 	d := g.D
 	ns.Net = ni
@@ -125,6 +130,7 @@ func buildNetStateInto(g *Graph, ni int32, ns *NetState) {
 // current pin positions without rebuilding Steiner topology (§3.6: reuse
 // the stored Steiner points, moving them along with their attributed pins).
 // Allocation-free after the first call on a given NetState.
+//dtgp:hotpath
 func RefreshNetState(g *Graph, ns *NetState) {
 	if ns.Tree == nil {
 		return
@@ -146,6 +152,7 @@ func RefreshNetState(g *Graph, ns *NetState) {
 }
 
 // RefreshNetStates updates every net from current pin positions.
+//dtgp:hotpath
 func RefreshNetStates(g *Graph, states []NetState) {
 	parallel.ForGuided(len(states), 16, parallel.CostDefault, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -155,6 +162,7 @@ func RefreshNetStates(g *Graph, states []NetState) {
 }
 
 // ForwardAll runs the Elmore forward passes on every net, in parallel.
+//dtgp:hotpath
 func ForwardAll(states []NetState) {
 	parallel.ForGuided(len(states), 16, parallel.CostDefault, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {

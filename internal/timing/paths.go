@@ -22,20 +22,42 @@ type candidate struct {
 	delay   float64
 }
 
-// pathEnum holds enumeration state over one analysis result.
+// pathEnum holds enumeration state over one analysis result. All per-node
+// state is slice-indexed by TIdx: maps here would make candidate-cache
+// population (and with it the tie order of equal-arrival paths) depend on
+// map iteration order.
 type pathEnum struct {
 	r *Result
-	// cands caches sorted fan-in candidates per TIdx node.
-	cands map[int32][]candidate
+	// cands caches sorted fan-in candidates per TIdx node; haveCands marks
+	// nodes whose (possibly empty) candidate list is already computed.
+	cands     [][]candidate
+	haveCands []bool
+	// devIdx is the deviation index per TIdx node of the entry currently
+	// being materialised; 0 (the canonical worst predecessor) when the
+	// entry carries no deviation for that node. Reset after each use.
+	devIdx []int32
 	// netOf/posOf locate each sink pin's net state (computed once).
 	netOf, posOf []int32
+}
+
+// newPathEnum sizes the slice-indexed enumeration state for one result.
+func newPathEnum(r *Result) *pathEnum {
+	n2 := len(r.ATLate)
+	pe := &pathEnum{
+		r:         r,
+		cands:     make([][]candidate, n2),
+		haveCands: make([]bool, n2),
+		devIdx:    make([]int32, n2),
+	}
+	pe.netOf, pe.posOf = r.sinkLocator()
+	return pe
 }
 
 // candidatesOf returns the fan-in candidates of node t, sorted by arrival
 // descending (index 0 = the canonical worst predecessor).
 func (pe *pathEnum) candidatesOf(t int32) []candidate {
-	if cs, ok := pe.cands[t]; ok {
-		return cs
+	if pe.haveCands[t] {
+		return pe.cands[t]
 	}
 	r := pe.r
 	g := r.G
@@ -75,7 +97,21 @@ func (pe *pathEnum) candidatesOf(t int32) []candidate {
 	}
 	sort.Slice(cs, func(i, j int) bool { return cs[i].arrival > cs[j].arrival })
 	pe.cands[t] = cs
+	pe.haveCands[t] = true
 	return cs
+}
+
+// setDevs installs an entry's deviations into devIdx; clearDevs undoes it.
+func (pe *pathEnum) setDevs(devs []deviation) {
+	for _, d := range devs {
+		pe.devIdx[d.node] = int32(d.idx)
+	}
+}
+
+func (pe *pathEnum) clearDevs(devs []deviation) {
+	for _, d := range devs {
+		pe.devIdx[d.node] = 0
+	}
 }
 
 // deviation switches node t from candidate 0 to candidate idx.
@@ -109,10 +145,8 @@ func (h *entryHeap) Pop() any {
 // chainOf materialises the node chain of an entry from the endpoint to a
 // start pin, honouring its deviations.
 func (pe *pathEnum) chainOf(e enumEntry) []int32 {
-	devAt := map[int32]int{}
-	for _, d := range e.devs {
-		devAt[d.node] = d.idx
-	}
+	pe.setDevs(e.devs)
+	defer pe.clearDevs(e.devs)
 	var chain []int32
 	cur := e.endT
 	for cur >= 0 {
@@ -121,7 +155,7 @@ func (pe *pathEnum) chainOf(e enumEntry) []int32 {
 		if len(cs) == 0 {
 			break
 		}
-		idx := devAt[cur]
+		idx := int(pe.devIdx[cur])
 		if idx >= len(cs) {
 			idx = len(cs) - 1
 		}
@@ -135,8 +169,7 @@ func (pe *pathEnum) chainOf(e enumEntry) []int32 {
 // standard GBA approximation — deviating upstream would in principle change
 // downstream slews slightly; a full PBA re-evaluation is out of scope).
 func (r *Result) KWorstPaths(k int) []Path {
-	pe := &pathEnum{r: r, cands: map[int32][]candidate{}}
-	pe.netOf, pe.posOf = r.sinkLocator()
+	pe := newPathEnum(r)
 	h := &entryHeap{}
 
 	for ei := range r.G.Endpoints {
@@ -197,10 +230,8 @@ func (r *Result) KWorstPaths(k int) []Path {
 // they are reconstructed by summing the candidate delays source→endpoint.
 func (pe *pathEnum) materialise(e enumEntry, chain []int32) Path {
 	r := pe.r
-	devAt := map[int32]int{}
-	for _, d := range e.devs {
-		devAt[d.node] = d.idx
-	}
+	pe.setDevs(e.devs)
+	defer pe.clearDevs(e.devs)
 	// chain is endpoint→source; reverse it.
 	steps := make([]PathStep, len(chain))
 	for i := range chain {
@@ -218,7 +249,7 @@ func (pe *pathEnum) materialise(e enumEntry, chain []int32) Path {
 	for i := 1; i < len(steps); i++ {
 		t := TIdx(steps[i].Pin, steps[i].Transition)
 		cs := pe.candidatesOf(t)
-		idx := devAt[t]
+		idx := int(pe.devIdx[t])
 		if idx >= len(cs) {
 			idx = len(cs) - 1
 		}

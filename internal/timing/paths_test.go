@@ -12,8 +12,7 @@ import (
 // graph-based semantics as KWorstPaths and returns all slacks sorted
 // ascending.
 func bruteForcePaths(r *Result, cap int) []float64 {
-	pe := &pathEnum{r: r, cands: map[int32][]candidate{}}
-	pe.netOf, pe.posOf = r.sinkLocator()
+	pe := newPathEnum(r)
 	var slacks []float64
 	var walk func(t int32, slackSoFar float64)
 	walk = func(t int32, slackSoFar float64) {

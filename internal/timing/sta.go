@@ -172,6 +172,7 @@ func (r *Result) propagateArrival() {
 
 // propNetSink applies the net arc (Eq. 9): AT(v) = AT(u) + Delay(v),
 // Slew(v) = sqrt(Slew(u)² + Impulse(v)²).
+//dtgp:hotpath
 func (r *Result) propNetSink(pid, ni, pos int32) {
 	if ni < 0 {
 		return
@@ -199,6 +200,7 @@ func (r *Result) propNetSink(pid, ni, pos int32) {
 
 // arcCombos returns the input transitions feeding an output transition
 // under the arc's unateness.
+//dtgp:hotpath
 func arcCombos(u liberty.Unateness, out Transition) [2]int8 {
 	// Returned entries are input transitions; -1 marks unused slots.
 	switch u {
@@ -213,6 +215,7 @@ func arcCombos(u liberty.Unateness, out Transition) [2]int8 {
 
 // delayTable returns the delay and transition LUTs producing the given
 // output transition.
+//dtgp:hotpath
 func delayTable(arc *liberty.TimingArc, out Transition) (delay, trans *liberty.LUT) {
 	if out == Rise {
 		return arc.CellRise, arc.RiseTransition
@@ -221,6 +224,7 @@ func delayTable(arc *liberty.TimingArc, out Transition) (delay, trans *liberty.L
 }
 
 // driverLoadOf returns the capacitive load on an output pin's net.
+//dtgp:hotpath
 func (r *Result) driverLoadOf(pid int32) float64 {
 	net := r.G.D.Pins[pid].Net
 	if net < 0 || r.Nets[net].Tree == nil {
@@ -231,6 +235,7 @@ func (r *Result) driverLoadOf(pid int32) float64 {
 
 // propCellOut applies all cell arcs into an output pin (Eq. 11 with exact
 // max/min instead of LSE).
+//dtgp:hotpath
 func (r *Result) propCellOut(pid int32) {
 	g := r.G
 	load := r.driverLoadOf(pid)
@@ -359,6 +364,7 @@ func (r *Result) propagateRequired() {
 }
 
 // pullRequired updates RAT of pin u from its fanouts.
+//dtgp:hotpath
 func (r *Result) pullRequired(u int32) {
 	g := r.G
 	d := g.D
@@ -427,6 +433,7 @@ func (r *Result) pullRequired(u int32) {
 	}
 }
 
+//dtgp:hotpath
 func constraintTable(arc *liberty.TimingArc, dataTr Transition) *liberty.LUT {
 	if dataTr == Rise {
 		return arc.RiseConstraint

@@ -22,6 +22,7 @@ type wlScratch struct {
 	_              [56]byte
 }
 
+//dtgp:hotpath
 func (sc *wlScratch) ensure(n int) {
 	if cap(sc.coords) < n {
 		sc.coords = make([]float64, n)
@@ -71,6 +72,7 @@ func NewModel(d *netlist.Design, gamma float64) *Model {
 // (gradX, gradY) with its gradient with respect to cell positions
 // (accumulating — callers zero the slices). Allocation-free in steady
 // state: all per-net work runs in worker-local scratch.
+//dtgp:hotpath
 func (m *Model) Evaluate(gradX, gradY []float64) float64 {
 	d := m.D
 	if n := parallel.Workers(); n > len(m.scratch) {
@@ -100,6 +102,7 @@ func (m *Model) Evaluate(gradX, gradY []float64) float64 {
 
 // evalNet computes one net's weighted WA wirelength and its pin gradients.
 // Safe to run concurrently across nets: each net touches only its own pins.
+//dtgp:hotpath
 func (m *Model) evalNet(ni int32, sc *wlScratch) float64 {
 	d := m.D
 	net := &d.Nets[ni]
@@ -113,6 +116,7 @@ func (m *Model) evalNet(ni int32, sc *wlScratch) float64 {
 
 // axis evaluates the WA length of one net along one axis, accumulating pin
 // gradients scaled by the net weight.
+//dtgp:hotpath
 func (m *Model) axis(net *netlist.Net, isX bool, sc *wlScratch) float64 {
 	d := m.D
 	gamma := m.Gamma
