@@ -3,7 +3,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race bench check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,25 @@ test: vet
 race:
 	$(GO) test -race ./...
 
+# Fuzz smoke: every parser fuzz target runs FUZZTIME of coverage-guided
+# input generation (go's fuzzer allows one -fuzz target per invocation, so
+# each gets its own run). Findings are minimised into testdata/fuzz/ by the
+# toolchain; commit them as regression seeds.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./internal/bookshelf/ -run '^FuzzParsePl$$' -fuzz '^FuzzParsePl$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bookshelf/ -run '^FuzzParseNodes$$' -fuzz '^FuzzParseNodes$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/liberty/ -run '^FuzzParseLiberty$$' -fuzz '^FuzzParseLiberty$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/verilog/ -run '^FuzzParseVerilog$$' -fuzz '^FuzzParseVerilog$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sdc/ -run '^FuzzParseSdc$$' -fuzz '^FuzzParseSdc$$' -fuzztime $(FUZZTIME)
+
 # check is the full pre-merge gate: compile, static analysis, the whole test
-# suite, and the race detector over the quick (-short) suite.
+# suite, the race detector over the quick (-short) suite, and the parser
+# fuzz smoke.
 check: build vet
 	$(GO) test ./...
 	$(GO) test -race -short ./...
+	$(MAKE) fuzz-smoke
 
 # Full benchmark sweep with allocation stats, repeated for stable medians.
 # The JSON stream (one object per test2json event) lands in BENCH_pool.json

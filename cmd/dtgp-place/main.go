@@ -2,6 +2,11 @@
 // the three flows and reports WNS/TNS/HPWL/runtime; the placed .pl (and the
 // full file set) is written back out.
 //
+// Exit codes: 0 success, 1 load/placement failure (one-line diagnostic on
+// stderr naming the offending file and line), 2 usage error, 3 the run
+// finished but only by surrendering to a persistent numerical fault — the
+// written placement is the best finite iterate, not a converged solution.
+//
 // Usage:
 //
 //	dtgp-place -design bench/superblue4 -flow difftiming -out placed/
@@ -16,13 +21,28 @@ import (
 	"dtgp"
 )
 
+// errSurrendered marks a run that completed only via the supervisor's
+// graceful-degradation path; main maps it to exit code 3.
+var errSurrendered = fmt.Errorf("placement surrendered to a persistent fault")
+
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dtgp-place: %v\n", err)
+		if err == errSurrendered {
+			os.Exit(3)
+		}
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		design  = flag.String("design", "", "path prefix of the benchmark (dir/base)")
 		flowStr = flag.String("flow", "difftiming", "flow: wirelength | netweight | difftiming")
 		out     = flag.String("out", "", "output directory for the placed design (default: in place)")
 		svg     = flag.String("svg", "", "write a slack-coloured placement SVG to this path")
 		iters   = flag.Int("iters", 0, "max iterations (0 = default)")
+		noGuard = flag.Bool("no-guard", false, "disable the fault-tolerance supervisor (checkpoints, rollback)")
 		verbose = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -49,20 +69,19 @@ func main() {
 	}
 	d, con, err := dtgp.LoadBenchmark(dir, base)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtgp-place:", err)
-		os.Exit(1)
+		return err
 	}
 	opts := dtgp.DefaultPlaceOptions(flow)
 	if *iters > 0 {
 		opts.MaxIters = *iters
 	}
+	opts.Guard.Enabled = !*noGuard
 	if *verbose {
 		opts.Logf = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
 	}
 	res, err := dtgp.Place(d, con, flow, &opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtgp-place:", err)
-		os.Exit(1)
+		return fmt.Errorf("placing %s: %w", *design, err)
 	}
 	fmt.Printf("flow       : %v\n", res.Mode)
 	fmt.Printf("iterations : %d\n", res.Iterations)
@@ -74,6 +93,11 @@ func main() {
 		fmt.Printf("legalized  : %d cells, avg disp %.2f, max disp %.2f\n",
 			res.Legal.Moved, res.Legal.AvgDisplacement, res.Legal.MaxDisplacement)
 	}
+	if rec := res.Recovery; rec != nil && !rec.Healthy() {
+		// Structured recovery report: what faulted, when, and how the
+		// supervisor responded.
+		rec.Write(os.Stderr)
+	}
 
 	outDir := dir
 	if *out != "" {
@@ -82,19 +106,23 @@ func main() {
 	if *svg != "" {
 		f, err := os.Create(*svg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dtgp-place:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := dtgp.WritePlacementSVG(f, d, res.STA); err != nil {
-			fmt.Fprintln(os.Stderr, "dtgp-place:", err)
-			os.Exit(1)
+			f.Close()
+			return fmt.Errorf("writing %s: %w", *svg, err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing %s: %w", *svg, err)
+		}
 		fmt.Printf("wrote %s\n", *svg)
 	}
 	if err := dtgp.SaveBenchmark(outDir, base, d, con); err != nil {
-		fmt.Fprintln(os.Stderr, "dtgp-place:", err)
-		os.Exit(1)
+		return fmt.Errorf("saving placed design: %w", err)
 	}
 	fmt.Printf("wrote %s/%s.*\n", outDir, base)
+	if rec := res.Recovery; rec != nil && rec.Surrendered {
+		return errSurrendered
+	}
+	return nil
 }

@@ -1,6 +1,10 @@
 // Command dtgp-sta runs exact static timing analysis on a saved benchmark
 // and prints WNS/TNS plus the worst paths.
 //
+// Exit codes: 0 success, 1 load/analysis failure (one-line diagnostic on
+// stderr naming the offending file and line, or a non-finite timing result),
+// 2 usage error.
+//
 // Usage:
 //
 //	dtgp-sta -design bench/superblue4 [-paths 5]
@@ -16,6 +20,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dtgp-sta: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		design    = flag.String("design", "", "path prefix of the benchmark (dir/base, no extension)")
 		paths     = flag.Int("paths", 3, "number of worst paths to print")
@@ -32,17 +43,21 @@ func main() {
 	}
 	d, con, err := dtgp.LoadBenchmark(dir, base)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtgp-sta:", err)
-		os.Exit(1)
+		return err
 	}
 	if con == nil {
-		fmt.Fprintln(os.Stderr, "dtgp-sta: benchmark has no .sdc constraints")
-		os.Exit(1)
+		return fmt.Errorf("%s: benchmark has no .sdc constraints", *design)
 	}
 	res, err := dtgp.AnalyzeTiming(d, con)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtgp-sta:", err)
-		os.Exit(1)
+		return fmt.Errorf("analyzing %s: %w", *design, err)
+	}
+	// Numerical health gate: a NaN/Inf slack summary means the input data
+	// (library tables, constraints, positions) produced a meaningless
+	// analysis — report it as a failure, never as a timing number.
+	if !res.Finite() {
+		return fmt.Errorf("analyzing %s: non-finite timing result (WNS %v, TNS %v) — check library tables and constraints",
+			*design, res.WNS, res.TNS)
 	}
 	if *enumerate {
 		for i, p := range res.KWorstPaths(*paths) {
@@ -52,10 +67,10 @@ func main() {
 					d.PinName(st.Pin), st.Transition, st.Incr, st.AT)
 			}
 		}
-		return
+		return nil
 	}
 	if err := dtgp.WriteTimingReport(os.Stdout, res, *paths); err != nil {
-		fmt.Fprintln(os.Stderr, "dtgp-sta:", err)
-		os.Exit(1)
+		return fmt.Errorf("writing report: %w", err)
 	}
+	return nil
 }

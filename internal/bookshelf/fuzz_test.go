@@ -1,0 +1,59 @@
+package bookshelf_test
+
+import (
+	"strings"
+	"testing"
+
+	"dtgp/internal/bookshelf"
+	"dtgp/internal/gen"
+)
+
+// seedDesign renders one generated design through the bookshelf writers so
+// the fuzz corpora start from realistic, parser-accepted inputs.
+func seedDesign(f *testing.F, write func(b *strings.Builder) error) {
+	f.Helper()
+	var b strings.Builder
+	if err := write(&b); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b.String())
+}
+
+func FuzzParsePl(f *testing.F) {
+	f.Add("")
+	f.Add("UCLA pl 1.0\n")
+	f.Add("UCLA pl 1.0\n# comment\no0 10 20 : N\no1 -3.5 7e2 : N /FIXED\n")
+	f.Add("UCLA pl 1.0\no0 nan inf : N\n")
+	f.Add("not a pl file")
+	f.Add("UCLA pl 1.0\no0 10\n")
+	d, _, err := gen.Generate(gen.DefaultParams("fz", 60, 1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedDesign(f, func(b *strings.Builder) error { return bookshelf.WritePl(b, d) })
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := bookshelf.ParsePl(src)
+		if err == nil && p == nil {
+			t.Fatal("nil placement without error")
+		}
+	})
+}
+
+func FuzzParseNodes(f *testing.F) {
+	f.Add("")
+	f.Add("UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 1\no0 4 8\np0 0 0 terminal\n")
+	f.Add("UCLA nodes 1.0\no0 4\n")
+	f.Add("UCLA nodes 1.0\no0 x y\n")
+	f.Add("o0 1e308 1e308\no0 -0 +0 terminal extra\n")
+	d, _, err := gen.Generate(gen.DefaultParams("fz", 60, 2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedDesign(f, func(b *strings.Builder) error { return bookshelf.WriteNodes(b, d) })
+	f.Fuzz(func(t *testing.T, src string) {
+		ni, err := bookshelf.ParseNodes(src)
+		if err == nil && ni == nil {
+			t.Fatal("nil node info without error")
+		}
+	})
+}

@@ -2,7 +2,9 @@ package bookshelf
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
@@ -24,39 +26,45 @@ type Placement struct {
 	Fixed map[string]bool
 }
 
-// ParsePl reads a .pl file.
+// ParsePl reads a .pl file. Errors name the offending line number so a CLI
+// diagnostic can point straight at the malformed input.
 func ParsePl(src string) (*Placement, error) {
 	p := &Placement{Pos: map[string]geom.Point{}, Fixed: map[string]bool{}}
 	sc := bufio.NewScanner(strings.NewReader(src))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	first := true
+	ln := 0
 	for sc.Scan() {
+		ln++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		if first {
 			if !strings.HasPrefix(line, "UCLA pl") {
-				return nil, fmt.Errorf("bookshelf: not a pl file: %q", line)
+				return nil, fmt.Errorf("bookshelf: line %d: not a pl file: %q", ln, line)
 			}
 			first = false
 			continue
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 3 {
-			return nil, fmt.Errorf("bookshelf: bad pl line %q", line)
+			return nil, fmt.Errorf("bookshelf: line %d: bad pl line %q", ln, line)
 		}
 		x, err1 := strconv.ParseFloat(fields[1], 64)
 		y, err2 := strconv.ParseFloat(fields[2], 64)
 		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("bookshelf: bad coordinates in %q", line)
+			return nil, fmt.Errorf("bookshelf: line %d: bad coordinates in %q", ln, line)
 		}
 		p.Pos[fields[0]] = geom.Point{X: x, Y: y}
 		if strings.Contains(line, "/FIXED") {
 			p.Fixed[fields[0]] = true
 		}
 	}
-	return p, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bookshelf: reading pl: %w", err)
+	}
+	return p, nil
 }
 
 // Rows holds parsed .scl content.
@@ -138,12 +146,14 @@ type NodeInfo struct {
 	Terminal map[string]bool
 }
 
-// ParseNodes reads a .nodes file.
+// ParseNodes reads a .nodes file. Errors name the offending line number.
 func ParseNodes(src string) (*NodeInfo, error) {
 	ni := &NodeInfo{W: map[string]float64{}, H: map[string]float64{}, Terminal: map[string]bool{}}
 	sc := bufio.NewScanner(strings.NewReader(src))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ln := 0
 	for sc.Scan() {
+		ln++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "UCLA") || strings.HasPrefix(line, "#") ||
 			strings.HasPrefix(line, "NumNodes") || strings.HasPrefix(line, "NumTerminals") {
@@ -156,7 +166,7 @@ func ParseNodes(src string) (*NodeInfo, error) {
 		w, err1 := strconv.ParseFloat(f[1], 64)
 		h, err2 := strconv.ParseFloat(f[2], 64)
 		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("bookshelf: bad nodes line %q", line)
+			return nil, fmt.Errorf("bookshelf: line %d: bad nodes line %q", ln, line)
 		}
 		ni.W[f[0]] = w
 		ni.H[f[0]] = h
@@ -164,14 +174,20 @@ func ParseNodes(src string) (*NodeInfo, error) {
 			ni.Terminal[f[0]] = true
 		}
 	}
-	return ni, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bookshelf: reading nodes: %w", err)
+	}
+	return ni, nil
 }
 
 // Load reads a complete saved benchmark (dir/base.{v,lib,sdc,pl,scl,nodes})
-// back into a bound, placed Design plus its constraints.
+// back into a bound, placed Design plus its constraints. Every error is
+// wrapped with the path of the file it arose in; parse errors additionally
+// carry the line number from the parser.
 func Load(dir, base string) (*netlist.Design, *sdc.Constraints, error) {
+	path := func(ext string) string { return filepath.Join(dir, base+ext) }
 	read := func(ext string) (string, error) {
-		data, err := os.ReadFile(filepath.Join(dir, base+ext))
+		data, err := os.ReadFile(path(ext))
 		if err != nil {
 			return "", err
 		}
@@ -180,33 +196,33 @@ func Load(dir, base string) (*netlist.Design, *sdc.Constraints, error) {
 
 	libSrc, err := read(".lib")
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("load benchmark: %w", err)
 	}
 	lib, err := liberty.Parse(libSrc)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("load benchmark: %s: %w", path(".lib"), err)
 	}
 
 	vSrc, err := read(".v")
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("load benchmark: %w", err)
 	}
 	vn, err := verilog.Parse(vSrc)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("load benchmark: %s: %w", path(".v"), err)
 	}
 	d, err := vn.Build(lib)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("load benchmark: %s: %w", path(".v"), err)
 	}
 
 	plSrc, err := read(".pl")
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("load benchmark: %w", err)
 	}
 	pl, err := ParsePl(plSrc)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("load benchmark: %s: %w", path(".pl"), err)
 	}
 	for ci := range d.Cells {
 		c := &d.Cells[ci]
@@ -217,11 +233,11 @@ func Load(dir, base string) (*netlist.Design, *sdc.Constraints, error) {
 
 	sclSrc, err := read(".scl")
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("load benchmark: %w", err)
 	}
 	rows, err := ParseScl(sclSrc)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("load benchmark: %s: %w", path(".scl"), err)
 	}
 	d.Rows = rows.Rows
 	// Die = bounding box of rows.
@@ -235,32 +251,47 @@ func Load(dir, base string) (*netlist.Design, *sdc.Constraints, error) {
 	}
 	d.Die = geom.Rect{Lo: lo, Hi: hi}
 
-	// Cross-check node sizes when the .nodes file is present.
-	if nodesSrc, err := read(".nodes"); err == nil {
+	// Cross-check node sizes when the .nodes file is present. The file is
+	// optional, so only a genuine absence is ignored — a present-but-
+	// unreadable file (permissions, I/O error) must fail loudly, not be
+	// silently skipped.
+	nodesSrc, err := read(".nodes")
+	switch {
+	case err == nil:
 		info, err := ParseNodes(nodesSrc)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, fmt.Errorf("load benchmark: %s: %w", path(".nodes"), err)
 		}
 		for ci := range d.Cells {
 			c := &d.Cells[ci]
 			if w, ok := info.W[c.Name]; ok && c.Lib >= 0 {
 				if math.Abs(w-c.W) > 1e-6 {
-					return nil, nil, fmt.Errorf("bookshelf: node %s width %g disagrees with library %g",
-						c.Name, w, c.W)
+					return nil, nil, fmt.Errorf("load benchmark: %s: node %s width %g disagrees with library %g",
+						path(".nodes"), c.Name, w, c.W)
 				}
 			}
 		}
+	case errors.Is(err, fs.ErrNotExist):
+		// Optional file, genuinely absent.
+	default:
+		return nil, nil, fmt.Errorf("load benchmark: %w", err)
 	}
 
 	var con *sdc.Constraints
-	if sdcSrc, err := read(".sdc"); err == nil {
+	sdcSrc, err := read(".sdc")
+	switch {
+	case err == nil:
 		con, err = sdc.Parse(sdcSrc)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, fmt.Errorf("load benchmark: %s: %w", path(".sdc"), err)
 		}
+	case errors.Is(err, fs.ErrNotExist):
+		// Constraints are optional (wirelength-only benchmarks).
+	default:
+		return nil, nil, fmt.Errorf("load benchmark: %w", err)
 	}
 	if err := d.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("load benchmark: %s/%s: %w", dir, base, err)
 	}
 	return d, con, nil
 }

@@ -900,6 +900,43 @@ func (t *Timer) backwardCellOut(pid int32) {
 	}
 }
 
+// badFloat reports NaN or ±Inf.
+//
+//dtgp:hotpath
+func badFloat(x float64) bool {
+	return math.IsNaN(x) || math.IsInf(x, 0)
+}
+
+// HealthScan counts non-finite values in the timer's forward state (AT and
+// slew of valid pins — invalid pins hold −Inf sentinels by design), the
+// per-cell location gradients, and the smoothed objective values. The run
+// supervisor calls it once per iteration while the timing objective is
+// active: a non-zero count means a LUT extrapolation or Elmore blow-up
+// poisoned the pass and the iterate must not be trusted. Read-only and
+// allocation-free.
+//
+//dtgp:hotpath
+func (t *Timer) HealthScan() int {
+	bad := 0
+	for i, ok := range t.Valid {
+		if !ok {
+			continue
+		}
+		if badFloat(t.AT[i]) || badFloat(t.Slew[i]) {
+			bad++
+		}
+	}
+	for i := range t.CellGradX {
+		if badFloat(t.CellGradX[i]) || badFloat(t.CellGradY[i]) {
+			bad++
+		}
+	}
+	if badFloat(t.SmTNS) || badFloat(t.SmWNS) {
+		bad++
+	}
+	return bad
+}
+
 // String summarises the timer state for logs.
 func (t *Timer) String() string {
 	return fmt.Sprintf("difftimer{γ=%g steiner=%d evals=%d smWNS=%.1f smTNS=%.1f}",

@@ -1,0 +1,111 @@
+package guard
+
+// Checkpoint is one recoverable optimizer snapshot. Every slice is
+// preallocated by NewRing and overwritten in place on save, so steady-state
+// checkpointing allocates nothing. The fields mirror exactly the state the
+// Nesterov/Barzilai–Borwein loop needs to resume from a past iterate:
+// the main and look-ahead position vectors with the previous pair the BB
+// step difference is formed from, the scalar optimizer state, the per-net
+// weights (mutated by the net-weighting flow), and the RNG seed the run
+// derived its streams from (the optimize loop itself is deterministic and
+// RNG-free; the seed is recorded so stochastic restart strategies can fork
+// reproducibly).
+type Checkpoint struct {
+	// Iter the snapshot was taken at (after that iteration's update).
+	Iter int
+	// U, V are the Nesterov main/look-ahead iterates; VPrev, GPrev the
+	// previous look-ahead position and gradient the BB step uses.
+	U, V, VPrev, GPrev []float64
+	// A is the Nesterov momentum coefficient, Alpha the BB step length,
+	// Lambda the density weight, TGrow the timing-weight growth factor.
+	A, Alpha, Lambda, TGrow float64
+	// PrevOv is the previous iteration's density overflow (momentum
+	// restart state); Overflow/HPWL/WNS are the metrics at save time (WNS
+	// is the differentiable timer's estimate, zero before activation).
+	PrevOv, Overflow, HPWL, WNS float64
+	// TimingActive records whether the timing objective had activated.
+	TimingActive bool
+	// NetWeights and NetVelocity snapshot the per-net weight state of the
+	// net-weighting flow (weights live on the design, velocity on the
+	// updater). Empty for designs without nets to reweight.
+	NetWeights, NetVelocity []float64
+	// Seed is the run's base RNG seed.
+	Seed int64
+}
+
+// Ring is a fixed-capacity ring of checkpoints, oldest overwritten first.
+// Rollback consumes snapshots newest-first, so repeated divergence walks
+// progressively further into the past.
+type Ring struct {
+	slots []Checkpoint
+	n     int // valid snapshots
+	head  int // slot of the most recent valid snapshot
+}
+
+// NewRing preallocates a ring of size snapshots for position vectors of
+// length vecLen and nNets per-net weights.
+func NewRing(size, vecLen, nNets int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	r := &Ring{slots: make([]Checkpoint, size)}
+	for i := range r.slots {
+		cp := &r.slots[i]
+		cp.U = make([]float64, vecLen)
+		cp.V = make([]float64, vecLen)
+		cp.VPrev = make([]float64, vecLen)
+		cp.GPrev = make([]float64, vecLen)
+		cp.NetWeights = make([]float64, nNets)
+		cp.NetVelocity = make([]float64, nNets)
+	}
+	return r
+}
+
+// Len returns the number of valid snapshots.
+func (r *Ring) Len() int { return r.n }
+
+// Next returns the slot the caller should fill for the upcoming snapshot
+// (the oldest slot, about to be overwritten). Call Commit once it is
+// filled; an abandoned Next is harmless.
+//
+//dtgp:hotpath
+func (r *Ring) Next() *Checkpoint {
+	idx := r.head
+	if r.n > 0 {
+		idx = (r.head + 1) % len(r.slots)
+	}
+	return &r.slots[idx]
+}
+
+// Commit publishes the slot returned by the preceding Next.
+//
+//dtgp:hotpath
+func (r *Ring) Commit() {
+	if r.n > 0 {
+		r.head = (r.head + 1) % len(r.slots)
+	}
+	if r.n < len(r.slots) {
+		r.n++
+	}
+}
+
+// Latest returns the most recent snapshot without consuming it, or nil.
+func (r *Ring) Latest() *Checkpoint {
+	if r.n == 0 {
+		return nil
+	}
+	return &r.slots[r.head]
+}
+
+// Pop consumes and returns the most recent snapshot, or nil when empty.
+// A rollback pops so that a retry that diverges again restores an older,
+// safer state instead of looping on the same poisoned snapshot.
+func (r *Ring) Pop() *Checkpoint {
+	if r.n == 0 {
+		return nil
+	}
+	cp := &r.slots[r.head]
+	r.head = (r.head - 1 + len(r.slots)) % len(r.slots)
+	r.n--
+	return cp
+}

@@ -1,0 +1,56 @@
+package liberty_test
+
+import (
+	"strings"
+	"testing"
+
+	"dtgp/internal/gen"
+	"dtgp/internal/liberty"
+)
+
+func FuzzParseLiberty(f *testing.F) {
+	f.Add("")
+	f.Add("library (mini) { }")
+	f.Add(`library (mini) {
+  time_unit : "1ps";
+  lu_table_template (t1) {
+    variable_1 : input_net_transition;
+    variable_2 : total_output_net_capacitance;
+    index_1 ("1, 2");
+    index_2 ("1, 2");
+  }
+  cell (INV) {
+    area : 1.0;
+    pin (A) { direction : input; capacitance : 0.5; }
+    pin (Y) {
+      direction : output;
+      function : "!A";
+      timing () {
+        related_pin : "A";
+        timing_sense : negative_unate;
+        cell_rise (t1) { values ("0.1, 0.2", "0.3, 0.4"); }
+        rise_transition (t1) { values ("0.1, 0.2", "0.3, 0.4"); }
+      }
+    }
+  }
+}`)
+	f.Add("library (broken) { cell (X) { pin (")
+	f.Add("library (esc) { cell (q) { pin (a) { function : \"a \\\n& b\"; } } }")
+	// Round-trip the generated library so the corpus contains one full
+	// realistic cell set (sequential cells, unateness, LUT tables).
+	d, _, err := gen.Generate(gen.DefaultParams("fz", 40, 3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var b strings.Builder
+	if err := liberty.Write(&b, d.Lib); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b.String())
+	f.Fuzz(func(t *testing.T, src string) {
+		lib, err := liberty.Parse(src)
+		if err == nil && lib == nil {
+			t.Fatal("nil library without error")
+		}
+	})
+}

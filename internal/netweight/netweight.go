@@ -105,6 +105,14 @@ func (u *Updater) Update(d *netlist.Design, res *timing.Result) {
 	u.Updates++
 }
 
+// SnapshotVelocity copies the per-net EMA state into dst (len ≥ #nets);
+// used by the run supervisor's checkpoints so a rollback restores the
+// net-weighting feedback loop along with the positions.
+func (u *Updater) SnapshotVelocity(dst []float64) { copy(dst, u.velocity) }
+
+// RestoreVelocity restores state captured by SnapshotVelocity.
+func (u *Updater) RestoreVelocity(src []float64) { copy(u.velocity, src) }
+
 // ResetWeights restores unit weights (used when reusing a design across
 // flow runs).
 func ResetWeights(d *netlist.Design) {

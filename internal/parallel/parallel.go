@@ -27,13 +27,50 @@
 // All results must be independent of the execution interleaving: kernels
 // write disjoint locations, so every schedule produces bit-identical output
 // to the serial path.
+//
+// Panic isolation: a panic inside a kernel body never kills a worker or the
+// process. Every lane recovers, the first panic value + stack is captured,
+// and after the barrier the submitting goroutine re-panics with a typed
+// *KernelPanicError; the pool itself stays parked and fully reusable. The
+// run supervisor (internal/guard) catches that error at the iteration
+// boundary, optionally replays the kernel with ForceSerial for a
+// deterministic diagnostic, and rolls the run back.
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// KernelPanicError is a panic captured inside a parallel kernel. Workers
+// recover the panic instead of crashing the process; after the barrier the
+// submitting goroutine re-panics with this typed value, so callers that
+// supervise kernels (internal/guard) can distinguish a kernel fault from
+// any other panic, report the worker's stack, and keep using the pool —
+// panic isolation leaves every lane parked and ready for the next job.
+type KernelPanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Worker is the lane on which the panic fired.
+	Worker int
+	// Stack is the panicking worker's stack at the recovery point.
+	Stack []byte
+}
+
+func (e *KernelPanicError) Error() string {
+	return fmt.Sprintf("parallel: kernel panic on worker %d: %v", e.Worker, e.Value)
+}
+
+// Unwrap exposes a wrapped error panic value to errors.Is/As chains.
+func (e *KernelPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Per-element cost hints for the dispatch cost model, in rough units of
 // "nanoseconds of work per element". They only need to be right within an
@@ -98,6 +135,13 @@ type Pool struct {
 	// mu serialises submitters. TryLock-failure (nested or concurrent
 	// submission) falls back to inline serial execution.
 	mu sync.Mutex
+
+	// panicErr holds the first panic captured by any lane of the current
+	// job; the submitter re-panics with it after the barrier.
+	panicErr atomic.Pointer[KernelPanicError]
+	// serial forces inline execution of every kernel (ForceSerial); used by
+	// the run supervisor to replay a panicking kernel deterministically.
+	serial atomic.Bool
 
 	// Current job descriptor. Written by the submitter before bumping seq,
 	// read by workers after observing the bump.
@@ -248,11 +292,18 @@ func (p *Pool) Run(tasks ...func()) {
 // acquire decides parallel vs serial and takes the submission lock when
 // parallel. Callers must call run() (which unlocks) when it returns true.
 func (p *Pool) acquire(n, cost int) bool {
-	if p.lanes <= 1 || n < 2 || n*cost < minParallelWork {
+	if p.lanes <= 1 || n < 2 || n*cost < minParallelWork || p.serial.Load() {
 		return false
 	}
 	return p.mu.TryLock()
 }
+
+// ForceSerial switches the pool to inline serial execution (on=true) or back
+// to normal cost-model dispatch. With serial forced, kernels run on the
+// submitting goroutine in index order and a kernel panic propagates raw —
+// exactly what a deterministic diagnostic replay of a KernelPanicError
+// needs. Not intended for use while kernels are in flight.
+func (p *Pool) ForceSerial(on bool) { p.serial.Store(on) }
 
 // laneCount caps the number of participating lanes so each gets at least
 // laneMinWork of estimated work.
@@ -271,15 +322,37 @@ func (p *Pool) laneCount(n, cost int) int {
 }
 
 // run launches the posted job on all lanes, participates as lane 0, waits
-// for the barrier, and releases the submission lock.
+// for the barrier, and releases the submission lock. If any lane's kernel
+// panicked, the first captured panic is re-raised here as a typed
+// *KernelPanicError — after the pool has been restored to an idle, reusable
+// state (barrier drained, job descriptor cleared, lock released).
 func (p *Pool) run() {
 	p.launch()
-	p.runLane(0)
+	p.safeLane(0)
 	p.await0()
 	// Drop references so completed kernels aren't pinned by the pool.
 	p.fnIdx, p.fnChunk, p.fnWorker, p.tasks = nil, nil, nil, nil
 	p.kind = jobNone
+	pe := p.panicErr.Swap(nil)
 	p.mu.Unlock()
+	if pe != nil {
+		panic(pe)
+	}
+}
+
+// safeLane runs lane w's share of the current job, converting a kernel
+// panic into a recorded KernelPanicError instead of letting it unwind the
+// lane. Only the first panic of a job is kept; later ones (other lanes hit
+// the same poisoned data) add nothing to the diagnostic.
+func (p *Pool) safeLane(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicErr.CompareAndSwap(nil, &KernelPanicError{
+				Value: r, Worker: w, Stack: debug.Stack(),
+			})
+		}
+	}()
+	p.runLane(w)
 }
 
 // launch publishes the job to the background lanes: bump the sequence, then
@@ -320,7 +393,7 @@ func (p *Pool) worker(id int, ls *lane) {
 		p.awaitJob(ls, seq)
 		exit := p.kind == jobExit
 		if !exit {
-			p.runLane(id)
+			p.safeLane(id)
 		}
 		if p.pending.Add(-1) == 0 {
 			p.done <- struct{}{}
@@ -483,3 +556,6 @@ func ForGuided(n, grain, cost int, fn func(worker, lo, hi int)) {
 
 // Run executes the tasks across lanes (small fixed fan-outs).
 func Run(tasks ...func()) { Default().Run(tasks...) }
+
+// ForceSerial toggles inline serial execution on the default pool.
+func ForceSerial(on bool) { Default().ForceSerial(on) }

@@ -20,6 +20,7 @@ import (
 	"dtgp/internal/density"
 	"dtgp/internal/detailed"
 	"dtgp/internal/geom"
+	"dtgp/internal/guard"
 	"dtgp/internal/legalize"
 	"dtgp/internal/netlist"
 	"dtgp/internal/netweight"
@@ -102,6 +103,13 @@ type Options struct {
 	TraceTiming bool
 	// TracePeriod is the iteration stride of exact-STA trace points.
 	TracePeriod int
+	// Guard configures the fault-tolerant run supervisor: per-iteration
+	// numerical health monitoring, checkpoint/rollback with damping on
+	// divergence, and panic-isolated kernel recovery. The zero value
+	// disables supervision; DefaultOptions enables guard.DefaultConfig().
+	// Supervision of a healthy run is strictly observational — the
+	// trajectory is bit-identical with it on or off.
+	Guard guard.Config
 	// SkipLegalize leaves the result as raw global placement.
 	SkipLegalize bool
 	// DetailedPasses > 0 runs detailed-placement refinement after
@@ -131,6 +139,7 @@ func DefaultOptions(mode Mode) Options {
 		SteinerPeriod:       10,
 		NetWeightPeriod:     1,
 		TracePeriod:         10,
+		Guard:               guard.DefaultConfig(),
 	}
 }
 
@@ -158,6 +167,10 @@ type Result struct {
 	STA      *timing.Result
 	// GPIterationsPerSecond for quick efficiency comparisons.
 	GPIterationsPerSecond float64
+	// Recovery is the supervisor's fault-tolerance record (nil when
+	// supervision was disabled); Recovery.Healthy() distinguishes a clean
+	// run from one that rolled back or surrendered.
+	Recovery *guard.Report
 }
 
 // Run places the design in-place and returns metrics. The constraints may
@@ -238,6 +251,12 @@ type engine struct {
 	dSlot          []int32
 	mx, my, mw, mh []float64 // overflow arrays over real movable cells
 	nMov           int       // movable real (non-filler) cell count
+
+	// faultHook, when set (tests only), runs right after each gradient
+	// evaluation with the freshly computed gradient. Fault-injection tests
+	// use it to poison an entry with NaN or to dispatch a panicking
+	// parallel kernel at a chosen iteration.
+	faultHook func(iter int, g []float64)
 }
 
 func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, error) {
@@ -526,150 +545,405 @@ func (e *engine) overflow(z []float64) float64 {
 	return e.grid.Overflow(e.mx, e.my, e.mw, e.mh)
 }
 
-func (e *engine) optimize(res *Result) error {
-	opts := e.opts
-	nSlots := e.nReal + e.nFill
-	n2 := 2 * nSlots
+// optState carries the optimizer loop state across iterations, so one
+// iteration is a pure function of (engine, optState) that the supervisor
+// can retry, roll back (guard.Checkpoint mirrors these fields), or replay
+// serially for a diagnostic.
+type optState struct {
+	v, u, uPrev, g, gPrev, vPrev []float64
+	a, alpha                     float64
+	prevOv, bestOv               float64
+	bestU                        []float64
+	bestIter                     int
+	lastOv                       float64
+	stop                         bool
 
-	v := append([]float64(nil), e.z...)
-	u := append([]float64(nil), e.z...)
-	uPrev := append([]float64(nil), e.z...)
-	g := make([]float64, n2)
-	gPrev := make([]float64, n2)
-	vPrev := make([]float64, n2)
-	a := 1.0
-	alpha := 0.0
-	e.tGrow = 1
+	// Recovery damping, applied by rollback only — all zero on a clean
+	// run, so a healthy trajectory is bit-identical with supervision on
+	// or off.
+	dampIters    int     // iterations the BB step stays damped
+	dampFactor   float64 // multiplier on the BB step while damped
+	freezeLambda int     // iterations λ growth stays frozen
+	inDegraded   bool    // report bookkeeping: inside a degrading streak
+}
 
-	// Divergence guards: momentum restart on density regression, λ growth
-	// gating once the density force dominates, and best-solution rollback
-	// when the run plateaus (standard analytical-placer safeguards).
-	prevOv := math.Inf(1)
-	bestOv := math.Inf(1)
-	bestU := append([]float64(nil), u...)
-	bestIter := 0
+func (e *engine) newOptState() *optState {
+	n2 := 2 * (e.nReal + e.nFill)
+	st := &optState{
+		v:          append([]float64(nil), e.z...),
+		u:          append([]float64(nil), e.z...),
+		uPrev:      append([]float64(nil), e.z...),
+		g:          make([]float64, n2),
+		gPrev:      make([]float64, n2),
+		vPrev:      make([]float64, n2),
+		a:          1,
+		alpha:      0,
+		prevOv:     math.Inf(1),
+		bestOv:     math.Inf(1),
+		dampFactor: 1,
+	}
+	st.bestU = append([]float64(nil), st.u...)
+	return st
+}
 
-	for iter := 0; iter < opts.MaxIters; iter++ {
-		// Net-weighting hook: exact STA on the current major iterate.
-		if e.nwUp != nil && e.timingActive && iter%max(1, opts.NetWeightPeriod) == 0 {
-			e.writePositions(u)
-			sta := timing.Analyze(e.graph)
-			e.nwUp.Update(e.d, sta)
+// step executes one Nesterov/Barzilai–Borwein iteration. Any panic below it
+// — including a kernel panic isolated into a *parallel.KernelPanicError by
+// the worker pool — is recovered into err so the supervisor can roll back
+// instead of crashing the run. quiet suppresses trace/log side effects
+// (used by the serial diagnostic replay).
+func (e *engine) step(st *optState, iter int, res *Result, quiet bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = guard.AsError(r)
 		}
+	}()
+	opts := &e.opts
+	n2 := len(st.u)
 
-		wlNorm, dNorm := e.gradient(v, g, iter)
+	// Net-weighting hook: exact STA on the current major iterate.
+	if e.nwUp != nil && e.timingActive && iter%max(1, opts.NetWeightPeriod) == 0 {
+		e.writePositions(st.u)
+		sta := timing.Analyze(e.graph)
+		e.nwUp.Update(e.d, sta)
+	}
 
-		if iter == 0 {
-			if dNorm > 0 {
-				e.lambda = opts.LambdaInitFactor * wlNorm / dNorm
-			} else {
-				e.lambda = opts.LambdaInitFactor
-			}
-			// λ was zero during the first gradient eval; recompute with
-			// the calibrated λ so the first step is balanced.
-			wlNorm, dNorm = e.gradient(v, g, iter)
-			maxG := 0.0
-			for _, gi := range g {
-				if m := math.Abs(gi); m > maxG {
-					maxG = m
-				}
-			}
-			if maxG > 0 {
-				alpha = e.grid.BinW / maxG
-			} else {
-				alpha = 1
-			}
+	wlNorm, dNorm := e.gradient(st.v, st.g, iter)
+	if e.faultHook != nil {
+		e.faultHook(iter, st.g)
+	}
+
+	if iter == 0 {
+		if dNorm > 0 {
+			e.lambda = opts.LambdaInitFactor * wlNorm / dNorm
 		} else {
-			// Barzilai–Borwein step length on the preconditioned system.
-			var num, den float64
-			for i := 0; i < n2; i++ {
-				dv := v[i] - vPrev[i]
-				dg := g[i] - gPrev[i]
-				num += dv * dv
-				den += dg * dg
+			e.lambda = opts.LambdaInitFactor
+		}
+		// λ was zero during the first gradient eval; recompute with
+		// the calibrated λ so the first step is balanced.
+		wlNorm, dNorm = e.gradient(st.v, st.g, iter)
+		maxG := 0.0
+		for _, gi := range st.g {
+			if m := math.Abs(gi); m > maxG {
+				maxG = m
 			}
-			if den > 0 && num > 0 {
-				alpha = math.Sqrt(num / den)
+		}
+		if maxG > 0 {
+			st.alpha = e.grid.BinW / maxG
+		} else {
+			st.alpha = 1
+		}
+	} else {
+		// Barzilai–Borwein step length on the preconditioned system. A
+		// non-finite num/den (one poisoned coordinate is enough) or a
+		// non-finite resulting step keeps the previous step length
+		// instead of propagating the poison into u and v.
+		var num, den float64
+		for i := 0; i < n2; i++ {
+			dv := st.v[i] - st.vPrev[i]
+			dg := st.g[i] - st.gPrev[i]
+			num += dv * dv
+			den += dg * dg
+		}
+		if num > 0 && den > 0 && !math.IsInf(num, 1) && !math.IsInf(den, 1) {
+			if na := math.Sqrt(num / den); !math.IsNaN(na) && !math.IsInf(na, 0) {
+				st.alpha = na
 			}
 		}
+	}
+	if st.dampIters > 0 {
+		// Post-rollback damping: retry the diverged stretch with shrunk
+		// steps so the same trajectory is not replayed into the same
+		// blow-up.
+		st.alpha *= st.dampFactor
+		st.dampIters--
+	}
 
-		copy(vPrev, v)
-		copy(gPrev, g)
-		copy(uPrev, u)
-		for i := 0; i < n2; i++ {
-			u[i] = v[i] - alpha*g[i]
-		}
-		e.clamp(u)
-		aNew := (1 + math.Sqrt(4*a*a+1)) / 2
-		coef := (a - 1) / aNew
-		for i := 0; i < n2; i++ {
-			v[i] = u[i] + coef*(u[i]-uPrev[i])
-		}
-		e.clamp(v)
-		a = aNew
+	copy(st.vPrev, st.v)
+	copy(st.gPrev, st.g)
+	copy(st.uPrev, st.u)
+	for i := 0; i < n2; i++ {
+		st.u[i] = st.v[i] - st.alpha*st.g[i]
+	}
+	e.clamp(st.u)
+	aNew := (1 + math.Sqrt(4*st.a*st.a+1)) / 2
+	coef := (st.a - 1) / aNew
+	for i := 0; i < n2; i++ {
+		st.v[i] = st.u[i] + coef*(st.u[i]-st.uPrev[i])
+	}
+	e.clamp(st.v)
+	st.a = aNew
 
-		ov := e.overflow(u)
-		res.Iterations = iter + 1
+	ov := e.overflow(st.u)
+	res.Iterations = iter + 1
+	st.lastOv = ov
 
-		// Momentum restart when spreading regresses noticeably — Nesterov
-		// momentum otherwise amplifies oscillations into divergence.
-		if ov > prevOv+0.02 {
-			a = 1
-		}
-		prevOv = ov
-		if ov < bestOv-1e-4 {
-			bestOv = ov
-			copy(bestU, u)
-			bestIter = iter
-		}
-		// Plateau rollback: no overflow progress for a long stretch during
-		// the spreading phase means the run is oscillating; restore the
-		// best iterate instead of grinding λ upward forever.
-		if ov < 0.6 && iter-bestIter > 200 {
-			copy(u, bestU)
+	// Momentum restart when spreading regresses noticeably — Nesterov
+	// momentum otherwise amplifies oscillations into divergence.
+	if ov > st.prevOv+0.02 {
+		st.a = 1
+	}
+	st.prevOv = ov
+	if ov < st.bestOv-1e-4 {
+		st.bestOv = ov
+		copy(st.bestU, st.u)
+		st.bestIter = iter
+	}
+	// Plateau rollback: no overflow progress for a long stretch during
+	// the spreading phase means the run is oscillating; restore the
+	// best iterate instead of grinding λ upward forever.
+	if ov < 0.6 && iter-st.bestIter > 200 {
+		copy(st.u, st.bestU)
+		if !quiet {
 			opts.Logf("[%v] plateau at iter %d; restoring best overflow %.3f (iter %d)",
-				opts.Mode, iter, bestOv, bestIter)
-			break
+				opts.Mode, iter, st.bestOv, st.bestIter)
 		}
+		st.stop = true
+		return nil
+	}
 
-		// Timing activation (§4: from ~iteration 100, once spread).
-		if !e.timingActive && opts.Mode != ModeWirelength &&
-			(iter+1 >= opts.TimingStartIter || ov < opts.TimingStartOverflow) {
-			e.timingActive = true
+	// Timing activation (§4: from ~iteration 100, once spread).
+	if !e.timingActive && opts.Mode != ModeWirelength &&
+		(iter+1 >= opts.TimingStartIter || ov < opts.TimingStartOverflow) {
+		e.timingActive = true
+		if !quiet {
 			opts.Logf("[%v] timing activated at iter %d (overflow %.3f)",
 				opts.Mode, iter+1, ov)
 		}
-		_ = wlNorm
-		if e.timingActive && e.tGrow < 10 {
-			// §4: t1, t2 grow 1% per iteration; capped so late iterations
-			// cannot let the timing term overwhelm wirelength/density.
-			e.tGrow *= opts.TimingGrowth
+	}
+	if e.timingActive && e.tGrow < 10 {
+		// §4: t1, t2 grow 1% per iteration; capped so late iterations
+		// cannot let the timing term overwhelm wirelength/density.
+		e.tGrow *= opts.TimingGrowth
+	}
+
+	// Trace.
+	if !quiet && opts.TracePeriod > 0 && iter%opts.TracePeriod == 0 {
+		e.writePositions(st.u)
+		tp := TracePoint{Iter: iter, HPWL: e.d.HPWL(), Overflow: ov}
+		if opts.TraceTiming && e.graph != nil {
+			sta := timing.Analyze(e.graph)
+			tp.WNS, tp.TNS, tp.HasTiming = sta.WNS, sta.TNS, true
+		}
+		res.Trace = append(res.Trace, tp)
+		opts.Logf("[%v] iter %4d HPWL %.4g overflow %.3f λ %.3g α %.3g",
+			opts.Mode, iter, tp.HPWL, ov, e.lambda, st.alpha)
+	}
+
+	// Grow λ only while the density force is not yet dominant; past
+	// that point further growth only destabilises the system. Frozen for
+	// a stretch after a rollback (divergence damping).
+	if st.freezeLambda > 0 {
+		st.freezeLambda--
+	} else if e.lambda*dNorm <= 20*wlNorm {
+		e.lambda *= opts.LambdaGrowth
+	}
+
+	if ov < opts.StopOverflow {
+		st.stop = true
+	}
+	return nil
+}
+
+// observe assembles this iteration's health observation from read-only
+// scans — it never perturbs the trajectory.
+//
+//dtgp:hotpath
+func (e *engine) observe(mon *guard.Monitor, st *optState, iter int) (guard.Health, guard.Reason) {
+	nfPos, _ := guard.ScanVec(st.u)
+	nfGrad, gNorm := guard.ScanVec(st.g)
+	nfTiming := 0
+	if e.timingActive && e.timer != nil {
+		nfTiming = e.timer.HealthScan()
+	}
+	return mon.Observe(guard.Obs{
+		Iter:            iter,
+		GradNorm:        gNorm,
+		NonFinitePos:    nfPos,
+		NonFiniteGrad:   nfGrad,
+		NonFiniteTiming: nfTiming,
+		Alpha:           st.alpha,
+		Lambda:          e.lambda,
+		Overflow:        st.lastOv,
+	})
+}
+
+// checkpoint copies the resumable optimizer state into the ring's next
+// slot. All destinations are preallocated — steady-state checkpointing
+// does not allocate.
+func (e *engine) checkpoint(ring *guard.Ring, st *optState, iter int) {
+	cp := ring.Next()
+	cp.Iter = iter
+	copy(cp.U, st.u)
+	copy(cp.V, st.v)
+	copy(cp.VPrev, st.vPrev)
+	copy(cp.GPrev, st.gPrev)
+	cp.A, cp.Alpha = st.a, st.alpha
+	cp.Lambda, cp.TGrow = e.lambda, e.tGrow
+	cp.PrevOv, cp.Overflow = st.prevOv, st.lastOv
+	cp.TimingActive = e.timingActive
+	for ni := range e.d.Nets {
+		cp.NetWeights[ni] = e.d.Nets[ni].Weight
+	}
+	if e.nwUp != nil {
+		e.nwUp.SnapshotVelocity(cp.NetVelocity)
+	}
+	cp.Seed = e.opts.Seed
+	e.writePositions(st.u)
+	cp.HPWL = e.d.HPWL()
+	if e.timer != nil {
+		cp.WNS = e.timer.EstWNS
+	}
+	ring.Commit()
+}
+
+// rollback restores the most recent checkpoint (consuming it, so repeated
+// divergence walks further back) and applies damping: momentum reset, BB
+// steps halved for a stretch, λ growth frozen. Returns nil when the ring
+// is exhausted.
+func (e *engine) rollback(ring *guard.Ring, st *optState, cfg guard.Config) *guard.Checkpoint {
+	cp := ring.Pop()
+	if cp == nil {
+		return nil
+	}
+	copy(st.u, cp.U)
+	copy(st.uPrev, cp.U)
+	copy(st.v, cp.V)
+	copy(st.vPrev, cp.VPrev)
+	copy(st.gPrev, cp.GPrev)
+	st.a = 1 // reset momentum
+	st.alpha = cp.Alpha
+	st.prevOv = cp.PrevOv
+	st.lastOv = cp.Overflow
+	e.lambda = cp.Lambda
+	e.tGrow = cp.TGrow
+	e.timingActive = cp.TimingActive
+	for ni := range e.d.Nets {
+		e.d.Nets[ni].Weight = cp.NetWeights[ni]
+	}
+	if e.nwUp != nil {
+		e.nwUp.RestoreVelocity(cp.NetVelocity)
+	}
+	st.dampFactor *= 0.5
+	st.dampIters = 3 * cfg.CheckpointPeriod
+	st.freezeLambda = 3 * cfg.CheckpointPeriod
+	e.writePositions(st.u)
+	return cp
+}
+
+func (e *engine) optimize(res *Result) error {
+	if e.opts.Logf == nil {
+		e.opts.Logf = func(string, ...any) {}
+	}
+	e.tGrow = 1
+	st := e.newOptState()
+
+	cfg := e.opts.Guard.Normalized()
+	var (
+		mon  *guard.Monitor
+		ring *guard.Ring
+		rep  *guard.Report
+	)
+	if cfg.Enabled {
+		mon = guard.NewMonitor(cfg)
+		ring = guard.NewRing(cfg.RingSize, len(st.u), len(e.d.Nets))
+		rep = &guard.Report{Enabled: true, CheckpointIter: -1}
+		res.Recovery = rep
+	}
+
+	retries := 0
+	for iter := 0; iter < e.opts.MaxIters; iter++ {
+		err := e.step(st, iter, res, false)
+
+		health, reason := guard.Healthy, guard.ReasonNone
+		if err != nil {
+			health, reason = guard.Diverged, guard.ReasonKernelPanic
+		} else if mon != nil {
+			health, reason = e.observe(mon, st, iter)
 		}
 
-		// Trace.
-		if opts.TracePeriod > 0 && iter%opts.TracePeriod == 0 {
-			e.writePositions(u)
-			tp := TracePoint{Iter: iter, HPWL: e.d.HPWL(), Overflow: ov}
-			if opts.TraceTiming && e.graph != nil {
-				sta := timing.Analyze(e.graph)
-				tp.WNS, tp.TNS, tp.HasTiming = sta.WNS, sta.TNS, true
+		if health == guard.Diverged {
+			if mon == nil {
+				// Unsupervised: fail the run with the captured fault
+				// rather than crashing the process.
+				return fmt.Errorf("place: iteration %d failed: %w", iter, err)
 			}
-			res.Trace = append(res.Trace, tp)
-			opts.Logf("[%v] iter %4d HPWL %.4g overflow %.3f λ %.3g α %.3g",
-				opts.Mode, iter, tp.HPWL, ov, e.lambda, alpha)
+			detail := ""
+			if err != nil {
+				// Produce the deterministic diagnostic: re-run the
+				// faulting iteration once with the pool forced serial.
+				// State is about to be rolled back, so the replay's
+				// mutations are harmless.
+				detail = err.Error() + "\n" + guard.SerialDiagnostic(func() {
+					if rerr := e.step(st, iter, res, true); rerr != nil {
+						panic(rerr)
+					}
+				})
+			}
+			retries++
+			if retries > cfg.RetryBudget {
+				e.surrender(st, rep, iter, reason, "retry budget exhausted")
+				break
+			}
+			cp := e.rollback(ring, st, cfg)
+			if cp == nil {
+				e.surrender(st, rep, iter, reason, "no checkpoint to roll back to")
+				break
+			}
+			mon.Reset()
+			rep.Rollbacks++
+			rep.Record(guard.Incident{
+				Iter: iter, Health: guard.Diverged, Reason: reason,
+				Action: fmt.Sprintf("rollback to iter %d (retry %d/%d, step damped ×%.3g)",
+					cp.Iter, retries, cfg.RetryBudget, st.dampFactor),
+				Detail: detail,
+			})
+			e.opts.Logf("[%v] %s at iter %d; rollback to iter %d (retry %d/%d)",
+				e.opts.Mode, reason, iter, cp.Iter, retries, cfg.RetryBudget)
+			continue
 		}
 
-		// Grow λ only while the density force is not yet dominant; past
-		// that point further growth only destabilises the system.
-		if e.lambda*dNorm <= 20*wlNorm {
-			e.lambda *= opts.LambdaGrowth
+		if rep != nil {
+			if health == guard.Degrading && !st.inDegraded {
+				rep.Record(guard.Incident{
+					Iter: iter, Health: health, Reason: reason,
+					Action: "watching (a sustained streak escalates to rollback)",
+				})
+			}
+			st.inDegraded = health == guard.Degrading
 		}
 
-		if ov < opts.StopOverflow {
+		if mon != nil && health == guard.Healthy && iter%cfg.CheckpointPeriod == 0 {
+			e.checkpoint(ring, st, iter)
+			rep.CheckpointIter = iter
+		}
+
+		if st.stop {
 			break
 		}
 	}
 
-	e.writePositions(u)
+	// Final safeguard: a supervised run never hands back a non-finite
+	// iterate, whatever path led here.
+	if mon != nil {
+		if nf, _ := guard.ScanVec(st.u); nf > 0 {
+			e.surrender(st, rep, res.Iterations, guard.ReasonNonFinitePos,
+				"non-finite final iterate")
+		}
+	}
+	e.writePositions(st.u)
 	return nil
+}
+
+// surrender restores the best-seen finite iterate and marks the run as
+// gracefully degraded instead of erroring out.
+func (e *engine) surrender(st *optState, rep *guard.Report, iter int, reason guard.Reason, why string) {
+	copy(st.u, st.bestU)
+	rep.Surrendered = true
+	rep.Record(guard.Incident{
+		Iter: iter, Health: guard.Diverged, Reason: reason,
+		Action: fmt.Sprintf("%s; returning best finite iterate (iter %d, overflow %.3f)",
+			why, st.bestIter, st.bestOv),
+	})
+	e.opts.Logf("[%v] %s at iter %d; returning best finite iterate from iter %d",
+		e.opts.Mode, why, iter, st.bestIter)
 }

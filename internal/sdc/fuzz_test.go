@@ -1,0 +1,52 @@
+package sdc_test
+
+import (
+	"strings"
+	"testing"
+
+	"dtgp/internal/gen"
+	"dtgp/internal/sdc"
+)
+
+func FuzzParseSdc(f *testing.F) {
+	f.Add("")
+	f.Add("create_clock -name clk -period 500 [get_ports clk]\n")
+	f.Add(`create_clock -name clk -period 500 [get_ports clk]
+set_input_transition 20 [get_ports clk]
+set_input_delay 50 -clock clk [get_ports in0]
+set_output_delay 50 -clock clk [get_ports out0]
+set_load 2.5 [get_ports out0]
+set_timing_derate -early 0.95
+set_timing_derate -late 1.05
+`)
+	f.Add("create_clock -period nan [get_ports clk]")
+	f.Add("set_input_delay [get_ports")
+	f.Add("# comment only\n\n")
+	_, con, err := gen.Generate(gen.DefaultParams("fz", 40, 5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var b strings.Builder
+	if err := sdc.Write(&b, con); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b.String())
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := sdc.Parse(src)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("nil constraints without error")
+		}
+		// Accepted constraints must survive a write→parse round trip:
+		// Write is documented to emit text Parse accepts.
+		var out strings.Builder
+		if err := sdc.Write(&out, c); err != nil {
+			t.Fatalf("write after successful parse: %v", err)
+		}
+		if _, err := sdc.Parse(out.String()); err != nil {
+			t.Fatalf("round-trip re-parse failed: %v\ninput: %q\nemitted: %q", err, src, out.String())
+		}
+	})
+}

@@ -7,6 +7,7 @@ package sdc
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -142,6 +143,24 @@ func Parse(src string) (*Constraints, error) {
 	return c, nil
 }
 
+// cleanName strips quoting and bracket characters from an extracted token.
+// The flattened [get_ports x] syntax this dialect re-emits cannot quote
+// these characters, so names are normalised on the way in — otherwise a
+// name like `0[0` would emit as `[get_ports 0[0]` and destroy the bracket
+// structure on re-parse.
+func cleanName(s string) string {
+	if !strings.ContainsAny(s, "\"{}[]") {
+		return s
+	}
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '"', '{', '}', '[', ']':
+			return -1
+		}
+		return r
+	}, s)
+}
+
 // tokenize splits an SDC line, flattening [get_ports name] and
 // [get_clocks name] bracket expressions to the bare name.
 func tokenize(line string) ([]string, error) {
@@ -157,10 +176,14 @@ func tokenize(line string) ([]string, error) {
 				return nil, fmt.Errorf("unbalanced bracket")
 			}
 			inner := strings.Fields(line[i+1 : i+end])
+			name := ""
 			if len(inner) >= 2 && (inner[0] == "get_ports" || inner[0] == "get_pins" || inner[0] == "get_clocks") {
-				toks = append(toks, strings.Trim(inner[1], "{}\""))
+				name = cleanName(inner[1])
 			} else if len(inner) > 0 {
-				toks = append(toks, inner[len(inner)-1])
+				name = cleanName(inner[len(inner)-1])
+			}
+			if name != "" {
+				toks = append(toks, name)
 			}
 			i += end + 1
 		case line[i] == '{' || line[i] == '}':
@@ -170,7 +193,9 @@ func tokenize(line string) ([]string, error) {
 			for j < len(line) && line[j] != ' ' && line[j] != '\t' && line[j] != '[' {
 				j++
 			}
-			toks = append(toks, line[i:j])
+			if tok := cleanName(line[i:j]); tok != "" {
+				toks = append(toks, tok)
+			}
 			i = j
 		}
 	}
@@ -200,11 +225,15 @@ func (c *Constraints) parseCreateClock(toks []string) error {
 		case "-waveform":
 			i++ // skip the waveform list token
 		default:
+			if strings.HasPrefix(toks[i], "-") {
+				// Unknown flag: ignored, never mistaken for a port name.
+				continue
+			}
 			port = toks[i]
 		}
 	}
-	if c.Period <= 0 {
-		return fmt.Errorf("create_clock: missing or non-positive period")
+	if !(c.Period > 0) || math.IsInf(c.Period, 0) {
+		return fmt.Errorf("create_clock: missing, non-positive or non-finite period")
 	}
 	c.ClockPort = port
 	if c.ClockName == "" {
@@ -229,14 +258,17 @@ func (c *Constraints) parseDerate(toks []string) error {
 		default:
 			v, err := strconv.ParseFloat(t, 64)
 			if err != nil {
+				if strings.HasPrefix(t, "-") {
+					continue // unknown flag
+				}
 				return fmt.Errorf("set_timing_derate: bad value %q", t)
 			}
 			value = v
 			haveValue = true
 		}
 	}
-	if !haveValue || value <= 0 {
-		return fmt.Errorf("set_timing_derate: missing or non-positive value")
+	if !haveValue || !(value > 0) || math.IsInf(value, 0) {
+		return fmt.Errorf("set_timing_derate: missing, non-positive or non-finite value")
 	}
 	if !early && !late {
 		early, late = true, true
@@ -262,20 +294,30 @@ func parsePortValue(toks []string, dst map[string]float64) error {
 		case "-max", "-min", "-rise", "-fall", "-add_delay":
 			// accepted and merged
 		default:
+			t := toks[i]
 			if !haveValue {
-				v, err := strconv.ParseFloat(toks[i], 64)
-				if err != nil {
-					return fmt.Errorf("bad value %q", toks[i])
+				if v, err := strconv.ParseFloat(t, 64); err == nil {
+					value = v
+					haveValue = true
+					continue
 				}
-				value = v
-				haveValue = true
-			} else {
-				port = toks[i]
+				if strings.HasPrefix(t, "-") {
+					continue // unknown flag, not a (negative) value
+				}
+				return fmt.Errorf("bad value %q", t)
 			}
+			if strings.HasPrefix(t, "-") {
+				// Unknown flag: ignored, never mistaken for a port name.
+				continue
+			}
+			port = t
 		}
 	}
 	if !haveValue || port == "" {
 		return fmt.Errorf("missing value or port")
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("non-finite value %v", value)
 	}
 	dst[port] = value
 	return nil
@@ -289,13 +331,20 @@ func Write(w io.Writer, c *Constraints) error {
 			c.ClockName, c.Period, c.ClockPort)
 		fmt.Fprintf(&b, "set_input_transition %g [get_ports %s]\n", c.ClockSlew, c.ClockPort)
 	}
+	// With no clock defined (delays can legally precede or lack a
+	// create_clock), "-clock" must be omitted entirely — an empty name
+	// would make the flag swallow the following token on re-parse.
+	clockRef := ""
+	if c.ClockName != "" {
+		clockRef = " -clock " + c.ClockName
+	}
 	for _, port := range sortedKeys(c.InputDelay) {
-		fmt.Fprintf(&b, "set_input_delay %g -clock %s [get_ports %s]\n",
-			c.InputDelay[port], c.ClockName, port)
+		fmt.Fprintf(&b, "set_input_delay %g%s [get_ports %s]\n",
+			c.InputDelay[port], clockRef, port)
 	}
 	for _, port := range sortedKeys(c.OutputDelay) {
-		fmt.Fprintf(&b, "set_output_delay %g -clock %s [get_ports %s]\n",
-			c.OutputDelay[port], c.ClockName, port)
+		fmt.Fprintf(&b, "set_output_delay %g%s [get_ports %s]\n",
+			c.OutputDelay[port], clockRef, port)
 	}
 	for _, port := range sortedKeys(c.InputSlew) {
 		if port == c.ClockPort {

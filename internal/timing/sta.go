@@ -497,6 +497,21 @@ func (r *Result) computeSlacks() {
 	}
 }
 
+// Finite reports whether the analysis produced only finite summary metrics.
+// WNS/TNS (setup and hold) are finite by construction on healthy inputs —
+// endpointless designs reset them to 0 — so a NaN or Inf here means the
+// netlist carried non-finite positions or a degenerate library value
+// through the propagation; callers (dtgp-sta, the run supervisor) must
+// treat the result as poisoned rather than report it.
+func (r *Result) Finite() bool {
+	for _, x := range [...]float64{r.WNS, r.TNS, r.WNSHold, r.TNSHold} {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // PinSlack returns the late (setup) slack at a (pin, transition), +Inf when
 // the pin carries no constrained arrival.
 func (r *Result) PinSlack(pid int32, tr Transition) float64 {
