@@ -8,8 +8,9 @@ SHELL := /bin/bash
 build:
 	$(GO) build ./...
 
-# Static-analysis suite: mapiter, parsafe, hotalloc, floatdet (see
-# internal/analysis and DESIGN.md §6). Fails on any unsuppressed finding.
+# Static-analysis suite: errflow, floatdet, gradpair, hotalloc, mapiter,
+# parsafe, scratchlife (see internal/analysis and DESIGN.md §6). Fails on
+# any unsuppressed finding.
 vet: build
 	$(GO) run ./cmd/dtgp-vet ./...
 

@@ -1,20 +1,31 @@
-// Command dtgp-vet runs the repo's static-analysis suite: four analyzers
-// (mapiter, parsafe, hotalloc, floatdet) that enforce the determinism,
-// parallel-safety and zero-allocation invariants of the placement and
-// timing hot paths. See internal/analysis for the checks and DESIGN.md §6
-// for why each invariant exists.
+// Command dtgp-vet runs the repo's static-analysis suite: seven analyzers
+// (mapiter, parsafe, hotalloc, floatdet, gradpair, scratchlife, errflow)
+// that enforce the determinism, parallel-safety, zero-allocation,
+// gradient-pairing, scratch-lifetime and error-handling invariants of the
+// placement and timing hot paths. See internal/analysis for the checks and
+// DESIGN.md §6 for why each invariant exists.
 //
 // Usage:
 //
-//	dtgp-vet [-C dir] [-allow file] [-noescapes] [packages]
+//	dtgp-vet [-C dir] [-allow file] [-noescapes] [-json] [packages]
 //
 // Packages are go-style patterns relative to the module root (default
 // ./...); the whole module is always loaded — patterns only filter which
-// packages' findings are reported. Exits 1 when findings remain after
-// //dtgp:allow(<check>) suppressions.
+// packages' findings are reported.
+//
+// Exit codes:
+//
+//	0  clean (no unsuppressed findings)
+//	1  findings remain after //dtgp:allow(<check>) suppressions
+//	2  usage or load error (bad flags, unparseable or untypeable module)
+//
+// With -json every diagnostic — suppressed ones included — is printed as
+// one JSON object per line: {"file","line","check","message","suppressed"};
+// the exit code still counts only unsuppressed findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +39,7 @@ func main() {
 		allowFile = flag.String("allow", "", "hotalloc allowlist path (default <module>/internal/analysis/hotalloc.allow)")
 		noEscapes = flag.Bool("noescapes", false, "skip the hotalloc escape-analysis check (no `go build` subprocess)")
 		emitAllow = flag.Bool("emit-allow", false, "print hotalloc allowlist lines covering every reported escape and exit")
+		jsonOut   = flag.Bool("json", false, "print one JSON diagnostic per line (suppressed findings included)")
 		quiet     = flag.Bool("q", false, "suppress the success summary")
 	)
 	flag.Parse()
@@ -54,8 +66,26 @@ func main() {
 		}
 		return
 	}
-	for _, w := range rep.Warnings {
-		fmt.Fprintf(os.Stderr, "dtgp-vet: warning: %s\n", w)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, list := range [2][]analysis.Diagnostic{rep.Diagnostics, rep.Suppressed} {
+			for _, d := range list {
+				if err := enc.Encode(jsonDiag{
+					File:       d.Position.Filename,
+					Line:       d.Position.Line,
+					Check:      d.Check,
+					Message:    d.Message,
+					Suppressed: d.Suppressed,
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "dtgp-vet: %v\n", err)
+					os.Exit(2)
+				}
+			}
+		}
+		if len(rep.Diagnostics) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	if len(rep.Diagnostics) > 0 {
 		for _, d := range rep.Diagnostics {
@@ -67,4 +97,13 @@ func main() {
 	if !*quiet {
 		fmt.Println("dtgp-vet: ok")
 	}
+}
+
+// jsonDiag is the -json wire format, one object per line.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
 }

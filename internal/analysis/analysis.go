@@ -1,8 +1,8 @@
 // Package analysis is dtgp's in-tree static-analysis framework: a small
 // go/ast + go/types driver (stdlib only — no golang.org/x/tools) with a
-// go/analysis-style Analyzer interface, plus the four project analyzers
-// that turn the repo's determinism, parallel-safety and zero-allocation
-// conventions into build failures:
+// go/analysis-style Analyzer interface, plus the seven project analyzers
+// that turn the repo's determinism, parallel-safety, zero-allocation and
+// gradient-correctness conventions into build failures:
 //
 //   - mapiter:  no `range` over a map in any function reachable from a
 //     //dtgp:hotpath root — map iteration order is nondeterministic and
@@ -16,6 +16,20 @@
 //   - floatdet: no floating-point accumulation across the iterations of a
 //     map range — the summation order, and therefore the rounded result,
 //     would depend on map iteration order.
+//   - gradpair: //dtgp:forward/backward-annotated operator pairs must be
+//     complete, signature-consistent, and — for adjoint-style pairs —
+//     accumulate an adjoint for every differentiable input the forward
+//     reads (flow-sensitively, over the function CFG).
+//   - scratchlife: sync.Pool scratch must be Put on every path, never
+//     escape the function, and never be read after Put.
+//   - errflow: no error value assigned from a call may be dead at its
+//     definition (dropped or silently overwritten).
+//
+// The last three are flow-sensitive, built on the in-package dataflow
+// engine (cfg.go, dataflow.go, cells.go): a per-function CFG with
+// short-circuit decomposition and defer/panic modelling, plus a generic
+// gen/kill worklist solver instantiated as reaching-definitions and
+// liveness.
 //
 // Diagnostics are position-accurate and individually suppressible with a
 // trailing or preceding `//dtgp:allow(<check>)` comment.
@@ -73,6 +87,10 @@ type Diagnostic struct {
 	Check    string
 	Position token.Position
 	Message  string
+	// Suppressed marks findings covered by a //dtgp:allow annotation;
+	// they are excluded from Report.Diagnostics (and the exit code) but
+	// surfaced by `dtgp-vet -json` so tooling can audit suppressions.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {

@@ -70,9 +70,59 @@ func runGoldenFixture(t *testing.T, name string, a *Analyzer) {
 	checkGolden(t, name, formatDiags(dir, diags))
 }
 
-func TestMapIterGolden(t *testing.T)  { runGoldenFixture(t, "mapiter", MapIter) }
-func TestFloatDetGolden(t *testing.T) { runGoldenFixture(t, "floatdet", FloatDet) }
-func TestParSafeGolden(t *testing.T)  { runGoldenFixture(t, "parsafe", ParSafe) }
+func TestMapIterGolden(t *testing.T)     { runGoldenFixture(t, "mapiter", MapIter) }
+func TestFloatDetGolden(t *testing.T)    { runGoldenFixture(t, "floatdet", FloatDet) }
+func TestParSafeGolden(t *testing.T)     { runGoldenFixture(t, "parsafe", ParSafe) }
+func TestGradPairGolden(t *testing.T)    { runGoldenFixture(t, "gradpair", GradPair) }
+func TestScratchLifeGolden(t *testing.T) { runGoldenFixture(t, "scratchlife", ScratchLife) }
+func TestErrFlowGolden(t *testing.T)     { runGoldenFixture(t, "errflow", ErrFlow) }
+
+// TestGradPairCatchesDeletedAdjoint pins the acceptance case for the
+// dataflow engine: the gradpair fixture's "mut" backward has its gRes
+// accumulation deleted — a seeded wrong-gradient mutation — and the
+// analyzer must name the unaccumulated input.
+func TestGradPairCatchesDeletedAdjoint(t *testing.T) {
+	prog, facts, dir := loadFixture(t, "gradpair")
+	diags, err := RunAnalyzers(prog, facts, []*Analyzer{GradPair}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, `op "mut"`) && strings.Contains(d.Message, "Res") {
+			return
+		}
+	}
+	t.Errorf("gradpair missed the deleted gRes accumulation; got:\n%s", formatDiags(dir, diags))
+}
+
+// TestSuppressedAudit: fixture //dtgp:allow annotations must surface in the
+// suppressed (audit) stream with the flag set, not vanish.
+func TestSuppressedAudit(t *testing.T) {
+	for _, tc := range []struct {
+		fixture string
+		a       *Analyzer
+		wantMin int
+	}{
+		{"gradpair", GradPair, 1},
+		{"scratchlife", ScratchLife, 2},
+		{"errflow", ErrFlow, 1},
+		{"parsafe", ParSafe, 1},
+	} {
+		prog, facts, _ := loadFixture(t, tc.fixture)
+		_, suppressed, err := runAnalyzersFull(prog, facts, []*Analyzer{tc.a}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(suppressed) < tc.wantMin {
+			t.Errorf("%s: %d suppressed findings, want >= %d", tc.fixture, len(suppressed), tc.wantMin)
+		}
+		for _, d := range suppressed {
+			if !d.Suppressed {
+				t.Errorf("%s: suppressed finding missing the Suppressed flag: %v", tc.fixture, d)
+			}
+		}
+	}
+}
 
 // markerEscapes synthesizes compiler escape sites from WANT-ESCAPE comments
 // in the fixture sources, standing in for `go build -gcflags=-m` output.
@@ -226,8 +276,5 @@ func TestRepoClean(t *testing.T) {
 	}
 	for _, d := range rep.Diagnostics {
 		t.Errorf("%s", d)
-	}
-	for _, w := range rep.Warnings {
-		t.Errorf("warning: %s", w)
 	}
 }

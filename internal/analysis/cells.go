@@ -1,0 +1,444 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// A cell is the unit of tracking for the flow-sensitive analyzers: a root
+// variable plus a chain of field selections, e.g. (t, "Cap") for t.Cap or
+// (g, "") for a plain slice parameter g. Pointer dereferences are
+// transparent; a method call or any other non-field step in the chain
+// breaks the cell (those values are opaque to the analysis).
+type cellKey struct {
+	root types.Object
+	path string // dot-joined field names, "" for the bare root
+}
+
+// name returns the identifier used for adjoint matching: the last field of
+// the path, or the root's name for a bare variable.
+func (k cellKey) name() string {
+	if k.path == "" {
+		return k.root.Name()
+	}
+	if i := lastDot(k.path); i >= 0 {
+		return k.path[i+1:]
+	}
+	return k.path
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// display renders the cell for diagnostics, e.g. "t.Cap".
+func (k cellKey) display() string {
+	if k.path == "" {
+		return k.root.Name()
+	}
+	return k.root.Name() + "." + k.path
+}
+
+// A cellEvent is one use or definition of a cell at an AST position.
+// depth counts element accesses: t.Cap has depth 0, t.Cap[i] depth 1.
+// For defs, zero marks a constant-zero right-hand side (a clear, not an
+// accumulation) and opAssign marks compound assignment (+=, *=, ...).
+type cellEvent struct {
+	cell     cellKey
+	depth    int
+	pos      token.Pos
+	zero     bool
+	opAssign bool
+	// floatElem marks a use that reads floating-point elements (an indexed
+	// read of a float sequence, a range over one, or a copy source) — the
+	// differentiable-read shape gradpair cares about.
+	floatElem bool
+}
+
+// cellScanner resolves expressions to cells and collects use/def events
+// from statements, using one package's type info.
+type cellScanner struct {
+	info *types.Info
+}
+
+// resolve walks an lvalue/rvalue chain down to its root variable. It
+// returns the cell, the element depth accumulated through index
+// expressions, and whether the expression is a trackable cell at all.
+func (cs *cellScanner) resolve(e ast.Expr) (cellKey, int, bool) {
+	depth := 0
+	var rev []string // field names innermost-first
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.IndexExpr:
+			depth++
+			e = x.X
+		case *ast.SliceExpr:
+			// s.off[:n] aliases the same backing array: no depth change.
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel := cs.info.Selections[x]; sel != nil {
+				if sel.Kind() != types.FieldVal {
+					return cellKey{}, 0, false
+				}
+				rev = append(rev, x.Sel.Name)
+				e = x.X
+				continue
+			}
+			// Package-qualified identifier (pkg.Var).
+			if v, ok := cs.info.Uses[x.Sel].(*types.Var); ok {
+				return cs.finish(v, rev), depth, true
+			}
+			return cellKey{}, 0, false
+		case *ast.Ident:
+			obj := cs.info.ObjectOf(x)
+			if v, ok := obj.(*types.Var); ok {
+				return cs.finish(v, rev), depth, true
+			}
+			return cellKey{}, 0, false
+		default:
+			return cellKey{}, 0, false
+		}
+	}
+}
+
+func (cs *cellScanner) finish(root *types.Var, rev []string) cellKey {
+	if len(rev) == 0 {
+		return cellKey{root: root}
+	}
+	path := rev[len(rev)-1]
+	for i := len(rev) - 2; i >= 0; i-- {
+		path += "." + rev[i]
+	}
+	return cellKey{root: root, path: path}
+}
+
+// cellType returns the static type of the cell expression e resolves to.
+func (cs *cellScanner) exprType(e ast.Expr) types.Type {
+	if tv, ok := cs.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// floatType is a nil-tolerant isFloat.
+func floatType(t types.Type) bool { return t != nil && isFloat(t) }
+
+// isBlankIdent matches the blank identifier.
+func isBlankIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isFloatSeq reports whether t is a slice or array with floating-point
+// elements — the shape of every differentiable signal in the placer.
+func isFloatSeq(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isFloat(u.Elem())
+	case *types.Array:
+		return isFloat(u.Elem())
+	}
+	return false
+}
+
+// isZeroLit reports whether e is a constant zero (the idiomatic adjoint
+// clear `g.Res[root] = 0`, which must not count as an accumulation).
+func (cs *cellScanner) isZeroLit(e ast.Expr) bool {
+	tv, ok := cs.info.Types[unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		v, _ := constant.Float64Val(tv.Value)
+		return v == 0
+	}
+	return false
+}
+
+// atomEffects decomposes one CFG atom into the cells it uses and defines,
+// in evaluation order (uses before defs). Function literals inside the
+// atom contribute uses only: a closure may run zero or many times, so its
+// writes neither kill facts nor count as local defs.
+func (cs *cellScanner) atomEffects(atom ast.Node) (uses, defs []cellEvent) {
+	switch n := atom.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			uses = append(uses, cs.exprUses(rhs)...)
+		}
+		op := n.Tok != token.ASSIGN && n.Tok != token.DEFINE
+		zero := !op && len(n.Rhs) == 1 && len(n.Lhs) == 1 && cs.isZeroLit(n.Rhs[0])
+		for _, lhs := range n.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			// The index expressions of the lvalue are themselves reads.
+			uses = append(uses, cs.indexOperandUses(lhs)...)
+			if op {
+				uses = append(uses, cs.exprUses(lhs)...)
+			}
+			if cell, depth, ok := cs.resolve(lhs); ok {
+				defs = append(defs, cellEvent{cell: cell, depth: depth, pos: lhs.Pos(), zero: zero, opAssign: op})
+			}
+		}
+	case *ast.IncDecStmt:
+		uses = append(uses, cs.exprUses(n.X)...)
+		if cell, depth, ok := cs.resolve(n.X); ok {
+			defs = append(defs, cellEvent{cell: cell, depth: depth, pos: n.X.Pos(), opAssign: true})
+		}
+	case *ast.ExprStmt:
+		u, d := cs.callEffects(n.X)
+		uses, defs = append(uses, u...), append(defs, d...)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						uses = append(uses, cs.exprUses(v)...)
+					}
+					for _, name := range vs.Names {
+						if obj, ok := cs.info.Defs[name].(*types.Var); ok {
+							defs = append(defs, cellEvent{cell: cellKey{root: obj}, pos: name.Pos()})
+						}
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Ranging over a float sequence reads its elements — but only when
+		// the value variable is bound (`for i := range xs` touches indices,
+		// not elements).
+		if cell, depth, ok := cs.resolve(n.X); ok && isFloatSeq(cs.exprType(n.X)) &&
+			n.Value != nil && !isBlankIdent(n.Value) {
+			uses = append(uses, cellEvent{cell: cell, depth: depth + 1, pos: n.X.Pos(), floatElem: true})
+		} else {
+			uses = append(uses, cs.exprUses(n.X)...)
+		}
+		for _, lv := range [2]ast.Expr{n.Key, n.Value} {
+			if lv == nil {
+				continue
+			}
+			if id, ok := unparen(lv).(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if cell, depth, ok := cs.resolve(lv); ok {
+				defs = append(defs, cellEvent{cell: cell, depth: depth, pos: lv.Pos()})
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			uses = append(uses, cs.exprUses(r)...)
+		}
+	case *ast.SendStmt:
+		uses = append(uses, cs.exprUses(n.Chan)...)
+		uses = append(uses, cs.exprUses(n.Value)...)
+	case *ast.DeferStmt:
+		for _, a := range n.Call.Args {
+			uses = append(uses, cs.exprUses(a)...)
+		}
+	case *ast.GoStmt:
+		uses = append(uses, cs.exprUses(n.Call)...)
+	case ast.Expr:
+		// Condition atoms and case tests emitted by the CFG builder, and
+		// deferred CallExprs replayed in the exit block.
+		u, d := cs.callEffects(n)
+		uses, defs = append(uses, u...), append(defs, d...)
+	case ast.Stmt:
+		// Remaining simple statements (LabeledStmt targets, branch atoms,
+		// type-switch assigns...) — collect reads conservatively.
+		ast.Inspect(n, func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok {
+				uses = append(uses, cs.exprUses(e)...)
+				return false
+			}
+			return true
+		})
+	}
+	return uses, defs
+}
+
+// callEffects handles a bare expression atom, special-casing builtin
+// copy(dst, src): an element-write of dst and an element-read of src —
+// the idiom both the RC-tree forward (copy(t.Load, t.Cap)) and adjoint
+// seeding use.
+func (cs *cellScanner) callEffects(e ast.Expr) (uses, defs []cellEvent) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return cs.exprUses(e), nil
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "copy" && len(call.Args) == 2 {
+		if _, isBuiltin := cs.info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			if cell, depth, ok := cs.resolve(call.Args[1]); ok {
+				uses = append(uses, cellEvent{cell: cell, depth: depth + 1, pos: call.Args[1].Pos(),
+					floatElem: isFloatSeq(cs.exprType(call.Args[1]))})
+			} else {
+				uses = append(uses, cs.exprUses(call.Args[1])...)
+			}
+			if cell, depth, ok := cs.resolve(call.Args[0]); ok {
+				uses = append(uses, cs.indexOperandUses(call.Args[0])...)
+				defs = append(defs, cellEvent{cell: cell, depth: depth + 1, pos: call.Args[0].Pos()})
+			}
+			return uses, defs
+		}
+	}
+	return cs.exprUses(e), nil
+}
+
+// exprUses collects every cell read inside e, recording element depth for
+// reads that reach through index expressions. Nested function literals are
+// scanned too (capture = use).
+func (cs *cellScanner) exprUses(e ast.Expr) []cellEvent {
+	var uses []cellEvent
+	var walk func(x ast.Expr)
+	walk = func(x ast.Expr) {
+		x = unparen(x)
+		switch v := x.(type) {
+		case *ast.IndexExpr:
+			if cell, depth, ok := cs.resolve(v); ok {
+				uses = append(uses, cellEvent{cell: cell, depth: depth, pos: v.Pos(),
+					floatElem: depth > 0 && floatType(cs.exprType(v))})
+			} else {
+				walk(v.X)
+			}
+			walk(v.Index)
+		case *ast.SelectorExpr:
+			if cell, depth, ok := cs.resolve(v); ok {
+				uses = append(uses, cellEvent{cell: cell, depth: depth, pos: v.Pos()})
+				return
+			}
+			walk(v.X)
+		case *ast.Ident:
+			if cell, depth, ok := cs.resolve(v); ok {
+				uses = append(uses, cellEvent{cell: cell, depth: depth, pos: v.Pos()})
+			}
+		case *ast.SliceExpr:
+			if cell, depth, ok := cs.resolve(v.X); ok {
+				uses = append(uses, cellEvent{cell: cell, depth: depth, pos: v.X.Pos()})
+			} else {
+				walk(v.X)
+			}
+			for _, ix := range [3]ast.Expr{v.Low, v.High, v.Max} {
+				if ix != nil {
+					walk(ix)
+				}
+			}
+		case *ast.StarExpr:
+			walk(v.X)
+		case *ast.UnaryExpr:
+			walk(v.X)
+		case *ast.BinaryExpr:
+			walk(v.X)
+			walk(v.Y)
+		case *ast.CallExpr:
+			// The callee chain of a method call reads its receiver.
+			if sel, ok := unparen(v.Fun).(*ast.SelectorExpr); ok {
+				walk(sel.X)
+			}
+			for _, a := range v.Args {
+				walk(a)
+			}
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				walk(el)
+			}
+		case *ast.KeyValueExpr:
+			walk(v.Value)
+		case *ast.TypeAssertExpr:
+			walk(v.X)
+		case *ast.FuncLit:
+			// Closure bodies contribute uses (reads AND writes — a write
+			// that may run later still depends on the captured cell) but
+			// never kills.
+			ast.Inspect(v.Body, func(m ast.Node) bool {
+				if inner, ok := m.(*ast.FuncLit); ok && inner != v {
+					return true
+				}
+				if ex, ok := m.(ast.Expr); ok {
+					if _, isLit := ex.(*ast.FuncLit); !isLit {
+						walk(ex)
+						return false
+					}
+				}
+				return true
+			})
+			return
+		}
+	}
+	walk(e)
+	return uses
+}
+
+// indexOperandUses collects the reads performed by the index/slice
+// operands of an lvalue (writing t.Cap[i] reads i, not t.Cap).
+func (cs *cellScanner) indexOperandUses(lhs ast.Expr) []cellEvent {
+	var uses []cellEvent
+	for {
+		switch x := unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			uses = append(uses, cs.exprUses(x.Index)...)
+			lhs = x.X
+		case *ast.SliceExpr:
+			for _, ix := range [3]ast.Expr{x.Low, x.High, x.Max} {
+				if ix != nil {
+					uses = append(uses, cs.exprUses(ix)...)
+				}
+			}
+			lhs = x.X
+		case *ast.SelectorExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		default:
+			return uses
+		}
+	}
+}
+
+// collectWrites walks a whole function body (closures included) and
+// returns every cell definition — the syntactic write set the gradpair
+// backward check matches adjoint accumulations against.
+func (cs *cellScanner) collectWrites(body *ast.BlockStmt) []cellEvent {
+	var writes []cellEvent
+	record := func(lhs ast.Expr, zero, op bool) {
+		if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+			return
+		}
+		if cell, depth, ok := cs.resolve(lhs); ok {
+			writes = append(writes, cellEvent{cell: cell, depth: depth, pos: lhs.Pos(), zero: zero, opAssign: op})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			op := s.Tok != token.ASSIGN && s.Tok != token.DEFINE
+			zero := !op && len(s.Rhs) == 1 && len(s.Lhs) == 1 && cs.isZeroLit(s.Rhs[0])
+			for _, lhs := range s.Lhs {
+				record(lhs, zero, op)
+			}
+		case *ast.IncDecStmt:
+			record(s.X, false, true)
+		case *ast.CallExpr:
+			if id, ok := unparen(s.Fun).(*ast.Ident); ok && id.Name == "copy" && len(s.Args) == 2 {
+				if _, isBuiltin := cs.info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					if cell, depth, ok := cs.resolve(s.Args[0]); ok {
+						writes = append(writes, cellEvent{cell: cell, depth: depth + 1, pos: s.Args[0].Pos()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return writes
+}

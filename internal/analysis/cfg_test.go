@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses one function body (pure syntax — the CFG builder
+// needs no type information) and builds its graph.
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_input.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return BuildCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// callName returns the callee identifier of a call atom, or "". Only
+// expression atoms count: compound-statement atoms (a RangeStmt holds its
+// whole body syntactically) would otherwise claim nested calls.
+func callName(n ast.Node) string {
+	e, ok := n.(ast.Expr)
+	if !ok {
+		es, okS := n.(*ast.ExprStmt)
+		if !okS {
+			return ""
+		}
+		e = es.X
+	}
+	if call, ok := unparen(e).(*ast.CallExpr); ok {
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// blockCalling finds the unique block holding a call to name.
+func blockCalling(t *testing.T, cfg *CFG, name string) *CFGBlock {
+	t.Helper()
+	var found *CFGBlock
+	for _, blk := range cfg.Blocks {
+		for _, atom := range blk.Nodes {
+			if callName(atom) == name {
+				if found != nil && found != blk {
+					t.Fatalf("call %s() appears in blocks %d and %d", name, found.Index, blk.Index)
+				}
+				found = blk
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block calls %s()", name)
+	}
+	return found
+}
+
+// canReach reports whether to is reachable from from via one or more edges.
+func canReach(from, to *CFGBlock) bool {
+	seen := map[*CFGBlock]bool{}
+	stack := append([]*CFGBlock(nil), from.Succs...)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+func TestCFGLinear(t *testing.T) {
+	cfg := buildTestCFG(t, "x := 1\ny := x\n_ = y")
+	if got := len(cfg.Entry.Nodes); got != 3 {
+		t.Errorf("entry atoms = %d, want 3", got)
+	}
+	if len(cfg.Entry.Succs) != 1 || cfg.Entry.Succs[0] != cfg.Exit {
+		t.Errorf("straight-line body must flow entry -> exit, got succs %v", cfg.Entry.Succs)
+	}
+}
+
+func TestCFGShortCircuit(t *testing.T) {
+	cfg := buildTestCFG(t, `
+if a() && b() {
+	c()
+}
+d()`)
+	ab, bb := blockCalling(t, cfg, "a"), blockCalling(t, cfg, "b")
+	cb := blockCalling(t, cfg, "c")
+	if ab == bb {
+		t.Fatal("&& operands must evaluate in separate blocks (short-circuit edges)")
+	}
+	if len(ab.Succs) != 2 || len(bb.Succs) != 2 {
+		t.Fatalf("condition blocks must have two successors, got %d and %d", len(ab.Succs), len(bb.Succs))
+	}
+	// a true -> b; a false skips b entirely.
+	if ab.Succs[0] != bb && ab.Succs[1] != bb {
+		t.Error("a()'s true edge must reach b()'s block")
+	}
+	hasEdge := func(from, to *CFGBlock) bool {
+		for _, s := range from.Succs {
+			if s == to {
+				return true
+			}
+		}
+		return false
+	}
+	if hasEdge(ab, cb) {
+		t.Error("a() alone must not reach the then-block: && requires b() too")
+	}
+	if !hasEdge(bb, cb) {
+		t.Error("b() true must enter the then-block")
+	}
+	// Both false edges join at the same else target.
+	shared := false
+	for _, s := range ab.Succs {
+		if s != bb && hasEdge(bb, s) {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Error("a() and b() must share the false target")
+	}
+}
+
+func TestCFGLoop(t *testing.T) {
+	cfg := buildTestCFG(t, `
+for i := 0; i < 10; i++ {
+	body()
+}
+after()`)
+	bodyBlk := blockCalling(t, cfg, "body")
+	afterBlk := blockCalling(t, cfg, "after")
+	if !canReach(bodyBlk, bodyBlk) {
+		t.Error("loop body must sit on a cycle (back edge through post and head)")
+	}
+	if !canReach(bodyBlk, afterBlk) {
+		t.Error("loop body must be able to exit to the after-block")
+	}
+	if canReach(afterBlk, bodyBlk) {
+		t.Error("after-block must not re-enter the loop")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	cfg := buildTestCFG(t, `
+for range xs {
+	body()
+}
+after()`)
+	bodyBlk := blockCalling(t, cfg, "body")
+	if !canReach(bodyBlk, bodyBlk) {
+		t.Error("range body must sit on a cycle")
+	}
+	if !canReach(cfg.Entry, blockCalling(t, cfg, "after")) {
+		t.Error("after-block must be reachable from entry (zero-iteration path)")
+	}
+}
+
+func TestCFGDeferReplay(t *testing.T) {
+	cfg := buildTestCFG(t, "defer a()\ndefer b()\nc()")
+	// Syntactic sites stay in the entry block (argument evaluation).
+	deferCount := 0
+	for _, atom := range cfg.Entry.Nodes {
+		if _, ok := atom.(*ast.DeferStmt); ok {
+			deferCount++
+		}
+	}
+	if deferCount != 2 {
+		t.Errorf("entry block holds %d defer atoms, want 2", deferCount)
+	}
+	// The calls replay in the exit block, last-in first-out.
+	var replayed []string
+	for _, atom := range cfg.Exit.Nodes {
+		if _, ok := atom.(*ast.CallExpr); ok {
+			replayed = append(replayed, callName(atom))
+		}
+	}
+	if len(replayed) != 2 || replayed[0] != "b" || replayed[1] != "a" {
+		t.Errorf("exit replays %v, want [b a] (LIFO)", replayed)
+	}
+}
+
+func TestCFGPanicTerminal(t *testing.T) {
+	cfg := buildTestCFG(t, `
+if bad() {
+	panic("boom")
+}
+ok()`)
+	panicBlk := blockCalling(t, cfg, "panic")
+	if len(panicBlk.Succs) != 0 {
+		t.Errorf("panic block has successors %v; panicking paths must not reach the ordinary exit", panicBlk.Succs)
+	}
+	if !canReach(cfg.Entry, cfg.Exit) {
+		t.Error("the non-panicking path must still reach the exit")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg := buildTestCFG(t, `
+switch tag() {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}
+after()`)
+	ab, bb := blockCalling(t, cfg, "a"), blockCalling(t, cfg, "b")
+	hasEdge := false
+	for _, s := range ab.Succs {
+		if s == bb {
+			hasEdge = true
+		}
+	}
+	if !hasEdge {
+		t.Error("fallthrough must chain case 1's body into case 2's body")
+	}
+	afterBlk := blockCalling(t, cfg, "after")
+	for _, n := range []string{"b", "c"} {
+		if !canReach(blockCalling(t, cfg, n), afterBlk) {
+			t.Errorf("case body %s() must reach the after-block", n)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"go/token"
 	"os/exec"
 	"path/filepath"
 	"sort"
@@ -9,7 +10,7 @@ import (
 )
 
 // All is the dtgp analyzer suite in report order.
-var All = []*Analyzer{FloatDet, HotAlloc, MapIter, ParSafe}
+var All = []*Analyzer{ErrFlow, FloatDet, GradPair, HotAlloc, MapIter, ParSafe, ScratchLife}
 
 // Options configure one Vet run.
 type Options struct {
@@ -32,9 +33,12 @@ type Options struct {
 
 // Report is the outcome of a Vet run.
 type Report struct {
+	// Diagnostics are the surviving (unsuppressed) findings; any entry
+	// here fails the run.
 	Diagnostics []Diagnostic
-	// Warnings are non-failing observations (stale allowlist entries).
-	Warnings []string
+	// Suppressed are findings covered by //dtgp:allow annotations, kept
+	// for audit output (dtgp-vet -json).
+	Suppressed []Diagnostic
 	// ProposedAllow holds sorted, deduplicated hotalloc allowlist lines
 	// covering every reported escape (for `dtgp-vet -emit-allow`).
 	ProposedAllow []string
@@ -57,6 +61,10 @@ func Vet(opts Options) (*Report, error) {
 	}
 	facts := ComputeFacts(prog)
 
+	allowFile := opts.AllowFile
+	if allowFile == "" {
+		allowFile = filepath.Join(root, "internal", "analysis", "hotalloc.allow")
+	}
 	if opts.Escapes {
 		cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
 		cmd.Dir = root
@@ -66,10 +74,6 @@ func Vet(opts Options) (*Report, error) {
 		}
 		facts.Escapes = ParseEscapes(string(out), root)
 		facts.EscapesValid = true
-		allowFile := opts.AllowFile
-		if allowFile == "" {
-			allowFile = filepath.Join(root, "internal", "analysis", "hotalloc.allow")
-		}
 		facts.HotAllow, err = LoadHotAllow(allowFile)
 		if err != nil {
 			return nil, err
@@ -77,20 +81,29 @@ func Vet(opts Options) (*Report, error) {
 	}
 
 	match := matchPatterns(modPath, opts.Patterns)
-	diags, err := RunAnalyzers(prog, facts, All, match)
+	diags, suppressed, err := runAnalyzersFull(prog, facts, All, match)
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{Diagnostics: diags}
+	rep := &Report{Diagnostics: diags, Suppressed: suppressed}
 	if opts.Escapes {
 		// Staleness is only decidable on an unfiltered run: a filtered run
 		// never visits the other packages, so their entries would all look
-		// unused.
+		// unused. On whole-tree runs a stale entry is a hard finding — a
+		// rotting allowlist line either hides a fixed escape or papers
+		// over a rename.
 		if match == nil {
+			lines := hotAllowEntryLines(allowFile)
 			for _, entry := range facts.StaleHotAllow() {
-				rep.Warnings = append(rep.Warnings,
-					fmt.Sprintf("stale hotalloc allowlist entry (escape no longer reported): %s", entry))
+				rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+					Check:    "hotalloc",
+					Position: token.Position{Filename: allowFile, Line: lines[entry]},
+					Message: fmt.Sprintf(
+						"stale allowlist entry (escape no longer reported; delete the line): %s",
+						strings.ReplaceAll(entry, "\t", " — ")),
+				})
 			}
+			sortDiagnostics(rep.Diagnostics)
 		}
 		seen := map[string]bool{}
 		for _, p := range facts.ProposedAllow {
@@ -106,8 +119,17 @@ func Vet(opts Options) (*Report, error) {
 
 // RunAnalyzers runs the given analyzers over every loaded package whose
 // import path passes the filter, applies dtgp:allow suppressions, and
-// returns the findings sorted by position.
+// returns the surviving findings sorted by position.
 func RunAnalyzers(prog *Program, facts *Facts, analyzers []*Analyzer, match func(pkgPath string) bool) ([]Diagnostic, error) {
+	kept, _, err := runAnalyzersFull(prog, facts, analyzers, match)
+	return kept, err
+}
+
+// runAnalyzersFull is RunAnalyzers plus the suppressed findings (marked
+// and sorted), for audit output. Identical findings are deduplicated: a
+// named kernel dispatched from several call sites, or an operator pair
+// cross-checked from both halves' packages, must report once.
+func runAnalyzersFull(prog *Program, facts *Facts, analyzers []*Analyzer, match func(pkgPath string) bool) (kept, suppressed []Diagnostic, err error) {
 	var diags []Diagnostic
 	collect := func(d Diagnostic) { diags = append(diags, d) }
 	for _, pkg := range prog.Pkgs {
@@ -117,19 +139,27 @@ func RunAnalyzers(prog *Program, facts *Facts, analyzers []*Analyzer, match func
 		for _, a := range analyzers {
 			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, Facts: facts, report: collect}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
+	seen := map[Diagnostic]bool{}
 	allows := collectAllows(prog)
-	kept := diags[:0]
 	for _, d := range diags {
-		if !allows.suppressed(d) {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		if allows.suppressed(d) {
+			d.Suppressed = true
+			suppressed = append(suppressed, d)
+		} else {
 			kept = append(kept, d)
 		}
 	}
 	sortDiagnostics(kept)
-	return kept, nil
+	sortDiagnostics(suppressed)
+	return kept, suppressed, nil
 }
 
 // matchPatterns compiles go-style package patterns into a path filter.

@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrFlow reports dropped and silently overwritten errors, flow-
+// sensitively: a local error variable assigned from a call whose value is
+// dead at the assignment — no path reads it before it is reassigned or
+// falls out of scope. This is stricter than "someone, somewhere reads
+// err": the classic bug
+//
+//	err := step1()
+//	err = step2() // step1's error gone
+//	if err != nil { ... }
+//
+// has a read of err, but not of step1's value; liveness over the CFG
+// catches it. Deliberate discards stay explicit and cheap: assign to _ or
+// add //dtgp:allow(errflow).
+//
+// Scope limits (by construction, not oversight): parameters and named
+// results are excluded (their values are the caller's business), as are
+// address-taken variables and assignments inside closures (a closure may
+// run any number of times, so its writes are not definitions of the outer
+// flow).
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "flow-sensitive detection of dropped or overwritten error values",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(pass *Pass) error {
+	for _, fi := range pass.Facts.All() {
+		if fi.Pkg != pass.Pkg {
+			continue
+		}
+		checkErrFlow(pass, fi)
+	}
+	return nil
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// errDef is one assignment of a call result to an error variable.
+type errDef struct {
+	obj      *types.Var
+	pos      token.Pos
+	fromCall bool // RHS contains a call (the only defs worth reporting)
+	isNil    bool // RHS is the nil literal (a reset, not a result)
+}
+
+func checkErrFlow(pass *Pass, fi *FuncInfo) {
+	info := fi.Pkg.Info
+	body := fi.Decl.Body
+
+	// Trackable vars: error-typed locals declared in the body, never
+	// address-taken.
+	tracked := map[*types.Var]int{}
+	var order []*types.Var
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Defs[id].(*types.Var)
+		if !ok || !within(v.Pos(), body) {
+			return true
+		}
+		if !types.Identical(v.Type(), errorType) {
+			return true
+		}
+		if _, seen := tracked[v]; !seen {
+			tracked[v] = len(order)
+			order = append(order, v)
+		}
+		return true
+	})
+	if len(order) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			return true
+		}
+		if id, ok := unparen(u.X).(*ast.Ident); ok {
+			if v, ok := info.ObjectOf(id).(*types.Var); ok {
+				if _, was := tracked[v]; was {
+					delete(tracked, v) // aliased through a pointer: hands off
+				}
+			}
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	cfg := BuildCFG(body)
+	nbits := len(order)
+	type atomFx struct {
+		defs []errDef
+		uses []int // tracked indices read by the atom
+	}
+	fx := make([][]atomFx, len(cfg.Blocks))
+	for bi, blk := range cfg.Blocks {
+		fx[bi] = make([]atomFx, len(blk.Nodes))
+		for ai, atom := range blk.Nodes {
+			fx[bi][ai] = errAtomEffects(info, tracked, atom)
+		}
+	}
+
+	// Backward liveness: gen = uses, kill = defs, composed in reverse
+	// atom order per block.
+	prob := &FlowProblem{CFG: cfg, NBits: nbits, Backward: true,
+		Gen: make([]bvec, len(cfg.Blocks)), Kill: make([]bvec, len(cfg.Blocks))}
+	for bi, blk := range cfg.Blocks {
+		gen, kill := newBvec(nbits), newBvec(nbits)
+		for ai := len(blk.Nodes) - 1; ai >= 0; ai-- {
+			for _, d := range fx[bi][ai].defs {
+				if i, ok := tracked[d.obj]; ok {
+					gen.clear(i)
+					kill.set(i)
+				}
+			}
+			for _, u := range fx[bi][ai].uses {
+				gen.set(u)
+				kill.clear(u)
+			}
+		}
+		prob.Gen[bi], prob.Kill[bi] = gen, kill
+	}
+	res := prob.Solve()
+
+	// Classify each def against liveness just after it.
+	fact := newBvec(nbits)
+	for bi, blk := range cfg.Blocks {
+		fact.copyFrom(res.Out[bi]) // live at block exit
+		for ai := len(blk.Nodes) - 1; ai >= 0; ai-- {
+			for _, d := range fx[bi][ai].defs {
+				i, ok := tracked[d.obj]
+				if !ok {
+					continue
+				}
+				if d.fromCall && !d.isNil && !fact.has(i) {
+					pass.Reportf(d.pos,
+						"error assigned to %s is dropped: no path reads this value before it is overwritten or goes out of scope (use it, assign to _, or //dtgp:allow(errflow))",
+						d.obj.Name())
+				}
+				fact.clear(i)
+			}
+			for _, u := range fx[bi][ai].uses {
+				fact.set(u)
+			}
+		}
+	}
+}
+
+// errAtomEffects extracts the error-variable defs and uses of one atom.
+// Assignments inside nested function literals count as uses of the outer
+// flow, not defs.
+func errAtomEffects(info *types.Info, tracked map[*types.Var]int, atom ast.Node) (fx struct {
+	defs []errDef
+	uses []int
+}) {
+	lhsIdents := map[*ast.Ident]bool{}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		v, ok := info.ObjectOf(id).(*types.Var)
+		if !ok {
+			return
+		}
+		if _, isTracked := tracked[v]; !isTracked {
+			return
+		}
+		lhsIdents[id] = true
+		fx.defs = append(fx.defs, errDef{
+			obj: v, pos: id.Pos(),
+			fromCall: rhs != nil && containsCall(rhs),
+			isNil:    rhs != nil && isNilIdent(rhs),
+		})
+	}
+	switch n := atom.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			id, ok := unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			} else if len(n.Rhs) == 1 {
+				rhs = n.Rhs[0]
+			}
+			record(id, rhs)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					var rhs ast.Expr
+					if len(vs.Values) == len(vs.Names) {
+						rhs = vs.Values[i]
+					} else if len(vs.Values) == 1 {
+						rhs = vs.Values[0]
+					}
+					record(name, rhs)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, lv := range [2]ast.Expr{n.Key, n.Value} {
+			if lv == nil {
+				continue
+			}
+			if id, ok := unparen(lv).(*ast.Ident); ok && id.Name != "_" {
+				record(id, nil)
+			}
+		}
+	}
+	// Uses: every other read of a tracked var in the atom (closure bodies
+	// included — and closure-internal writes also count as uses here,
+	// which is the conservative direction for liveness).
+	ast.Inspect(atom, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || lhsIdents[id] {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if i, isTracked := tracked[v]; isTracked {
+			fx.uses = append(fx.uses, i)
+		}
+		return true
+	})
+	return fx
+}
+
+// containsCall reports whether e contains any call expression (type
+// conversions included — indistinguishable syntactically, and a converted
+// error is still a produced value).
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isNilIdent matches the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"regexp"
 	"strings"
 )
 
@@ -10,6 +11,22 @@ import (
 // path: hotalloc forbids new heap escapes inside it, and mapiter/floatdet
 // treat it as a root of the deterministic region.
 const HotPragma = "dtgp:hotpath"
+
+// gradPragmaRE matches the gradient-pairing annotations consumed by the
+// gradpair analyzer:
+//
+//	//dtgp:forward(<op>[, explicit-grad])
+//	//dtgp:backward(<op>[, explicit-grad])
+//	//dtgp:nondiff(<Field>[, <Field>...])
+//
+// forward/backward name the two halves of a hand-derived operator pair
+// (both pragmas on one declaration mark a fused forward+backward).
+// explicit-grad marks derivative-style pairs (the backward returns
+// gradients rather than accumulating adjoints in place), which get
+// pairing and signature checks only. nondiff declares forward input
+// fields that intentionally have no adjoint (e.g. a hard, non-smoothed
+// arrival time).
+var gradPragmaRE = regexp.MustCompile(`dtgp:(forward|backward|nondiff)\(([^)]*)\)`)
 
 // FuncInfo is the per-function fact record.
 type FuncInfo struct {
@@ -25,6 +42,19 @@ type FuncInfo struct {
 	// Refs are the module-internal functions this function calls or
 	// references as values (deduplicated, in first-reference order).
 	Refs []*types.Func
+
+	// FwdOp / BwdOp carry the //dtgp:forward(op) / //dtgp:backward(op)
+	// operator names ("" when unannotated); both set on one declaration
+	// marks a fused forward+backward.
+	FwdOp, BwdOp string
+	// ExplicitGrad marks a derivative-style pair (explicit-grad flag).
+	ExplicitGrad bool
+	// Nondiff lists forward input fields declared intentionally
+	// non-differentiated via //dtgp:nondiff(...).
+	Nondiff []string
+	// GradMalformed marks a forward/backward pragma that parsed without
+	// an operator name.
+	GradMalformed bool
 }
 
 // Facts is the whole-program fact base shared by every pass.
@@ -69,6 +99,7 @@ func ComputeFacts(prog *Program) *Facts {
 					continue
 				}
 				fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg, Hot: hasPragma(fd, HotPragma)}
+				parseGradPragmas(fi)
 				facts.Funcs[obj] = fi
 				facts.order = append(facts.order, fi)
 			}
@@ -114,6 +145,45 @@ func ComputeFacts(prog *Program) *Facts {
 		}
 	}
 	return facts
+}
+
+// parseGradPragmas fills the gradient-pairing fields of fi from its doc
+// comment.
+func parseGradPragmas(fi *FuncInfo) {
+	if fi.Decl.Doc == nil {
+		return
+	}
+	for _, c := range fi.Decl.Doc.List {
+		for _, m := range gradPragmaRE.FindAllStringSubmatch(c.Text, -1) {
+			var parts []string
+			for _, p := range strings.Split(m[2], ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					parts = append(parts, p)
+				}
+			}
+			switch m[1] {
+			case "forward", "backward":
+				op, explicit := "", false
+				for _, p := range parts {
+					if p == "explicit-grad" {
+						explicit = true
+					} else if op == "" {
+						op = p
+					}
+				}
+				if op == "" {
+					fi.GradMalformed = true
+				} else if m[1] == "forward" {
+					fi.FwdOp = op
+				} else {
+					fi.BwdOp = op
+				}
+				fi.ExplicitGrad = fi.ExplicitGrad || explicit
+			case "nondiff":
+				fi.Nondiff = append(fi.Nondiff, parts...)
+			}
+		}
+	}
 }
 
 // hasPragma reports whether the declaration's doc comment carries the given

@@ -1,0 +1,359 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GradPair checks the hand-derived operator pairs that make the placer
+// differentiable without autograd. Each half is annotated
+//
+//	//dtgp:forward(<op>)    and    //dtgp:backward(<op>)
+//
+// (both on one declaration for a fused forward+backward like the WA
+// wirelength). The analyzer enforces:
+//
+//   - pairing cardinality: every op has exactly one forward and one
+//     backward half, module-wide;
+//   - receiver agreement when both halves are methods;
+//   - for explicit-grad pairs (derivative-style: the backward recomputes
+//     and returns gradients — LUT, LSE, density, net-weighting), that
+//     every forward parameter reappears in the backward with the same
+//     name and type;
+//   - for adjoint pairs (the backward accumulates into gradient state —
+//     Elmore, net/cell arc propagation), that every differentiable input
+//     the forward reads has a matching adjoint accumulation in the
+//     backward, and that the matched reads and writes agree on index
+//     depth.
+//
+// A "differentiable input read" is flow-sensitive: an indexed (or ranged,
+// or copied-from) read of a float slice/array field whose value may still
+// be the one that entered the function — an element overwritten on every
+// path before the read (e.g. t.Load after copy(t.Load, t.Cap)) is an
+// intermediate, not an input. Reads the pair intentionally does not
+// differentiate are declared with //dtgp:nondiff(<Field>).
+//
+// Adjoint writes are matched by name: input F pairs with an element write
+// to F, gF, gradF, dF or adjF (case-insensitive), so g.Cap[i] +=,
+// gradX[p] += and dtgp-style adj arrays all count; constant-zero stores
+// (clears) do not.
+var GradPair = &Analyzer{
+	Name: "gradpair",
+	Doc:  "pair //dtgp:forward//dtgp:backward operators and prove every differentiable forward input has an adjoint accumulation in the backward",
+	Run:  runGradPair,
+}
+
+func runGradPair(pass *Pass) error {
+	type pair struct {
+		fwds, bwds []*FuncInfo
+	}
+	ops := map[string]*pair{}
+	var opOrder []string
+	add := func(op string) *pair {
+		p := ops[op]
+		if p == nil {
+			p = &pair{}
+			ops[op] = p
+			opOrder = append(opOrder, op)
+		}
+		return p
+	}
+	for _, fi := range pass.Facts.All() {
+		if fi.GradMalformed {
+			if fi.Pkg == pass.Pkg {
+				pass.Reportf(fi.Decl.Name.Pos(), "malformed gradient pragma on %s: missing operator name", fi.Obj.Name())
+			}
+			continue
+		}
+		if fi.FwdOp == "" && fi.BwdOp == "" {
+			if len(fi.Nondiff) > 0 && fi.Pkg == pass.Pkg {
+				pass.Reportf(fi.Decl.Name.Pos(),
+					"//dtgp:nondiff on %s without a //dtgp:forward annotation", fi.Obj.Name())
+			}
+			continue
+		}
+		if fi.FwdOp != "" {
+			add(fi.FwdOp).fwds = append(add(fi.FwdOp).fwds, fi)
+		}
+		if fi.BwdOp != "" {
+			add(fi.BwdOp).bwds = append(add(fi.BwdOp).bwds, fi)
+		}
+	}
+
+	for _, op := range opOrder {
+		p := ops[op]
+		// Duplicate halves: everything beyond the first in declaration
+		// order is reported at its own site.
+		for _, extra := range p.fwds[min(1, len(p.fwds)):] {
+			if extra.Pkg == pass.Pkg {
+				pass.Reportf(extra.Decl.Name.Pos(),
+					"duplicate //dtgp:forward(%s): already declared by %s", op, funcKey(p.fwds[0].Obj))
+			}
+		}
+		for _, extra := range p.bwds[min(1, len(p.bwds)):] {
+			if extra.Pkg == pass.Pkg {
+				pass.Reportf(extra.Decl.Name.Pos(),
+					"duplicate //dtgp:backward(%s): already declared by %s", op, funcKey(p.bwds[0].Obj))
+			}
+		}
+		if len(p.fwds) == 0 || len(p.bwds) == 0 {
+			// Unpaired half (a fused op is its own partner and never lands
+			// here: the same FuncInfo sits in both lists).
+			for _, fi := range append(p.fwds, p.bwds...) {
+				if fi.Pkg == pass.Pkg {
+					half, missing := "forward", "backward"
+					if fi.BwdOp == op && fi.FwdOp != op {
+						half, missing = "backward", "forward"
+					}
+					pass.Reportf(fi.Decl.Name.Pos(),
+						"//dtgp:%s(%s) on %s has no matching //dtgp:%s(%s) anywhere in the module", half, op, fi.Obj.Name(), missing, op)
+				}
+			}
+			continue
+		}
+		fwd, bwd := p.fwds[0], p.bwds[0]
+		if fwd == bwd {
+			continue // fused forward+backward: pairing established, nothing to cross-check
+		}
+		checkReceivers(pass, op, fwd, bwd)
+		if fwd.ExplicitGrad || bwd.ExplicitGrad {
+			checkExplicitSignature(pass, op, fwd, bwd)
+			continue
+		}
+		// Adjoint pairs: diagnostics anchor in the forward's file, so one
+		// package (the forward's) owns them.
+		if fwd.Pkg == pass.Pkg {
+			checkAdjoints(pass, op, fwd, bwd)
+		}
+	}
+	return nil
+}
+
+// checkReceivers requires both halves of a method/method pair to hang off
+// the same receiver type (a forward on *Timer paired with a backward on a
+// different struct is a wiring bug, not a gradient).
+func checkReceivers(pass *Pass, op string, fwd, bwd *FuncInfo) {
+	fr := recvType(fwd.Obj)
+	br := recvType(bwd.Obj)
+	if fr == nil || br == nil {
+		return // function/method mixes are legitimate (e.g. a batch driver)
+	}
+	if !types.Identical(fr, br) && bwd.Pkg == pass.Pkg {
+		pass.Reportf(bwd.Decl.Name.Pos(),
+			"receiver mismatch in pair %q: forward %s is on %s, backward %s on %s",
+			op, fwd.Obj.Name(), fr, bwd.Obj.Name(), br)
+	}
+}
+
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// checkExplicitSignature requires every forward parameter of an
+// explicit-grad pair to reappear in the backward under the same name and
+// type: the backward recomputes the forward expression, so a dropped or
+// retyped parameter means it differentiates a different function.
+func checkExplicitSignature(pass *Pass, op string, fwd, bwd *FuncInfo) {
+	if bwd.Pkg != pass.Pkg {
+		return
+	}
+	fsig := fwd.Obj.Type().(*types.Signature)
+	bsig := bwd.Obj.Type().(*types.Signature)
+	bparams := map[string]types.Type{}
+	for i := 0; i < bsig.Params().Len(); i++ {
+		p := bsig.Params().At(i)
+		bparams[p.Name()] = p.Type()
+	}
+	for i := 0; i < fsig.Params().Len(); i++ {
+		p := fsig.Params().At(i)
+		if p.Name() == "" || p.Name() == "_" {
+			continue
+		}
+		bt, ok := bparams[p.Name()]
+		if !ok {
+			pass.Reportf(bwd.Decl.Name.Pos(),
+				"explicit-grad pair %q: forward parameter %s %s has no same-named parameter in backward %s",
+				op, p.Name(), p.Type(), bwd.Obj.Name())
+			continue
+		}
+		if !types.Identical(p.Type(), bt) {
+			pass.Reportf(bwd.Decl.Name.Pos(),
+				"explicit-grad pair %q: parameter %s is %s in forward but %s in backward",
+				op, p.Name(), p.Type(), bt)
+		}
+	}
+}
+
+// checkAdjoints runs the flow-sensitive input analysis on the forward and
+// matches each input against the backward's write set.
+func checkAdjoints(pass *Pass, op string, fwd, bwd *FuncInfo) {
+	inputs := forwardInputs(fwd)
+	if len(inputs) == 0 {
+		return
+	}
+	bs := &cellScanner{info: bwd.Pkg.Info}
+	writes := bs.collectWrites(bwd.Decl.Body)
+	nondiff := map[string]bool{}
+	for _, n := range fwd.Nondiff {
+		nondiff[strings.ToLower(n)] = true
+	}
+	names := make([]string, 0, len(inputs))
+	for n := range inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		in := inputs[name]
+		if nondiff[strings.ToLower(name)] {
+			continue
+		}
+		matched := matchAdjointWrites(name, writes)
+		if len(matched) == 0 {
+			pass.Reportf(in.pos,
+				"forward %s (op %q) reads differentiable input %s, but backward %s never accumulates its adjoint (no element write to %s; declare //dtgp:nondiff(%s) on the forward if intentional)",
+				fwd.Obj.Name(), op, in.display, bwd.Obj.Name(), adjointNames(name), name)
+			continue
+		}
+		depthOK := false
+		for _, w := range matched {
+			if w.depth == in.depth {
+				depthOK = true
+				break
+			}
+		}
+		if !depthOK {
+			pass.Reportf(in.pos,
+				"index-space mismatch in pair %q: forward reads %s through %d index level(s) but backward %s writes its adjoint through %d",
+				op, in.display, in.depth, bwd.Obj.Name(), matched[0].depth)
+		}
+	}
+}
+
+// adjointNames renders the accepted adjoint spellings for a diagnostic.
+func adjointNames(name string) string {
+	return fmt.Sprintf("%s/g%s/grad%s/d%s/adj%s", name, name, name, name, name)
+}
+
+// matchAdjointWrites selects the backward writes that accumulate an
+// adjoint for input `name`: element writes (index depth ≥ 1, covering
+// copy destinations) that are not constant-zero clears, whose target is
+// name-linked to the input.
+func matchAdjointWrites(name string, writes []cellEvent) []cellEvent {
+	n := strings.ToLower(name)
+	accepted := [5]string{n, "g" + n, "grad" + n, "d" + n, "adj" + n}
+	var out []cellEvent
+	for _, w := range writes {
+		if w.depth == 0 || w.zero {
+			continue
+		}
+		wn := strings.ToLower(w.cell.name())
+		for _, a := range accepted {
+			if wn == a {
+				out = append(out, w)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// inputRead is the first witness of one differentiable input.
+type inputRead struct {
+	pos     token.Pos
+	depth   int
+	display string
+}
+
+// forwardInputs computes the forward's differentiable input set: float
+// element reads of field-rooted cells at points where the cell's entry
+// value may still reach (reaching-definitions over the CFG, entry defs
+// seeded, plain assignments killing).
+func forwardInputs(fwd *FuncInfo) map[string]inputRead {
+	cs := &cellScanner{info: fwd.Pkg.Info}
+	cfg := BuildCFG(fwd.Decl.Body)
+
+	// Enumerate cells and cache per-atom effects.
+	ids := map[cellKey]int{}
+	type atomFx struct{ uses, defs []cellEvent }
+	fx := make([][]atomFx, len(cfg.Blocks))
+	intern := func(evs []cellEvent) {
+		for _, e := range evs {
+			if _, ok := ids[e.cell]; !ok {
+				ids[e.cell] = len(ids)
+			}
+		}
+	}
+	for bi, blk := range cfg.Blocks {
+		fx[bi] = make([]atomFx, len(blk.Nodes))
+		for ai, atom := range blk.Nodes {
+			u, d := cs.atomEffects(atom)
+			intern(u)
+			intern(d)
+			fx[bi][ai] = atomFx{uses: u, defs: d}
+		}
+	}
+	nbits := len(ids)
+	if nbits == 0 {
+		return nil
+	}
+
+	prob := &FlowProblem{CFG: cfg, NBits: nbits, Boundary: newBvec(nbits)}
+	prob.Boundary.fill()
+	prob.Gen = make([]bvec, len(cfg.Blocks))
+	prob.Kill = make([]bvec, len(cfg.Blocks))
+	for bi := range cfg.Blocks {
+		prob.Gen[bi] = newBvec(nbits)
+		prob.Kill[bi] = newBvec(nbits)
+		for _, afx := range fx[bi] {
+			for _, d := range afx.defs {
+				if !d.opAssign {
+					prob.Kill[bi].set(ids[d.cell])
+				}
+			}
+		}
+	}
+	res := prob.Solve()
+
+	inputs := map[string]inputRead{}
+	fact := newBvec(nbits)
+	for bi, blk := range cfg.Blocks {
+		fact.copyFrom(res.In[bi])
+		if blk == cfg.Entry {
+			fact.copyFrom(prob.Boundary)
+		}
+		for ai := range blk.Nodes {
+			for _, u := range fx[bi][ai].uses {
+				if !u.floatElem || u.depth == 0 || u.cell.path == "" {
+					continue
+				}
+				if !fact.has(ids[u.cell]) {
+					continue // every path overwrote it: an intermediate
+				}
+				name := u.cell.name()
+				if prev, ok := inputs[name]; !ok || u.pos < prev.pos {
+					inputs[name] = inputRead{pos: u.pos, depth: u.depth, display: u.cell.display()}
+				}
+			}
+			for _, d := range fx[bi][ai].defs {
+				if !d.opAssign {
+					fact.clear(ids[d.cell])
+				}
+			}
+		}
+	}
+	return inputs
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

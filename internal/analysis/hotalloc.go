@@ -106,6 +106,25 @@ func LoadHotAllow(path string) (map[string]map[string]bool, error) {
 	return allow, nil
 }
 
+// hotAllowEntryLines maps each allowlist entry ("func\tmessage") to its
+// line number, so stale-entry diagnostics point into the allow file
+// itself. Best-effort: an unreadable file yields line 0.
+func hotAllowEntryLines(path string) map[string]int {
+	lines := map[string]int{}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return lines
+	}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		lines[line] = ln + 1
+	}
+	return lines
+}
+
 func runHotAlloc(pass *Pass) error {
 	facts := pass.Facts
 	if !facts.EscapesValid {

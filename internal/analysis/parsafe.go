@@ -6,10 +6,10 @@ import (
 	"strings"
 )
 
-// ParSafe inspects every function literal passed directly to a parallel
-// dispatch primitive (parallel.For / ForCost / ForChunked / ForWorker /
-// ForGuided / Run, package-level or Pool method) and flags three classes
-// of kernel-body bug:
+// ParSafe inspects every kernel passed to a parallel dispatch primitive
+// (parallel.For / ForCost / ForChunked / ForWorker / ForGuided / Run,
+// package-level or Pool method) — function literals, named functions and
+// method values alike — and flags three classes of kernel-body bug:
 //
 //   - writes to captured variables that are not index-disjoint: the pool
 //     runs the literal concurrently on several lanes, so a plain captured
@@ -76,8 +76,17 @@ func runParSafe(pass *Pass) error {
 				return true
 			}
 			for _, arg := range call.Args {
-				if lit, ok := unparen(arg).(*ast.FuncLit); ok {
-					checkKernelBody(pass, lit)
+				switch a := unparen(arg).(type) {
+				case *ast.FuncLit:
+					checkKernelBody(pass, pass.Pkg.Info, a, a.Body, nil)
+				case *ast.Ident, *ast.SelectorExpr:
+					// Named function or method value used as the kernel:
+					// resolve the callee and check its body too (it runs on
+					// multiple lanes exactly like a literal would).
+					if ki := namedKernel(pass, a); ki != nil {
+						recv := receiverVar(ki)
+						checkKernelBody(pass, ki.Pkg.Info, ki.Decl, ki.Decl.Body, recv)
+					}
 				}
 			}
 			return true
@@ -86,17 +95,48 @@ func runParSafe(pass *Pass) error {
 	return nil
 }
 
-// checkKernelBody applies the three parsafe checks to one kernel literal.
-func checkKernelBody(pass *Pass, lit *ast.FuncLit) {
-	info := pass.Pkg.Info
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
+// namedKernel resolves a non-literal dispatch argument to a module
+// function with a body. Stored closure fields (t.fwdFn) resolve to vars,
+// not funcs, and stay out of reach — the repo convention is to bind those
+// from named methods, which are checked at their own dispatch sites.
+func namedKernel(pass *Pass, arg ast.Expr) *FuncInfo {
+	var obj types.Object
+	switch a := unparen(arg).(type) {
+	case *ast.Ident:
+		obj = pass.Pkg.Info.Uses[a]
+	case *ast.SelectorExpr:
+		obj = pass.Pkg.Info.Uses[a.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return pass.Facts.Funcs[fn]
+}
+
+// receiverVar returns the declared receiver variable of a method, if any.
+func receiverVar(fi *FuncInfo) *types.Var {
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv()
+}
+
+// checkKernelBody applies the three parsafe checks to one kernel body.
+// scope is the node whose locals are lane-private (the literal, or the
+// whole declaration for a named kernel); recv is the shared receiver of a
+// method-value kernel — every lane gets the same receiver, so non-indexed
+// writes through it race just like captured writes.
+func checkKernelBody(pass *Pass, info *types.Info, scope ast.Node, body *ast.BlockStmt, recv *types.Var) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch stmt := n.(type) {
 		case *ast.AssignStmt:
 			for _, lhs := range stmt.Lhs {
-				checkKernelWrite(pass, lit, lhs)
+				checkKernelWrite(pass, info, scope, recv, lhs)
 			}
 		case *ast.IncDecStmt:
-			checkKernelWrite(pass, lit, stmt.X)
+			checkKernelWrite(pass, info, scope, recv, stmt.X)
 		case *ast.CallExpr:
 			if fn, ok := isDispatch(info, stmt); ok {
 				pass.Reportf(stmt.Pos(),
@@ -110,9 +150,9 @@ func checkKernelBody(pass *Pass, lit *ast.FuncLit) {
 	})
 }
 
-// checkKernelWrite flags writes through captured, non-indexed locations.
-func checkKernelWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr) {
-	info := pass.Pkg.Info
+// checkKernelWrite flags writes through captured (or shared-receiver),
+// non-indexed locations.
+func checkKernelWrite(pass *Pass, info *types.Info, scope ast.Node, recv *types.Var, lhs ast.Expr) {
 	if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
 		return
 	}
@@ -137,7 +177,19 @@ func checkKernelWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr) {
 		obj = info.Defs[root]
 	}
 	v, ok := obj.(*types.Var)
-	if !ok || within(v.Pos(), lit) {
+	if !ok {
+		return
+	}
+	if recv != nil && v == recv {
+		// Every lane is handed the same receiver: a non-indexed write
+		// through it is shared state even though the receiver is
+		// syntactically a local of the method.
+		pass.Reportf(lhs.Pos(),
+			"write to shared receiver state %s from a parallel method-value kernel (every lane shares the receiver; not index- or worker-disjoint)",
+			types.ExprString(lhs))
+		return
+	}
+	if within(v.Pos(), scope) {
 		return // kernel-local variable or parameter
 	}
 	pass.Reportf(lhs.Pos(),

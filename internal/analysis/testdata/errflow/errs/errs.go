@@ -1,0 +1,78 @@
+// Package errs exercises the errflow analyzer: flow-sensitive detection of
+// dropped and silently overwritten error values.
+package errs
+
+import "errors"
+
+func phase1() error { return errors.New("p1") }
+func phase2() error { return errors.New("p2") }
+func phase3() error { return nil }
+
+// TwoPhase drops phase1's error: overwritten before any read.
+func TwoPhase() error {
+	err := phase1()
+	err = phase2()
+	return err
+}
+
+// BranchDrop drops phase1's error on every path: both branches overwrite
+// it before reading.
+func BranchDrop(cond bool) error {
+	err := phase1()
+	if cond {
+		err = phase2()
+	} else {
+		err = phase3()
+	}
+	return err
+}
+
+// OneArmReads is clean: when cond is false the phase1 value reaches the
+// return, so it is live on some path.
+func OneArmReads(cond bool) error {
+	err := phase1()
+	if cond {
+		err = phase2()
+	}
+	return err
+}
+
+// Sequential is the check-then-reuse idiom: clean.
+func Sequential() error {
+	err := phase1()
+	if err != nil {
+		return err
+	}
+	err = phase2()
+	return err
+}
+
+// Reset assigns nil between uses: a reset, not a dropped result.
+func Reset() error {
+	err := phase1()
+	if err != nil {
+		return err
+	}
+	err = nil
+	if phase2() != nil {
+		err = phase3()
+	}
+	return err
+}
+
+// AddrTaken hands the variable to a callee through a pointer: excluded
+// from tracking, so the later overwrites are not reported.
+func AddrTaken(fill func(*error)) error {
+	var err error
+	fill(&err)
+	err = phase1()
+	err = phase2()
+	return err
+}
+
+// BestEffort documents an intentional drop: suppressed.
+func BestEffort() error {
+	err := phase1() //dtgp:allow(errflow) first attempt is best-effort; retried below
+	err = phase2()
+	return err
+}

@@ -56,3 +56,45 @@ func Reduce(xs []float64) float64 {
 	})
 	return sum
 }
+
+// buf and total are package state touched by the named kernels below.
+var (
+	buf   []float64
+	total float64
+)
+
+// namedScale writes disjoint indices — the pool's contract — so passing it
+// by name is as clean as the equivalent literal.
+func namedScale(_, i int) {
+	buf[i] *= 2
+}
+
+// namedRace accumulates into package state: racy however it is dispatched.
+func namedRace(_, i int) {
+	total += buf[i]
+}
+
+// Named dispatches named functions instead of literals: the analyzer must
+// resolve the callee bodies rather than skip them.
+func Named(n int) {
+	parallel.For(n, namedScale)
+	parallel.For(n, namedRace)
+}
+
+// Acc dispatches a method value: every lane shares the receiver, so the
+// non-indexed write to a.sum races even though a is a "local" of kernel.
+type Acc struct {
+	sum  float64
+	vals []float64
+}
+
+func (a *Acc) kernel(_, i int) {
+	a.sum += a.vals[i]
+}
+
+// Sum drives the method-value kernel.
+func (a *Acc) Sum(n int) float64 {
+	a.sum = 0
+	parallel.For(n, a.kernel)
+	return a.sum
+}

@@ -1,0 +1,97 @@
+// Package scratch exercises the scratchlife analyzer: Get/Put balance on
+// every path, use-after-put, double-Put, and scratch aliases escaping the
+// function that borrowed them.
+package scratch
+
+import "sync"
+
+type buf struct {
+	xs []float64
+}
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+func sink(float64) {}
+
+// Clean follows the discipline: one Get, a deferred Put replayed at every
+// ordinary exit, subslice aliases used only while held, and aliases passed
+// to callees as borrows.
+func Clean(n int, out []float64) {
+	s := pool.Get().(*buf)
+	defer pool.Put(s)
+	if cap(s.xs) < n {
+		s.xs = make([]float64, n)
+	}
+	xs := s.xs[:n]
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	copy(out, xs)
+}
+
+// PanicPath leaks only on the panicking path, which is exempt: a leaked
+// entry on panic is garbage, not corruption.
+func PanicPath(n int) {
+	s := pool.Get().(*buf)
+	if n < 0 {
+		panic("negative length")
+	}
+	pool.Put(s)
+}
+
+// Leak forgets the Put on the early-return path.
+func Leak(n int) int {
+	s := pool.Get().(*buf)
+	if n == 0 {
+		return 0
+	}
+	pool.Put(s)
+	return n
+}
+
+// UseAfterPut reads the buffer after returning it to the pool.
+func UseAfterPut() {
+	s := pool.Get().(*buf)
+	s.xs = append(s.xs[:0], 1)
+	pool.Put(s)
+	sink(s.xs[0])
+}
+
+// DoublePut returns the buffer twice when the flush branch runs.
+func DoublePut(flush bool) {
+	s := pool.Get().(*buf)
+	if flush {
+		pool.Put(s)
+	}
+	pool.Put(s)
+}
+
+var cached *buf
+
+// EscapeStore publishes the scratch beyond the function.
+func EscapeStore() {
+	s := pool.Get().(*buf)
+	cached = s
+	pool.Put(s)
+}
+
+// EscapeReturn hands the caller a buffer the pool will recycle.
+func EscapeReturn() *buf {
+	s := pool.Get().(*buf)
+	defer pool.Put(s)
+	return s
+}
+
+// EscapeGo captures the scratch in a goroutine of unbounded lifetime.
+func EscapeGo() {
+	s := pool.Get().(*buf)
+	go func() { sink(s.xs[0]) }()
+	pool.Put(s)
+}
+
+// SuppressedLeak is a vouched-for ownership transfer the analyzer cannot
+// see; both findings carry allow annotations.
+func SuppressedLeak() *buf {
+	s := pool.Get().(*buf) //dtgp:allow(scratchlife) ownership transfers to the caller
+	return s               //dtgp:allow(scratchlife)
+}

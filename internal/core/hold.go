@@ -119,7 +119,13 @@ func (t *Timer) forwardEarly() {
 	}
 }
 
+// forwardEarlyNetSink propagates early-mode arrival and slew across a net
+// edge. HardAT mirrors the non-smoothed arrival and is excluded from the
+// differentiable surface.
+//
 //dtgp:hotpath
+//dtgp:forward(netprop-early)
+//dtgp:nondiff(HardAT)
 func (t *Timer) forwardEarlyNetSink(pid int32) {
 	ni := t.netOfSink[pid]
 	if ni < 0 || t.Nets[ni].Tree == nil {
@@ -144,8 +150,12 @@ func (t *Timer) forwardEarlyNetSink(pid int32) {
 }
 
 // forwardEarlyCellOut aggregates candidates with soft-min: stores the LSE
-// state of the negated values so backward recovers the weights.
+// state of the negated values so backward recovers the weights. HardAT is
+// the non-smoothed bookkeeping channel and carries no adjoint.
+//
 //dtgp:hotpath
+//dtgp:forward(cellarc-early)
+//dtgp:nondiff(HardAT)
 func (t *Timer) forwardEarlyCellOut(pid int32) {
 	h := t.hold
 	gamma := t.Opts.Gamma
@@ -386,6 +396,7 @@ func (t *Timer) backwardWithHold(t1, t2, t3 float64) float64 {
 }
 
 //dtgp:hotpath
+//dtgp:backward(netprop-early)
 func (t *Timer) backwardEarlyNetSink(pid int32) {
 	ni := t.netOfSink[pid]
 	if ni < 0 || t.Nets[ni].Tree == nil {
@@ -414,6 +425,7 @@ func (t *Timer) backwardEarlyNetSink(pid int32) {
 }
 
 //dtgp:hotpath
+//dtgp:backward(cellarc-early)
 func (t *Timer) backwardEarlyCellOut(pid int32) {
 	h := t.hold
 	gamma := t.Opts.Gamma

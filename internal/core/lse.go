@@ -12,7 +12,9 @@ import "math"
 //	LSE_γ(x…) = γ·log Σ exp(x_i/γ)
 //
 // in the numerically stable shifted form. γ must be positive.
+//
 //dtgp:hotpath
+//dtgp:forward(lse, explicit-grad)
 func LSE(gamma float64, xs ...float64) float64 {
 	v, _ := lseShifted(gamma, xs)
 	return v
@@ -39,6 +41,8 @@ func lseShifted(gamma float64, xs []float64) (val, z float64) {
 
 // LSEGrad returns LSE_γ(xs) and the softmax weights ∂LSE/∂x_i, which are
 // the gradient factors ∇_input LSE in Eq. 12a–12c.
+//
+//dtgp:backward(lse, explicit-grad)
 func LSEGrad(gamma float64, xs ...float64) (float64, []float64) {
 	m := math.Inf(-1)
 	for _, x := range xs {
@@ -65,7 +69,9 @@ func LSEGrad(gamma float64, xs ...float64) (float64, []float64) {
 // of the inverse value of operands", §3.2). Computed directly from the
 // shifted form so no negated copy of the inputs is allocated:
 // softmin(x) = m − γ·log Σ exp((m − xᵢ)/γ) with m = min(x).
+//
 //dtgp:hotpath
+//dtgp:forward(softmin, explicit-grad)
 func SoftMin(gamma float64, xs ...float64) float64 {
 	if len(xs) == 0 {
 		return math.Inf(1)
@@ -88,6 +94,8 @@ func SoftMin(gamma float64, xs ...float64) float64 {
 
 // SoftMinGrad returns the smooth minimum and its gradient weights (which
 // are non-negative and sum to 1, concentrated on the smallest inputs).
+//
+//dtgp:backward(softmin, explicit-grad)
 func SoftMinGrad(gamma float64, xs ...float64) (float64, []float64) {
 	neg := make([]float64, len(xs))
 	for i, x := range xs {
@@ -102,13 +110,17 @@ func SoftMinGrad(gamma float64, xs ...float64) (float64, []float64) {
 //	softneg_γ(s) = −γ·log(1 + exp(−s/γ))
 //
 // It approaches s for s ≪ 0 and 0 for s ≫ 0.
+//
 //dtgp:hotpath
+//dtgp:forward(softneg, explicit-grad)
 func SoftNeg(gamma, s float64) float64 {
 	return -gamma * softplus(-s/gamma)
 }
 
 // SoftNegGrad returns softneg and d softneg/ds = σ(−s/γ) ∈ (0, 1).
+//
 //dtgp:hotpath
+//dtgp:backward(softneg, explicit-grad)
 func SoftNegGrad(gamma, s float64) (float64, float64) {
 	return SoftNeg(gamma, s), sigmoid(-s / gamma)
 }

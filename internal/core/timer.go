@@ -309,22 +309,7 @@ func (t *Timer) buildKernels() {
 			}
 		}
 	}
-	t.elmoreFn = func(_, lo, hi int) {
-		for ni := lo; ni < hi; ni++ {
-			ns := &t.Nets[ni]
-			if ns.Tree == nil {
-				continue
-			}
-			if t.gLoadRoot[ni] == 0 && allZero(t.gDelayNode[ni]) && allZero(t.gImpSq[ni]) {
-				continue
-			}
-			if t.netGrads[ni] == nil {
-				t.netGrads[ni] = &rctree.Grad{}
-			}
-			ns.RC.BackwardInto(t.netGrads[ni], t.gDelayNode[ni], t.gImpSq[ni], t.gLoadRoot[ni])
-			t.netGradUsed[ni] = true
-		}
-	}
+	t.elmoreFn = t.elmoreBackward
 	t.refreshFn = func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			timing.RefreshNetState(t.G, &t.Nets[i])
@@ -475,8 +460,12 @@ func (t *Timer) forward() {
 	}
 }
 
-// forwardNetSink applies Eq. 9 per transition.
+// forwardNetSink applies Eq. 9 per transition. HardAT is the hard
+// (non-smoothed) arrival used only for reporting and is deliberately not
+// differentiated.
 //dtgp:hotpath
+//dtgp:forward(netprop)
+//dtgp:nondiff(HardAT)
 func (t *Timer) forwardNetSink(pid int32) {
 	ni := t.netOfSink[pid]
 	if ni < 0 {
@@ -505,8 +494,11 @@ func (t *Timer) forwardNetSink(pid int32) {
 // forwardCellOut applies Eq. 11: LUT delays aggregated with LSE over all
 // (input pin, input transition) candidates. Candidates are materialised
 // into the worker's scratch so each LUT is evaluated once (the stable
-// two-pass LSE then runs over the cached values).
+// two-pass LSE then runs over the cached values). HardAT is the hard
+// (non-smoothed) arrival, deliberately not differentiated.
 //dtgp:hotpath
+//dtgp:forward(cellarc)
+//dtgp:nondiff(HardAT)
 func (t *Timer) forwardCellOut(pid int32, worker int) {
 	g := t.G
 	gamma := t.Opts.Gamma
@@ -758,6 +750,31 @@ func constraintTable(arc *liberty.TimingArc, dataTr timing.Transition) *liberty.
 // applying Eq. 12 (cell arcs), Eq. 10 (net arcs) and Eq. 8 (Elmore), then
 // maps Steiner-node gradients onto cells via pin attribution (Fig. 4).
 //dtgp:hotpath
+// elmoreBackward runs the Elmore backward pass (Eq. 8) for nets [lo, hi)
+// into persistent per-net gradient buffers. It is the batch adjoint of
+// timing.ForwardAll: nets whose seeded gradients are all zero are skipped,
+// matching the sparsity of the reverse level sweep. Bound once as
+// t.elmoreFn so the hot loop dispatches without a per-call method value.
+//
+//dtgp:hotpath
+//dtgp:backward(elmore-batch)
+func (t *Timer) elmoreBackward(_, lo, hi int) {
+	for ni := lo; ni < hi; ni++ {
+		ns := &t.Nets[ni]
+		if ns.Tree == nil {
+			continue
+		}
+		if t.gLoadRoot[ni] == 0 && allZero(t.gDelayNode[ni]) && allZero(t.gImpSq[ni]) {
+			continue
+		}
+		if t.netGrads[ni] == nil {
+			t.netGrads[ni] = &rctree.Grad{}
+		}
+		ns.RC.BackwardInto(t.netGrads[ni], t.gDelayNode[ni], t.gImpSq[ni], t.gLoadRoot[ni])
+		t.netGradUsed[ni] = true
+	}
+}
+
 func (t *Timer) backward(t1, t2 float64) float64 {
 	g := t.G
 	d := g.D
@@ -819,6 +836,7 @@ func allZero(v []float64) bool {
 
 // backwardNetSink applies Eq. 10 for every sink transition of a pin.
 //dtgp:hotpath
+//dtgp:backward(netprop)
 func (t *Timer) backwardNetSink(pid int32) {
 	ni := t.netOfSink[pid]
 	if ni < 0 || t.Nets[ni].Tree == nil {
@@ -850,6 +868,7 @@ func (t *Timer) backwardNetSink(pid int32) {
 
 // backwardCellOut applies Eq. 12 for every output transition of a pin.
 //dtgp:hotpath
+//dtgp:backward(cellarc)
 func (t *Timer) backwardCellOut(pid int32) {
 	gamma := t.Opts.Gamma
 	netID := t.G.D.Pins[pid].Net

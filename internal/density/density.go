@@ -230,7 +230,9 @@ func (g *Grid) BuildDensity(x, y, w, h []float64) {
 // Solve computes potential and field from the current Density via the
 // spectral Poisson solution and returns the total electrostatic energy
 // ½·Σ ρψ·binArea.
+//
 //dtgp:hotpath
+//dtgp:forward(density, explicit-grad)
 func (g *Grid) Solve() float64 {
 	m, n := g.M, g.N
 	// RHS: density relative to its mean (DC removed; the u=v=0 mode is
@@ -390,7 +392,9 @@ func (g *Grid) dst3Cols(a []float64) {
 // (gradX, gradY): ∂D/∂x_i = −q_i·ξx(cell), with the charge spread over the
 // bins the (smoothed) cell overlaps. Solve must have been called. Cells are
 // independent (cell i writes only index i), so the loop runs on the pool.
+//
 //dtgp:hotpath
+//dtgp:backward(density, explicit-grad)
 func (g *Grid) Gradient(x, y, w, h, gradX, gradY []float64) {
 	g.gx, g.gy, g.gw, g.gh = x, y, w, h
 	g.ggx, g.ggy = gradX, gradY

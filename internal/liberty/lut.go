@@ -77,6 +77,8 @@ func locate(idx []float64, q float64) (i int, t, invSpan float64) {
 
 // Eval returns the bilinearly interpolated (or extrapolated) value at
 // (x, y) = (Index1 query, Index2 query).
+//
+//dtgp:forward(lut, explicit-grad)
 func (t *LUT) Eval(x, y float64) float64 {
 	v, _, _ := t.EvalGrad(x, y)
 	return v
@@ -87,6 +89,8 @@ func (t *LUT) Eval(x, y float64) float64 {
 // surface is bilinear, so the derivatives are exact; across cell boundaries
 // they are the one-sided derivatives of the chosen cell, which matches how
 // the paper backpropagates through LUT queries (Fig. 6).
+//
+//dtgp:backward(lut, explicit-grad)
 func (t *LUT) EvalGrad(x, y float64) (v, dvdx, dvdy float64) {
 	n2 := len(t.Index2)
 	i, tx, sx := locate(t.Index1, x)

@@ -54,6 +54,8 @@ func NewUpdater(d *netlist.Design, opts Options) *Updater {
 // Criticality returns each net's criticality in [0,1] from exact STA
 // results: c = clamp(−worstNetSlack/|WNS|, 0, 1), zero when the design has
 // no violations.
+//
+//dtgp:forward(netweight, explicit-grad)
 func Criticality(d *netlist.Design, res *timing.Result) []float64 {
 	crit := make([]float64, len(d.Nets))
 	if res.WNS >= 0 {
@@ -86,7 +88,11 @@ func Criticality(d *netlist.Design, res *timing.Result) []float64 {
 	return crit
 }
 
-// Update recomputes net weights from an exact STA result.
+// Update recomputes net weights from an exact STA result. It is the
+// weight-adaptation step driven by Criticality — the two form a
+// derivative-style pair over the same (design, STA result) inputs.
+//
+//dtgp:backward(netweight, explicit-grad)
 func (u *Updater) Update(d *netlist.Design, res *timing.Result) {
 	crit := Criticality(d, res)
 	o := u.Opts

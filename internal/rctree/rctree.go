@@ -212,6 +212,7 @@ func (t *Tree) RefreshGeometry() {
 // Forward runs the four Elmore DP passes (Eq. 7) and the impulse extraction
 // (Eq. 7e).
 //dtgp:hotpath
+//dtgp:forward(elmore)
 func (t *Tree) Forward() {
 	// Pass 1 (bottom-up): Load(u) = Cap(u) + Σ_child Load(v).
 	copy(t.Load, t.Cap)
@@ -283,6 +284,7 @@ func (t *Tree) Backward(gradDelay, gradImpulseSq []float64, gradLoadRoot float64
 // slices on first use and reusing them afterwards. Steady-state callers
 // (the timer's per-net gradient buffers) pay zero allocations per sweep.
 //dtgp:hotpath
+//dtgp:backward(elmore)
 func (t *Tree) BackwardInto(g *Grad, gradDelay, gradImpulseSq []float64, gradLoadRoot float64) {
 	n := t.N
 	if cap(g.Beta) < n {

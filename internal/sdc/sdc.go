@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode"
 )
 
 // Constraints is the parsed timing environment of a design.
@@ -143,18 +144,26 @@ func Parse(src string) (*Constraints, error) {
 	return c, nil
 }
 
-// cleanName strips quoting and bracket characters from an extracted token.
-// The flattened [get_ports x] syntax this dialect re-emits cannot quote
-// these characters, so names are normalised on the way in — otherwise a
-// name like `0[0` would emit as `[get_ports 0[0]` and destroy the bracket
-// structure on re-parse.
+// cleanName strips quoting, bracket, whitespace and control characters
+// from an extracted token. The flattened [get_ports x] syntax this dialect
+// re-emits cannot quote any of these, so names are normalised on the way
+// in — otherwise a name like `0[0` would emit as `[get_ports 0[0]` and
+// destroy the bracket structure on re-parse, and a name holding exotic
+// whitespace (\f, \v) would survive tokenize (which splits on space/tab
+// only) but be re-split by the bracket parser's strings.Fields.
 func cleanName(s string) string {
-	if !strings.ContainsAny(s, "\"{}[]") {
+	drop := func(r rune) bool {
+		switch r {
+		case '"', '{', '}', '[', ']':
+			return true
+		}
+		return unicode.IsSpace(r) || unicode.IsControl(r)
+	}
+	if strings.IndexFunc(s, drop) < 0 {
 		return s
 	}
 	return strings.Map(func(r rune) rune {
-		switch r {
-		case '"', '{', '}', '[', ']':
+		if drop(r) {
 			return -1
 		}
 		return r

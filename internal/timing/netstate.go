@@ -161,8 +161,11 @@ func RefreshNetStates(g *Graph, states []NetState) {
 	})
 }
 
-// ForwardAll runs the Elmore forward passes on every net, in parallel.
+// ForwardAll runs the Elmore forward passes on every net, in parallel. Its
+// batch adjoint is the core timer's elmoreBackward sweep.
+//
 //dtgp:hotpath
+//dtgp:forward(elmore-batch)
 func ForwardAll(states []NetState) {
 	parallel.ForGuided(len(states), 16, parallel.CostDefault, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {

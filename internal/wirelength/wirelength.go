@@ -71,8 +71,13 @@ func NewModel(d *netlist.Design, gamma float64) *Model {
 // Evaluate returns the total net-weighted WA wirelength and fills
 // (gradX, gradY) with its gradient with respect to cell positions
 // (accumulating — callers zero the slices). Allocation-free in steady
-// state: all per-net work runs in worker-local scratch.
+// state: all per-net work runs in worker-local scratch. Forward value and
+// backward gradient are fused in a single pass (the WA partition sums are
+// shared between the two), so one declaration carries both pragmas.
+//
 //dtgp:hotpath
+//dtgp:forward(wa-wirelength)
+//dtgp:backward(wa-wirelength)
 func (m *Model) Evaluate(gradX, gradY []float64) float64 {
 	d := m.D
 	if n := parallel.Workers(); n > len(m.scratch) {
