@@ -3,7 +3,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build vet test race bench check fuzz-smoke
+.PHONY: build vet test race bench bench-smoke check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -32,12 +32,19 @@ fuzz-smoke:
 	$(GO) test ./internal/verilog/ -run '^FuzzParseVerilog$$' -fuzz '^FuzzParseVerilog$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sdc/ -run '^FuzzParseSdc$$' -fuzz '^FuzzParseSdc$$' -fuzztime $(FUZZTIME)
 
+# Bench smoke: run every benchmark exactly once (no timing fidelity) so a
+# benchmark that panics, allocates unboundedly, or bit-rots against an API
+# change is caught pre-merge without paying for a real measurement sweep.
+bench-smoke:
+	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+
 # check is the full pre-merge gate: compile, static analysis, the whole test
-# suite, the race detector over the quick (-short) suite, and the parser
-# fuzz smoke.
+# suite, the race detector over the quick (-short) suite, the benchmark
+# smoke, and the parser fuzz smoke.
 check: build vet
 	$(GO) test ./...
 	$(GO) test -race -short ./...
+	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
 
 # Full benchmark sweep with allocation stats, repeated for stable medians.

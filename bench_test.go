@@ -9,6 +9,7 @@ package dtgp
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"dtgp/internal/core"
@@ -206,6 +207,159 @@ func BenchmarkExactSTA(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := timing.Analyze(g)
 		_ = res.WNS
+	}
+}
+
+// movementBed builds a differentiable timer plus the movable-cell index for
+// movement-workload benchmarks. incremental toggles the displacement-driven
+// evaluation mode against the legacy full-refresh baseline.
+func movementBed(b *testing.B, incremental bool) (*core.Timer, *Design, []int32) {
+	b.Helper()
+	d, con := benchDesign(b, "superblue4")
+	if err := CalibratePeriod(d, con, 0.7); err != nil {
+		b.Fatal(err)
+	}
+	g, err := timing.NewGraph(d, con)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Gamma: 100, SteinerPeriod: 10}
+	if incremental {
+		opts = core.DefaultOptions()
+	}
+	var movable []int32
+	for ci := range d.Cells {
+		if d.Cells[ci].Movable() {
+			movable = append(movable, int32(ci))
+		}
+	}
+	return core.NewTimer(g, opts), d, movable
+}
+
+// BenchmarkDiffTimerIncremental measures one differentiable-timer evaluation
+// under a movement workload: every movable cell drifts by a uniform step
+// before each Evaluate. small-step mimics a converging placement (drift well
+// under the ε-displacement threshold, so the incremental mode skips most
+// extraction and propagation); large-step forces every net dirty and bounds
+// the bookkeeping overhead of the incremental machinery.
+func BenchmarkDiffTimerIncremental(b *testing.B) {
+	steps := []struct {
+		name  string
+		delta float64
+	}{{"small-step", 0.1}, {"large-step", 25}}
+	modes := []struct {
+		name        string
+		incremental bool
+	}{{"full", false}, {"incremental", true}}
+	for _, st := range steps {
+		for _, m := range modes {
+			b.Run(st.name+"/"+m.name, func(b *testing.B) {
+				tm, d, movable := movementBed(b, m.incremental)
+				rng := rand.New(rand.NewSource(9))
+				tm.Evaluate(0.01, 0.001) // warm caches and scratch
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, ci := range movable {
+						d.Cells[ci].Pos.X += (rng.Float64() - 0.5) * 2 * st.delta
+						d.Cells[ci].Pos.Y += (rng.Float64() - 0.5) * 2 * st.delta
+					}
+					tm.Evaluate(0.01, 0.001)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExactSTAIncremental measures the periodic exact-STA pass of the
+// net-weighting flow: from-scratch Analyze versus the maintained
+// timing.Incremental engine fed only the cells that moved. move-2pct is the
+// sparse perturbation workload (detailed-placement-style); move-all is the
+// worst case where every movable cell changed.
+func BenchmarkExactSTAIncremental(b *testing.B) {
+	workloads := []struct {
+		name string
+		frac float64
+	}{{"move-2pct", 0.02}, {"move-all", 1}}
+	modes := []struct {
+		name        string
+		incremental bool
+	}{{"full", false}, {"incremental", true}}
+	for _, wl := range workloads {
+		for _, m := range modes {
+			b.Run(wl.name+"/"+m.name, func(b *testing.B) {
+				d, con := benchDesign(b, "superblue4")
+				if err := CalibratePeriod(d, con, 0.7); err != nil {
+					b.Fatal(err)
+				}
+				g, err := timing.NewGraph(d, con)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var movable []int32
+				for ci := range d.Cells {
+					if d.Cells[ci].Movable() {
+						movable = append(movable, int32(ci))
+					}
+				}
+				nMove := int(float64(len(movable)) * wl.frac)
+				if nMove < 1 {
+					nMove = 1
+				}
+				var inc *timing.Incremental
+				if m.incremental {
+					inc = timing.NewIncremental(g)
+					inc.Epsilon = 0
+				}
+				rng := rand.New(rand.NewSource(11))
+				moved := make([]int32, 0, nMove)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					moved = moved[:0]
+					for k := 0; k < nMove; k++ {
+						ci := movable[rng.Intn(len(movable))]
+						d.Cells[ci].Pos.X += (rng.Float64() - 0.5) * 10
+						d.Cells[ci].Pos.Y += (rng.Float64() - 0.5) * 10
+						moved = append(moved, ci)
+					}
+					if m.incremental {
+						inc.MoveCells(moved)
+					} else {
+						res := timing.Analyze(g)
+						_ = res.WNS
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPlacementIterationTiming runs a short timing-active placement
+// segment with incremental evaluation on versus the ExactRefresh baseline;
+// the trajectories are bit-identical, only the per-iteration work differs.
+func BenchmarkPlacementIterationTiming(b *testing.B) {
+	d0, con := benchDesign(b, "superblue4")
+	if err := CalibratePeriod(d0, con, 0.5); err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []struct {
+		name  string
+		exact bool
+	}{{"exact-refresh", true}, {"incremental", false}} {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := d0.Clone()
+				opts := DefaultPlaceOptions(FlowDiffTiming)
+				opts.MaxIters = 60
+				opts.TimingStartIter = 5
+				opts.SkipLegalize = true
+				opts.ExactRefresh = m.exact
+				if _, err := Place(d, con, FlowDiffTiming, &opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

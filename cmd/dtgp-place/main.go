@@ -43,6 +43,7 @@ func run() error {
 		svg     = flag.String("svg", "", "write a slack-coloured placement SVG to this path")
 		iters   = flag.Int("iters", 0, "max iterations (0 = default)")
 		noGuard = flag.Bool("no-guard", false, "disable the fault-tolerance supervisor (checkpoints, rollback)")
+		exact   = flag.Bool("exact-refresh", false, "disable incremental timing: full re-extraction every evaluation (A/B baseline, bit-identical results)")
 		verbose = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -76,6 +77,7 @@ func run() error {
 		opts.MaxIters = *iters
 	}
 	opts.Guard.Enabled = !*noGuard
+	opts.ExactRefresh = *exact
 	if *verbose {
 		opts.Logf = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"dtgp/internal/bitset"
 	"dtgp/internal/liberty"
 	"dtgp/internal/parallel"
 	"dtgp/internal/rctree"
@@ -15,15 +16,59 @@ type Options struct {
 	// Gamma is the LSE smoothing strength (Eq. 5), in ps. The paper sets
 	// it "to around 100".
 	Gamma float64
-	// SteinerPeriod is how often Steiner-tree topologies are rebuilt; in
-	// between, stored Steiner points ride along with their pins (§3.6,
-	// "every 10 iterations").
+	// SteinerPeriod is how often Steiner-tree topologies are rebuilt in the
+	// full-refresh mode (Incremental == false): every SteinerPeriod
+	// evaluations the topology is re-extracted, and in between stored
+	// Steiner points ride along with their pins (§3.6, "every 10
+	// iterations"). In incremental mode the global period is replaced by
+	// per-net lazy rebuilds (DistortionLimit) plus the FencePeriod
+	// full-refresh fence, and SteinerPeriod is ignored.
 	SteinerPeriod int
+
+	// Incremental enables displacement-driven dirty tracking: on Evaluate
+	// only nets whose pins moved beyond RefreshEps since their last refresh
+	// are re-extracted/re-propagated, and the forward sweep recomputes only
+	// pins whose fan-in changed. The zero value keeps the legacy
+	// full-refresh behaviour bit-identically.
+	Incremental bool
+	// RefreshEps is the per-pin displacement threshold ε in DBU (Chebyshev
+	// distance against the geometry of the net's last refresh) below which
+	// a net keeps its cached Steiner/RC state. 0 means any bitwise movement
+	// refreshes (exact).
+	RefreshEps float64
+	// DistortionLimit is the relative pin-bbox half-perimeter change that
+	// triggers a per-net Steiner topology rebuild instead of the cheap
+	// geometry slide. +Inf disables per-net rebuilds; <= 0 selects the
+	// default (0.5) in incremental mode. Kept deliberately loose: scattered
+	// per-net rebuilds are objective discontinuities mid-descent, so only
+	// violently distorted nets rebuild between fences.
+	DistortionLimit float64
+	// FencePeriod is the periodic full-refresh fence in incremental mode:
+	// every FencePeriod evaluations all nets are re-extracted and the full
+	// forward sweep runs, bounding drift from skipped sub-ε movement.
+	// <= 0 selects the default (10).
+	FencePeriod int
+	// PropagateEps is the forward change-damping threshold: a recomputed
+	// pin whose AT/slew/hard-AT all changed by at most PropagateEps does
+	// not dirty its fanout. 0 propagates any bitwise change (exact).
+	PropagateEps float64
 }
 
-// DefaultOptions mirrors the paper's §4 hyperparameters.
+// DefaultOptions mirrors the paper's §4 hyperparameters, with incremental
+// evaluation enabled: ε = 0.5 DBU, 50% distortion rebuild, fence every 10
+// (matching the legacy topology cadence, so staleness is bounded the same
+// way), and a 1 fs propagation deadband so sub-resolution arrival jitter
+// does not re-dirty the whole downstream cone.
 func DefaultOptions() Options {
-	return Options{Gamma: 100, SteinerPeriod: 10}
+	return Options{
+		Gamma:           100,
+		SteinerPeriod:   10,
+		Incremental:     true,
+		RefreshEps:      0.5,
+		DistortionLimit: 0.5,
+		FencePeriod:     10,
+		PropagateEps:    1e-3,
+	}
 }
 
 // fwdScratch holds one worker's candidate buffers for the cell-output LSE
@@ -134,6 +179,29 @@ type Timer struct {
 	fwdNetsFn  func(w, lo, hi int)
 	resetTasks []func()
 
+	// Incremental-evaluation state (Opts.Incremental). netMoved is the
+	// per-net movement flag written by the parallel scan (single writer per
+	// index), compacted into dirtyNets; pinDirty marks pins whose fan-in
+	// changed, bucketed by level into levelBuckets (dirtyCount tracks the
+	// outstanding total so the sweep can stop once the cone dies out);
+	// pinChanged is the per-pin "outputs changed" flag written by the level
+	// kernel. fullPass records that the current evaluation refreshed
+	// everything (first build, fence, or the dirty-density cutoff), so the
+	// forward sweep must run in full.
+	netMoved      []bool
+	dirtyNets     []int32
+	pinDirty      bitset.Set
+	pinChanged    []bool
+	levelBuckets  [][]int32
+	dirtyCount    int
+	curWork       []int32
+	compactor     *parallel.Compactor
+	fullPass      bool
+	netMovedFn    func(w, lo, hi int)
+	refreshLazyFn func(w, lo, hi int)
+	fwdIncFn      func(w, lo, hi int)
+	netMovedPred  func(i int) bool
+
 	// Objective scratch.
 	epStates []epState
 	sEps     []float64
@@ -150,6 +218,20 @@ func NewTimer(g *timing.Graph, opts Options) *Timer {
 	}
 	if opts.SteinerPeriod <= 0 {
 		opts.SteinerPeriod = 10
+	}
+	if opts.Incremental {
+		if opts.DistortionLimit <= 0 {
+			opts.DistortionLimit = 0.5
+		}
+		if opts.FencePeriod <= 0 {
+			opts.FencePeriod = 10
+		}
+		if opts.RefreshEps < 0 {
+			opts.RefreshEps = 0
+		}
+		if opts.PropagateEps < 0 {
+			opts.PropagateEps = 0
+		}
 	}
 	n2 := 2 * len(g.D.Pins)
 	t := &Timer{
@@ -204,7 +286,25 @@ func NewTimer(g *timing.Graph, opts Options) *Timer {
 	t.buildGroups()
 	t.buildStartPins()
 	t.buildKernels()
+	if opts.Incremental {
+		t.buildIncState()
+	}
 	return t
+}
+
+// buildIncState allocates the dirty-tracking buffers up front so the
+// incremental steady state never grows them.
+func (t *Timer) buildIncState() {
+	g := t.G
+	t.netMoved = make([]bool, len(g.D.Nets))
+	t.dirtyNets = make([]int32, len(g.D.Nets))
+	t.pinChanged = make([]bool, len(g.D.Pins))
+	t.pinDirty.Grow(len(g.D.Pins))
+	t.levelBuckets = make([][]int32, len(g.Levels))
+	for k, level := range g.Levels {
+		t.levelBuckets[k] = make([]int32, 0, len(level))
+	}
+	t.compactor = parallel.NewCompactor(4 * parallel.Workers())
 }
 
 func (t *Timer) buildGroups() {
@@ -322,6 +422,34 @@ func (t *Timer) buildKernels() {
 			}
 		}
 	}
+	t.netMovedFn = func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.netMoved[i] = timing.NetMoved(t.G, &t.Nets[i], t.Opts.RefreshEps)
+		}
+	}
+	t.refreshLazyFn = func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ns := &t.Nets[t.dirtyNets[i]]
+			timing.RefreshNetStateLazy(t.G, ns, t.Opts.DistortionLimit)
+			if ns.RC != nil {
+				ns.RC.Forward()
+			}
+		}
+	}
+	t.fwdIncFn = func(w, lo, hi int) {
+		g := t.G
+		for i := lo; i < hi; i++ {
+			pid := t.curWork[i]
+			switch {
+			case g.IsStart[pid]:
+			case g.IsNetSink[pid]:
+				t.forwardNetSinkInc(pid)
+			case g.IsCellOut[pid]:
+				t.forwardCellOutInc(pid, w)
+			}
+		}
+	}
+	t.netMovedPred = func(i int) bool { return t.netMoved[i] }
 	t.resetTasks = []func(){
 		func() {
 			for i := range t.gAT {
@@ -378,9 +506,14 @@ func (t *Timer) ensureScratch() {
 }
 
 // refreshNets updates or rebuilds the Steiner/RC state and runs the Elmore
-// forward passes (Fig. 3 stages 1-2).
+// forward passes (Fig. 3 stages 1-2). In incremental mode only nets whose
+// pins moved beyond ε are touched.
 //dtgp:hotpath
 func (t *Timer) refreshNets() {
+	if t.Opts.Incremental {
+		t.refreshNetsIncremental()
+		return
+	}
 	if t.Nets == nil {
 		t.Nets = timing.BuildNetStates(t.G)
 	} else if t.evalCount%t.Opts.SteinerPeriod == 0 {
@@ -391,6 +524,38 @@ func (t *Timer) refreshNets() {
 	}
 	t.evalCount++
 	parallel.ForGuided(len(t.Nets), 16, parallel.CostDefault, t.fwdNetsFn)
+}
+
+// refreshNetsIncremental is the displacement-driven refresh: a parallel scan
+// flags nets whose pins moved beyond RefreshEps against the geometry of
+// their last refresh, the flags are compacted into dirtyNets, and only those
+// nets get the lazy refresh-or-rebuild plus Elmore forward. The first
+// evaluation and every FencePeriod-th evaluation instead refresh everything
+// (the fence that bounds sub-ε drift).
+//dtgp:hotpath
+func (t *Timer) refreshNetsIncremental() {
+	if t.Nets == nil {
+		t.Nets = timing.BuildNetStates(t.G)
+		t.evalCount++
+		parallel.ForGuided(len(t.Nets), 16, parallel.CostDefault, t.fwdNetsFn)
+		t.fullPass = true
+		return
+	}
+	if t.evalCount%t.Opts.FencePeriod == 0 {
+		timing.RebuildNetStates(t.G, t.Nets)
+		t.evalCount++
+		parallel.ForGuided(len(t.Nets), 16, parallel.CostDefault, t.fwdNetsFn)
+		t.fullPass = true
+		return
+	}
+	t.evalCount++
+	parallel.ForGuided(len(t.Nets), 16, parallel.CostLight, t.netMovedFn)
+	t.dirtyNets = t.compactor.Compact(t.dirtyNets, len(t.Nets), parallel.CostTrivial, t.netMovedPred)
+	parallel.ForGuided(len(t.dirtyNets), 4, parallel.CostHeavy, t.refreshLazyFn)
+	// Dirty-density cutoff: when most nets moved, the plain full sweep is
+	// cheaper than dirty bookkeeping (and bit-identical — it recomputes
+	// every pin from the same refreshed RC state).
+	t.fullPass = 4*len(t.dirtyNets) >= len(t.Nets)
 }
 
 // Evaluate runs one forward+backward pass. t1 and t2 weight the TNS and WNS
@@ -430,6 +595,10 @@ func (t *Timer) ExactResult() *timing.Result {
 
 //dtgp:hotpath
 func (t *Timer) forward() {
+	if t.Opts.Incremental && !t.fullPass {
+		t.forwardIncremental()
+		return
+	}
 	t.ensureScratch()
 	ninf := math.Inf(-1)
 	for i := range t.AT {
@@ -554,6 +723,128 @@ func (t *Timer) forwardCellOut(pid int32, worker int) {
 		t.atMax[v], t.atZ[v] = atM, atZ
 		t.slMax[v], t.slZ[v] = slM, slZ
 		t.Valid[v] = true
+	}
+}
+
+// forwardIncremental is the dirty-set forward sweep. It seeds every pin of
+// every refreshed net (sinks see new delays/impulses, the driver a new
+// load), then walks the level buckets in order, recomputing only dirty pins
+// and expanding the fanout of pins whose outputs actually changed. All
+// persistent forward state (AT/Slew/Valid/HardAT and the stored LSE
+// partition values) carries over from the previous evaluation, so clean
+// pins keep bit-identical values without being touched. Fanout expansion is
+// done serially between levels (fanouts live at strictly deeper levels, so
+// one pass per level suffices and a processed pin can never be re-dirtied);
+// the recomputation itself runs on the pool. Work is proportional to the
+// dirty cone: levels outside it are skipped via their empty buckets, and
+// the sweep stops as soon as the outstanding count hits zero.
+//dtgp:hotpath
+func (t *Timer) forwardIncremental() {
+	t.ensureScratch()
+	d := t.G.D
+	for _, ni := range t.dirtyNets {
+		for _, pid := range d.Nets[ni].Pins {
+			t.markDirty(pid)
+		}
+	}
+	for li := range t.levelBuckets {
+		if t.dirtyCount == 0 {
+			break
+		}
+		bucket := t.levelBuckets[li]
+		if len(bucket) == 0 {
+			continue
+		}
+		t.curWork = bucket
+		parallel.ForWorker(len(bucket), parallel.CostHeavy, t.fwdIncFn)
+		t.dirtyCount -= len(bucket)
+		for _, pid := range bucket {
+			t.pinDirty.Remove(pid)
+			if !t.pinChanged[pid] {
+				continue
+			}
+			t.pinChanged[pid] = false
+			t.markFanouts(pid)
+		}
+		t.levelBuckets[li] = bucket[:0]
+	}
+}
+
+// markDirty queues pid for recomputation in its level's bucket (once).
+//dtgp:hotpath
+func (t *Timer) markDirty(pid int32) {
+	if t.pinDirty.TryAdd(pid) {
+		li := t.G.Level[pid]
+		t.levelBuckets[li] = append(t.levelBuckets[li], pid)
+		t.dirtyCount++
+	}
+}
+
+// changedBeyond reports whether any of the three forward quantities moved by
+// more than eps. −Inf→−Inf (unreachable stays unreachable) compares as NaN
+// and correctly reads as unchanged; −Inf→finite is +Inf and propagates.
+//dtgp:hotpath
+func changedBeyond(eps, a0, a1, b0, b1, c0, c1 float64) bool {
+	return math.Abs(a1-a0) > eps || math.Abs(b1-b0) > eps || math.Abs(c1-c0) > eps
+}
+
+// forwardNetSinkInc recomputes one dirty net-sink pin by delegating to the
+// full kernel (forwardNetSink), then flags the pin as changed when its
+// outputs moved beyond PropagateEps. Wrapping the tagged kernel keeps a
+// single numeric implementation, so incremental and full sweeps are
+// bit-identical by construction.
+//dtgp:hotpath
+func (t *Timer) forwardNetSinkInc(pid int32) {
+	r, f := timing.TIdx(pid, timing.Rise), timing.TIdx(pid, timing.Fall)
+	atR, slR, haR := t.AT[r], t.Slew[r], t.HardAT[r]
+	atF, slF, haF := t.AT[f], t.Slew[f], t.HardAT[f]
+	t.forwardNetSink(pid)
+	eps := t.Opts.PropagateEps
+	if changedBeyond(eps, atR, t.AT[r], slR, t.Slew[r], haR, t.HardAT[r]) ||
+		changedBeyond(eps, atF, t.AT[f], slF, t.Slew[f], haF, t.HardAT[f]) {
+		t.pinChanged[pid] = true
+	}
+}
+
+// forwardCellOutInc is the cell-output counterpart of forwardNetSinkInc.
+//dtgp:hotpath
+func (t *Timer) forwardCellOutInc(pid int32, worker int) {
+	r, f := timing.TIdx(pid, timing.Rise), timing.TIdx(pid, timing.Fall)
+	atR, slR, haR := t.AT[r], t.Slew[r], t.HardAT[r]
+	atF, slF, haF := t.AT[f], t.Slew[f], t.HardAT[f]
+	t.forwardCellOut(pid, worker)
+	eps := t.Opts.PropagateEps
+	if changedBeyond(eps, atR, t.AT[r], slR, t.Slew[r], haR, t.HardAT[r]) ||
+		changedBeyond(eps, atF, t.AT[f], slF, t.Slew[f], haF, t.HardAT[f]) {
+		t.pinChanged[pid] = true
+	}
+}
+
+// markFanouts dirties every pin whose forward value reads pid's outputs:
+// the other pins of the net pid drives (if any), and the To pins of the
+// cell arcs leaving pid.
+//dtgp:hotpath
+func (t *Timer) markFanouts(pid int32) {
+	g := t.G
+	d := g.D
+	pin := &d.Pins[pid]
+	if ni := pin.Net; ni >= 0 && !g.IsClockNet[ni] && d.Nets[ni].Driver == pid {
+		for _, q := range d.Nets[ni].Pins {
+			if q != pid {
+				t.markDirty(q)
+			}
+		}
+	}
+	cell := &d.Cells[pin.Cell]
+	if cell.Lib >= 0 {
+		lc := &d.Lib.Cells[cell.Lib]
+		for ai := range lc.Arcs {
+			arc := &lc.Arcs[ai]
+			if arc.IsCheck() || cell.Pins[arc.From] != pid {
+				continue
+			}
+			t.markDirty(cell.Pins[arc.To])
+		}
 	}
 }
 

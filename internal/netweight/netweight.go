@@ -51,20 +51,36 @@ func NewUpdater(d *netlist.Design, opts Options) *Updater {
 	return &Updater{Opts: opts, velocity: make([]float64, len(d.Nets))}
 }
 
+// SlackSource is the slack view Criticality consumes: either a from-scratch
+// timing.Result or the maintained state of a timing.Incremental engine. The
+// two agree bitwise on identical interconnect state, so weight trajectories
+// are independent of which backs the interface.
+type SlackSource interface {
+	// Graph returns the timing graph the slacks were computed over.
+	Graph() *timing.Graph
+	// WorstSlack returns the design WNS (min endpoint setup slack).
+	WorstSlack() float64
+	// PinSlack returns the late slack at (pin, transition), +Inf when the
+	// pin carries no constrained arrival.
+	PinSlack(pid int32, tr timing.Transition) float64
+}
+
 // Criticality returns each net's criticality in [0,1] from exact STA
 // results: c = clamp(−worstNetSlack/|WNS|, 0, 1), zero when the design has
 // no violations.
 //
 //dtgp:forward(netweight, explicit-grad)
-func Criticality(d *netlist.Design, res *timing.Result) []float64 {
+func Criticality(d *netlist.Design, res SlackSource) []float64 {
 	crit := make([]float64, len(d.Nets))
-	if res.WNS >= 0 {
+	wns := res.WorstSlack()
+	if wns >= 0 {
 		return crit
 	}
+	isClockNet := res.Graph().IsClockNet
 	for ni := range d.Nets {
 		// Clock nets are ideal (excluded from timing propagation): their
 		// wirelength does not influence slack, so they get no weight.
-		if res.G.IsClockNet[ni] {
+		if isClockNet[ni] {
 			continue
 		}
 		net := &d.Nets[ni]
@@ -79,7 +95,7 @@ func Criticality(d *netlist.Design, res *timing.Result) []float64 {
 		if math.IsInf(worst, 1) || worst >= 0 {
 			continue
 		}
-		c := -worst / -res.WNS
+		c := -worst / -wns
 		if c > 1 {
 			c = 1
 		}
@@ -93,7 +109,7 @@ func Criticality(d *netlist.Design, res *timing.Result) []float64 {
 // derivative-style pair over the same (design, STA result) inputs.
 //
 //dtgp:backward(netweight, explicit-grad)
-func (u *Updater) Update(d *netlist.Design, res *timing.Result) {
+func (u *Updater) Update(d *netlist.Design, res SlackSource) {
 	crit := Criticality(d, res)
 	o := u.Opts
 	for ni := range d.Nets {

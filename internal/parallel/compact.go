@@ -1,0 +1,107 @@
+package parallel
+
+// Compactor extracts the indices selected by a predicate from a dense index
+// range into a packed ascending []int32 — the dirty-set compaction step of
+// incremental evaluation (scan a per-element flag array in parallel, hand the
+// survivors to guided dispatch). It runs as a two-pass counting compaction
+// over a fixed grid of chunks: pass one counts matches per chunk, a serial
+// prefix sum turns counts into write offsets, pass two writes each chunk's
+// matches at its offset. The chunk grid depends only on (n, chunks), never on
+// how the passes were dispatched, so any mix of serial and parallel execution
+// of the two passes produces the same output — the determinism invariant the
+// rest of the runtime relies on.
+//
+// A Compactor is not safe for concurrent use; each owner (e.g. a Timer) keeps
+// its own. The closures handed to the pool are stored once at construction so
+// the steady-state Compact call is allocation-free.
+type Compactor struct {
+	pool    *Pool
+	counts  []int32
+	dst     []int32
+	n       int
+	pred    func(i int) bool
+	countFn func(i int)
+	writeFn func(i int)
+}
+
+// NewCompactor returns a Compactor over the default pool with the given
+// number of chunks. More chunks mean better load balance on skewed
+// predicates; 4× the worker count is a reasonable default.
+func NewCompactor(chunks int) *Compactor { return Default().NewCompactor(chunks) }
+
+// NewCompactor returns a Compactor dispatching on p.
+func (p *Pool) NewCompactor(chunks int) *Compactor {
+	if chunks < 1 {
+		chunks = 1
+	}
+	c := &Compactor{pool: p, counts: make([]int32, chunks)}
+	c.countFn = func(ci int) {
+		lo, hi := c.chunk(ci)
+		cnt := int32(0)
+		for i := lo; i < hi; i++ {
+			if c.pred(i) {
+				cnt++
+			}
+		}
+		c.counts[ci] = cnt
+	}
+	c.writeFn = func(ci int) {
+		lo, hi := c.chunk(ci)
+		w := c.counts[ci] // exclusive prefix sum after pass one
+		for i := lo; i < hi; i++ {
+			if c.pred(i) {
+				c.dst[w] = int32(i)
+				w++
+			}
+		}
+	}
+	return c
+}
+
+// chunk returns the half-open index range of chunk ci. The grid is a function
+// of (n, len(counts)) only.
+//
+//dtgp:hotpath
+func (c *Compactor) chunk(ci int) (lo, hi int) {
+	chunks := len(c.counts)
+	return ci * c.n / chunks, (ci + 1) * c.n / chunks
+}
+
+// Compact writes the indices i in [0, n) with pred(i) into dst in ascending
+// order and returns the filled prefix. dst must have capacity ≥ n (it is
+// grown otherwise, which allocates); pred must be pure and safe to call
+// concurrently for distinct i. cost is the per-element predicate cost in the
+// pool's cost model (CostTrivial for a flag-array load).
+//
+//dtgp:hotpath
+func (c *Compactor) Compact(dst []int32, n, cost int, pred func(i int) bool) []int32 {
+	if n <= 0 {
+		return dst[:0]
+	}
+	if cap(dst) < n {
+		dst = make([]int32, n)
+	}
+	dst = dst[:n]
+	chunks := len(c.counts)
+	if n < 4*chunks || n*cost < minParallelWork {
+		// Too small to be worth the two-pass dance: one serial sweep.
+		out := dst[:0]
+		for i := 0; i < n; i++ {
+			if pred(i) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	c.dst, c.n, c.pred = dst, n, pred
+	chunkCost := (n / chunks) * cost
+	c.pool.ForCost(chunks, chunkCost, c.countFn)
+	total := int32(0)
+	for ci, cnt := range c.counts {
+		c.counts[ci] = total
+		total += cnt
+	}
+	c.pool.ForCost(chunks, chunkCost, c.writeFn)
+	c.dst, c.pred = nil, nil
+	return dst[:total]
+}

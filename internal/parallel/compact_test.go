@@ -1,0 +1,80 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func compactRef(n int, pred func(i int) bool) []int32 {
+	var out []int32
+	for i := 0; i < n; i++ {
+		if pred(i) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func TestCompactorMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewCompactor(16)
+	for _, n := range []int{0, 1, 3, 17, 1000, 1 << 16} {
+		for _, density := range []float64{0, 0.01, 0.5, 1} {
+			flags := make([]bool, n)
+			for i := range flags {
+				flags[i] = rng.Float64() < density
+			}
+			pred := func(i int) bool { return flags[i] }
+			got := c.Compact(nil, n, CostTrivial, pred)
+			want := compactRef(n, pred)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d density=%g: got %d indices, want %d", n, density, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("n=%d density=%g: index %d: got %d want %d", n, density, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestCompactorReusesDst(t *testing.T) {
+	c := NewCompactor(8)
+	n := 1 << 15
+	dst := make([]int32, n)
+	pred := func(i int) bool { return i%3 == 0 }
+	out := c.Compact(dst, n, CostTrivial, pred)
+	if &out[0] != &dst[0] {
+		t.Fatal("Compact did not reuse the provided destination buffer")
+	}
+	want := compactRef(n, pred)
+	if len(out) != len(want) {
+		t.Fatalf("got %d indices, want %d", len(out), len(want))
+	}
+}
+
+// The compaction output must not depend on whether the passes ran serially
+// or on the pool — the fixed chunk grid guarantees it.
+func TestCompactorSerialParallelIdentical(t *testing.T) {
+	n := 1 << 17
+	flags := make([]bool, n)
+	rng := rand.New(rand.NewSource(11))
+	for i := range flags {
+		flags[i] = rng.Float64() < 0.2
+	}
+	pred := func(i int) bool { return flags[i] }
+	c := NewCompactor(32)
+	par := append([]int32(nil), c.Compact(nil, n, CostTrivial, pred)...)
+	ForceSerial(true)
+	ser := c.Compact(nil, n, CostTrivial, pred)
+	ForceSerial(false)
+	if len(par) != len(ser) {
+		t.Fatalf("serial/parallel length mismatch: %d vs %d", len(ser), len(par))
+	}
+	for k := range par {
+		if par[k] != ser[k] {
+			t.Fatalf("serial/parallel mismatch at %d: %d vs %d", k, ser[k], par[k])
+		}
+	}
+}

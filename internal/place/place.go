@@ -93,11 +93,20 @@ type Options struct {
 	TimingScale float64
 	// TimingGamma is the LSE smoothing γ of the differentiable timer.
 	TimingGamma float64
-	// SteinerPeriod is the Steiner-tree reuse period (§3.6).
+	// SteinerPeriod is the Steiner-tree reuse period (§3.6) of the timer's
+	// full-refresh mode; ignored when incremental timing is active (the
+	// default — see ExactRefresh).
 	SteinerPeriod int
 	// NetWeightPeriod is the STA/reweight cadence of ModeNetWeight, in
 	// iterations ([24] reweights every iteration on GPU).
 	NetWeightPeriod int
+	// ExactRefresh disables displacement-driven incremental timing (the
+	// A/B baseline): the differentiable timer re-extracts and re-propagates
+	// everything each evaluation on the legacy SteinerPeriod cadence, and
+	// the net-weighting hook runs from-scratch exact STA instead of the
+	// maintained incremental engine. Results are bit-identical either way;
+	// only the work per iteration differs.
+	ExactRefresh bool
 
 	// TraceTiming records exact WNS/TNS along the run (Fig. 8); expensive.
 	TraceTiming bool
@@ -237,6 +246,14 @@ type engine struct {
 	graph *timing.Graph
 	timer *core.Timer
 	nwUp  *netweight.Updater
+	// staInc is the lazily built incremental exact-STA engine backing the
+	// net-weighting hook; staX/staY snapshot the cell positions it has
+	// seen, staMoved is the per-call moved-cell scratch. Position-diffing
+	// against the snapshot (rather than trusting callers to report moves)
+	// makes the engine self-correcting across supervisor rollbacks.
+	staInc     *timing.Incremental
+	staX, staY []float64
+	staMoved   []int32
 
 	lambda float64
 	// timing activation state
@@ -363,10 +380,11 @@ func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, 
 		}
 		e.graph = g
 		if opts.Mode == ModeDiffTiming {
-			e.timer = core.NewTimer(g, core.Options{
-				Gamma:         opts.TimingGamma,
-				SteinerPeriod: opts.SteinerPeriod,
-			})
+			tOpts := core.DefaultOptions()
+			tOpts.Gamma = opts.TimingGamma
+			tOpts.SteinerPeriod = opts.SteinerPeriod
+			tOpts.Incremental = !opts.ExactRefresh
+			e.timer = core.NewTimer(g, tOpts)
 		}
 		if opts.Mode == ModeNetWeight {
 			e.nwUp = netweight.NewUpdater(d, netweight.DefaultOptions())
@@ -409,6 +427,7 @@ func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, 
 }
 
 // writePositions pushes a position vector into the design (real cells).
+//
 //dtgp:hotpath
 func (e *engine) writePositions(z []float64) {
 	nSlots := e.nReal + e.nFill
@@ -420,7 +439,44 @@ func (e *engine) writePositions(z []float64) {
 	}
 }
 
+// incrementalSTA returns the maintained exact-STA view of the design's
+// current cell positions, feeding the incremental engine exactly the cells
+// that moved since it last looked. The engine runs with Epsilon 0, so its
+// state is bit-identical to a from-scratch timing.Analyze at every call
+// (deterministic re-extraction from identical coordinates). Because moves
+// are detected by diffing positions against the engine's own snapshot, a
+// supervisor rollback — which rewrites positions behind our back — is just
+// another batch of moves on the next call.
+//
+//dtgp:hotpath
+func (e *engine) incrementalSTA() *timing.Incremental {
+	d := e.d
+	if e.staInc == nil {
+		e.staInc = timing.NewIncremental(e.graph)
+		e.staInc.Epsilon = 0
+		e.staX = make([]float64, len(d.Cells))
+		e.staY = make([]float64, len(d.Cells))
+		e.staMoved = make([]int32, 0, len(d.Cells))
+		for ci := range d.Cells {
+			e.staX[ci] = d.Cells[ci].Pos.X
+			e.staY[ci] = d.Cells[ci].Pos.Y
+		}
+		return e.staInc
+	}
+	e.staMoved = e.staMoved[:0]
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.Pos.X != e.staX[ci] || c.Pos.Y != e.staY[ci] {
+			e.staX[ci], e.staY[ci] = c.Pos.X, c.Pos.Y
+			e.staMoved = append(e.staMoved, int32(ci))
+		}
+	}
+	e.staInc.MoveCells(e.staMoved)
+	return e.staInc
+}
+
 // clamp keeps every movable slot inside the die.
+//
 //dtgp:hotpath
 func (e *engine) clamp(z []float64) {
 	nSlots := e.nReal + e.nFill
@@ -437,6 +493,7 @@ func (e *engine) clamp(z []float64) {
 // gradient evaluates the full objective gradient at z into grad (same
 // layout), returning the wirelength and density gradient L1 norms for λ
 // calibration.
+//
 //dtgp:hotpath
 func (e *engine) gradient(z, grad []float64, iter int) (wlNorm, dNorm float64) {
 	nSlots := e.nReal + e.nFill
@@ -531,6 +588,7 @@ func (e *engine) gradient(z, grad []float64, iter int) (wlNorm, dNorm float64) {
 }
 
 // overflow computes the density overflow of the real movable cells at z.
+//
 //dtgp:hotpath
 func (e *engine) overflow(z []float64) float64 {
 	nSlots := e.nReal + e.nFill
@@ -600,11 +658,17 @@ func (e *engine) step(st *optState, iter int, res *Result, quiet bool) (err erro
 	opts := &e.opts
 	n2 := len(st.u)
 
-	// Net-weighting hook: exact STA on the current major iterate.
+	// Net-weighting hook: exact STA on the current major iterate —
+	// incremental by default, from-scratch when ExactRefresh is set. The
+	// two agree bitwise (the incremental engine runs with Epsilon 0), so
+	// the A/B flag changes work, not weights.
 	if e.nwUp != nil && e.timingActive && iter%max(1, opts.NetWeightPeriod) == 0 {
 		e.writePositions(st.u)
-		sta := timing.Analyze(e.graph)
-		e.nwUp.Update(e.d, sta)
+		if opts.ExactRefresh {
+			e.nwUp.Update(e.d, timing.Analyze(e.graph))
+		} else {
+			e.nwUp.Update(e.d, e.incrementalSTA())
+		}
 	}
 
 	wlNorm, dNorm := e.gradient(st.v, st.g, iter)

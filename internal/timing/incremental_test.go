@@ -113,6 +113,51 @@ func TestIncrementalNoMoveNoChange(t *testing.T) {
 	}
 }
 
+// TestIncrementalRATMatchesFull: with Epsilon 0 the maintained required
+// times, per-pin slacks and WNS/TNS must be bit-identical to a from-scratch
+// analysis over the same interconnect state after every move batch — the
+// contract the incremental net-weighting path in the placer relies on.
+func TestIncrementalRATMatchesFull(t *testing.T) {
+	g, inc := incBed(t, 400, 56)
+	inc.Epsilon = 0
+	d := g.D
+	rng := rand.New(rand.NewSource(2))
+	for round := 0; round < 8; round++ {
+		var moved []int32
+		for len(moved) < 6 {
+			ci := int32(rng.Intn(len(d.Cells)))
+			if !d.Cells[ci].Movable() {
+				continue
+			}
+			d.Cells[ci].Pos.X += rng.NormFloat64() * 50
+			d.Cells[ci].Pos.Y += rng.NormFloat64() * 50
+			moved = append(moved, ci)
+		}
+		inc.MoveCells(moved)
+		full := AnalyzeWithNets(g, inc.Nets)
+		for i := range inc.RATLate {
+			if inc.AT[i] != full.ATLate[i] && inc.Valid[i] {
+				t.Fatalf("round %d: AT mismatch at %d: %v vs %v", round, i, inc.AT[i], full.ATLate[i])
+			}
+			if inc.RATLate[i] != full.RATLate[i] && !(math.IsInf(inc.RATLate[i], 1) && math.IsInf(full.RATLate[i], 1)) {
+				t.Fatalf("round %d: RAT mismatch at %d: %v vs %v", round, i, inc.RATLate[i], full.RATLate[i])
+			}
+		}
+		for pi := range d.Pins {
+			for tr := Rise; tr <= Fall; tr++ {
+				si, sf := inc.PinSlack(int32(pi), tr), full.PinSlack(int32(pi), tr)
+				if si != sf && !(math.IsInf(si, 1) && math.IsInf(sf, 1)) {
+					t.Fatalf("round %d: PinSlack mismatch at pin %d tr %d: %v vs %v", round, pi, tr, si, sf)
+				}
+			}
+		}
+		if inc.WNS != full.WNS || inc.TNS != full.TNS {
+			t.Fatalf("round %d: metrics mismatch: WNS %v vs %v, TNS %v vs %v",
+				round, inc.WNS, full.WNS, inc.TNS, full.TNS)
+		}
+	}
+}
+
 // TestIncrementalConeIsSmall: moving one cell in a large design should
 // re-evaluate far fewer pins than the design holds (sanity on the worklist
 // mechanics, via a proxy: results stay exact while the move set is tiny).

@@ -1,6 +1,8 @@
 package timing
 
 import (
+	"math"
+
 	"dtgp/internal/parallel"
 	"dtgp/internal/rctree"
 	"dtgp/internal/rsmt"
@@ -24,8 +26,16 @@ type NetState struct {
 	PinOfNode []int32
 	// px, py are scratch coordinate buffers reused by RefreshNetState so
 	// the steady-state geometry update is allocation-free; pinCap is the
-	// per-node capacitance scratch for RC re-extraction.
+	// per-node capacitance scratch for RC re-extraction. Between refreshes
+	// px/py double as the reference geometry of the displacement-driven
+	// dirty test (NetMoved): they hold the pin coordinates the current
+	// Steiner/RC state was extracted from.
 	px, py, pinCap []float64
+	// TopoHP is the pin bounding-box half-perimeter at the last topology
+	// build; RefreshNetStateLazy compares it against the current bbox to
+	// decide when sliding the stored Steiner points is no longer a faithful
+	// model and the topology must be re-extracted.
+	TopoHP float64
 }
 
 // SinkDelay returns the Elmore delay from the driver to net pin k.
@@ -81,13 +91,18 @@ func buildNetStateInto(g *Graph, ni int32, ns *NetState) {
 	px, py := ns.px[:np], ns.py[:np]
 	ns.px, ns.py = px, py
 	rootIdx := int32(-1)
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
 	for k, pid := range net.Pins {
 		pos := d.PinPos(pid)
 		px[k], py[k] = pos.X, pos.Y
+		minX, maxX = math.Min(minX, pos.X), math.Max(maxX, pos.X)
+		minY, maxY = math.Min(minY, pos.Y), math.Max(maxY, pos.Y)
 		if pid == net.Driver {
 			rootIdx = int32(k)
 		}
 	}
+	ns.TopoHP = (maxX - minX) + (maxY - minY)
 	if ns.Tree == nil {
 		ns.Tree = &rsmt.Tree{}
 	}
@@ -149,6 +164,68 @@ func RefreshNetState(g *Graph, ns *NetState) {
 	}
 	ns.Tree.UpdateFromPins(px, py)
 	ns.RC.RefreshGeometry()
+}
+
+// NetMoved reports whether any pin of ns has moved beyond eps (Chebyshev
+// distance, in DBU) since the net's state was last extracted or refreshed.
+// The reference geometry is the px/py snapshot that the current Steiner/RC
+// state was built from, so no extra per-net memory is needed for the dirty
+// test. Untimed nets (Tree == nil) never report movement. With eps == 0 any
+// bitwise coordinate change is movement.
+//
+//dtgp:hotpath
+func NetMoved(g *Graph, ns *NetState, eps float64) bool {
+	if ns.Tree == nil {
+		return false
+	}
+	d := g.D
+	net := &d.Nets[ns.Net]
+	px, py := ns.px, ns.py
+	for k, pid := range net.Pins {
+		pos := d.PinPos(pid)
+		if dx := pos.X - px[k]; dx > eps || dx < -eps {
+			return true
+		}
+		if dy := pos.Y - py[k]; dy > eps || dy < -eps {
+			return true
+		}
+	}
+	return false
+}
+
+// RefreshNetStateLazy refreshes one net from current pin positions, choosing
+// between the cheap geometry slide (RefreshNetState, §3.6 Steiner reuse) and
+// a full topology re-extraction. The stored Steiner points stay a faithful
+// model while the pin bounding box they were derived from keeps roughly its
+// shape, so the half-perimeter is used as the distortion proxy: when the
+// current bbox half-perimeter deviates from TopoHP (the value at the last
+// build) by more than distortionLimit relatively, the topology is rebuilt.
+// distortionLimit = +Inf disables per-net rebuilds (geometry slide only).
+// Allocation-free after the first call on a given NetState.
+//
+//dtgp:hotpath
+func RefreshNetStateLazy(g *Graph, ns *NetState, distortionLimit float64) {
+	if ns.Tree == nil {
+		return
+	}
+	d := g.D
+	net := &d.Nets[ns.Net]
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, pid := range net.Pins {
+		pos := d.PinPos(pid)
+		minX, maxX = math.Min(minX, pos.X), math.Max(maxX, pos.X)
+		minY, maxY = math.Min(minY, pos.Y), math.Max(maxY, pos.Y)
+	}
+	hp := (maxX - minX) + (maxY - minY)
+	if math.Abs(hp-ns.TopoHP) > distortionLimit*ns.TopoHP {
+		// Note: a degenerate reference bbox (TopoHP == 0) rebuilds on any
+		// growth, and distortionLimit = +Inf never rebuilds (Inf*0 = NaN and
+		// any comparison with NaN is false, which is the wanted behaviour).
+		buildNetStateInto(g, ns.Net, ns)
+		return
+	}
+	RefreshNetState(g, ns)
 }
 
 // RefreshNetStates updates every net from current pin positions.

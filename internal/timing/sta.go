@@ -512,6 +512,13 @@ func (r *Result) Finite() bool {
 	return true
 }
 
+// Graph returns the timing graph the result was computed over
+// (netweight.SlackSource).
+func (r *Result) Graph() *Graph { return r.G }
+
+// WorstSlack returns the setup WNS (netweight.SlackSource).
+func (r *Result) WorstSlack() float64 { return r.WNS }
+
 // PinSlack returns the late (setup) slack at a (pin, transition), +Inf when
 // the pin carries no constrained arrival.
 func (r *Result) PinSlack(pid int32, tr Transition) float64 {
