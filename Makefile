@@ -35,8 +35,18 @@ fuzz-smoke:
 # Bench smoke: run every benchmark exactly once (no timing fidelity) so a
 # benchmark that panics, allocates unboundedly, or bit-rots against an API
 # change is caught pre-merge without paying for a real measurement sweep.
+# The sparse-vs-full backward pair then runs at a real (small) iteration
+# count so a regression that only shows up warm is still exercised, and
+# BENCH_backward.json is checked against the live benchmark names: renaming
+# or dropping a sub-benchmark without refreshing the committed record fails
+# loudly here instead of silently orphaning the recorded numbers.
 bench-smoke:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+	$(GO) test -bench 'BenchmarkDiffTimerForwardBackward$$|BenchmarkDiffTimerSparseBackward' -benchtime=20x -run '^$$' . | tee /tmp/bench_backward_smoke.txt
+	@for name in $$(grep -o '"name": "Benchmark[^"]*"' BENCH_backward.json | sed -e 's/"name": "//' -e 's/"$$//'); do \
+		grep -q "^$$name\b" /tmp/bench_backward_smoke.txt /dev/null || \
+			{ echo "bench-smoke: BENCH_backward.json is stale: recorded benchmark $$name no longer runs" >&2; exit 1; }; \
+	done
 
 # check is the full pre-merge gate: compile, static analysis, the whole test
 # suite, the race detector over the quick (-short) suite, the benchmark

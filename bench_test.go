@@ -184,11 +184,13 @@ func BenchmarkAblationObjectiveWeights(b *testing.B) {
 // (the per-iteration cost added by the paper's method).
 func BenchmarkDiffTimerForwardBackward(b *testing.B) {
 	tm := timerBed(b, 100, 10)
+	tm.Phase = core.PhaseTimes{}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tm.Evaluate(0.01, 0.001)
 	}
+	reportPhases(b, tm)
 }
 
 // BenchmarkExactSTA is one full exact STA (the per-update cost of the
@@ -215,6 +217,17 @@ func BenchmarkExactSTA(b *testing.B) {
 // evaluation mode against the legacy full-refresh baseline.
 func movementBed(b *testing.B, incremental bool) (*core.Timer, *Design, []int32) {
 	b.Helper()
+	opts := core.Options{Gamma: 100, SteinerPeriod: 10}
+	if incremental {
+		opts = core.DefaultOptions()
+	}
+	return movementBedOpts(b, opts)
+}
+
+// movementBedOpts is movementBed with explicit timer options, for benchmarks
+// that pin a specific backward mode.
+func movementBedOpts(b *testing.B, opts core.Options) (*core.Timer, *Design, []int32) {
+	b.Helper()
 	d, con := benchDesign(b, "superblue4")
 	if err := CalibratePeriod(d, con, 0.7); err != nil {
 		b.Fatal(err)
@@ -223,10 +236,6 @@ func movementBed(b *testing.B, incremental bool) (*core.Timer, *Design, []int32)
 	if err != nil {
 		b.Fatal(err)
 	}
-	opts := core.Options{Gamma: 100, SteinerPeriod: 10}
-	if incremental {
-		opts = core.DefaultOptions()
-	}
 	var movable []int32
 	for ci := range d.Cells {
 		if d.Cells[ci].Movable() {
@@ -234,6 +243,16 @@ func movementBed(b *testing.B, incremental bool) (*core.Timer, *Design, []int32)
 		}
 	}
 	return core.NewTimer(g, opts), d, movable
+}
+
+// reportPhases splits the measured Evaluate cost into the timer's cumulative
+// per-phase wall clock (zeroed after warm-up by the caller).
+func reportPhases(b *testing.B, tm *core.Timer) {
+	b.Helper()
+	n := float64(b.N)
+	b.ReportMetric(float64(tm.Phase.ForwardNS)/n, "forward-ns/op")
+	b.ReportMetric(float64(tm.Phase.ConeBuildNS)/n, "cone-build-ns/op")
+	b.ReportMetric(float64(tm.Phase.BackwardNS)/n, "backward-ns/op")
 }
 
 // BenchmarkDiffTimerIncremental measures one differentiable-timer evaluation
@@ -257,6 +276,7 @@ func BenchmarkDiffTimerIncremental(b *testing.B) {
 				tm, d, movable := movementBed(b, m.incremental)
 				rng := rand.New(rand.NewSource(9))
 				tm.Evaluate(0.01, 0.001) // warm caches and scratch
+				tm.Phase = core.PhaseTimes{}
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -265,6 +285,82 @@ func BenchmarkDiffTimerIncremental(b *testing.B) {
 						d.Cells[ci].Pos.Y += (rng.Float64() - 0.5) * 2 * st.delta
 					}
 					tm.Evaluate(0.01, 0.001)
+				}
+				reportPhases(b, tm)
+			})
+		}
+	}
+}
+
+// BenchmarkDiffTimerSparseBackward pits the cone-restricted sparse backward
+// against the full reverse sweep under two movement workloads. drift moves
+// every movable cell a small step per Evaluate (mid-placement churn);
+// converge moves 2% of the movable cells (late-placement refinement, the
+// regime the moved-only fence and the incremental forward are built for —
+// the same small-step workload shape as BenchmarkExactSTAIncremental's
+// move-2pct arm). The sparse arm runs the DefaultOptions cone pass; the
+// sparse-tuned arm narrows it to the top-2 endpoints with a 0.1 adjoint
+// deadband, the configuration the quality A/B test validates. Two warm-up
+// evaluations let the cone worklists reach steady-state size before
+// measurement; the phase metrics expose where the saved time comes from.
+func BenchmarkDiffTimerSparseBackward(b *testing.B) {
+	workloads := []struct {
+		name string
+		frac float64
+	}{{"drift", 1}, {"converge", 0.02}}
+	modes := []struct {
+		name string
+		opts func() core.Options
+		cone bool
+	}{
+		{"full-backward", func() core.Options {
+			o := core.DefaultOptions()
+			o.SparseBackward = false
+			return o
+		}, false},
+		{"sparse", core.DefaultOptions, true},
+		{"sparse-tuned", func() core.Options {
+			o := core.DefaultOptions()
+			o.TopK = 2
+			o.ConePrune = 0.1
+			return o
+		}, true},
+	}
+	for _, wl := range workloads {
+		for _, m := range modes {
+			b.Run(wl.name+"/"+m.name, func(b *testing.B) {
+				tm, d, movable := movementBedOpts(b, m.opts())
+				rng := rand.New(rand.NewSource(9))
+				nMove := int(wl.frac * float64(len(movable)))
+				if nMove < 1 {
+					nMove = 1
+				}
+				step := func() {
+					if nMove == len(movable) {
+						for _, ci := range movable {
+							d.Cells[ci].Pos.X += (rng.Float64() - 0.5) * 0.2
+							d.Cells[ci].Pos.Y += (rng.Float64() - 0.5) * 0.2
+						}
+					} else {
+						for k := 0; k < nMove; k++ {
+							ci := movable[rng.Intn(len(movable))]
+							d.Cells[ci].Pos.X += (rng.Float64() - 0.5) * 0.2
+							d.Cells[ci].Pos.Y += (rng.Float64() - 0.5) * 0.2
+						}
+					}
+					tm.Evaluate(0.01, 0.001)
+				}
+				step()
+				step()
+				tm.Phase = core.PhaseTimes{}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					step()
+				}
+				reportPhases(b, tm)
+				if m.cone {
+					b.ReportMetric(tm.Cone().Coverage(), "cone-coverage")
 				}
 			})
 		}

@@ -44,6 +44,8 @@ func run() error {
 		iters   = flag.Int("iters", 0, "max iterations (0 = default)")
 		noGuard = flag.Bool("no-guard", false, "disable the fault-tolerance supervisor (checkpoints, rollback)")
 		exact   = flag.Bool("exact-refresh", false, "disable incremental timing: full re-extraction every evaluation (A/B baseline, bit-identical results)")
+		fullBwd = flag.Bool("full-backward", false, "disable the sparse cone-restricted backward pass: seed every violating endpoint (quality A/B baseline)")
+		topk    = flag.Int("topk", 0, "critical endpoints seeded per sparse backward pass (0 = auto quota)")
 		verbose = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -78,6 +80,8 @@ func run() error {
 	}
 	opts.Guard.Enabled = !*noGuard
 	opts.ExactRefresh = *exact
+	opts.FullBackward = *fullBwd
+	opts.TimingTopK = *topk
 	if *verbose {
 		opts.Logf = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
 	}
@@ -91,6 +95,10 @@ func run() error {
 	fmt.Printf("WNS        : %.3f ps\n", res.WNS)
 	fmt.Printf("TNS        : %.3f ps\n", res.TNS)
 	fmt.Printf("runtime    : %v\n", res.Runtime)
+	if c := res.Cone; c.SparsePasses > 0 {
+		fmt.Printf("cone       : %d sparse / %d full passes, %.1f%% sweep coverage, %d/%d endpoints seeded\n",
+			c.SparsePasses, c.FullPasses, 100*c.Coverage(), c.Selected, c.Endpoints)
+	}
 	if res.Legal != nil {
 		fmt.Printf("legalized  : %d cells, avg disp %.2f, max disp %.2f\n",
 			res.Legal.Moved, res.Legal.AvgDisplacement, res.Legal.MaxDisplacement)

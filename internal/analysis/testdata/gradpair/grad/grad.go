@@ -148,3 +148,64 @@ func (o *Op) RecvF() float64 { return o.Cap[3] }
 
 //dtgp:backward(recv)
 func (g *Grads) RecvB() { g.gCap[3] += 1 }
+
+// ConeOp models the cone-restricted sparse backward: adjoints are only
+// accumulated for elements marked in the cone, everything else keeps a
+// decayed stale gradient.
+type ConeOp struct {
+	Cap, Res   []float64
+	InCone     []bool
+	gCap, gRes []float64
+	staleC     []float64
+}
+
+// ConeForward reads Cap and Res like the full pair.
+//
+//dtgp:forward(cone)
+func (o *ConeOp) ConeForward() float64 {
+	s := 0.0
+	for i := range o.Cap {
+		s += o.Cap[i] * o.Res[i]
+	}
+	return s
+}
+
+// ConeBackward accumulates both adjoints, but only under the cone mask —
+// the flow-sensitive walk must accept guarded accumulation as a valid
+// adjoint for the unconditional forward read. Clean.
+//
+//dtgp:backward(cone)
+func (o *ConeOp) ConeBackward(g float64) {
+	for i := range o.Cap {
+		if !o.InCone[i] {
+			o.gCap[i] = o.staleC[i]
+			continue
+		}
+		o.gCap[i] += g * o.Res[i]
+		o.gRes[i] += g * o.Cap[i]
+		o.staleC[i] = o.gCap[i]
+	}
+}
+
+// ConeDropForward/Backward is the seeded cone mutation: the masked gRes
+// accumulation was deleted, so the sparse variant silently differentiates
+// a different function inside the cone. gradpair must flag Res.
+//
+//dtgp:forward(conedrop)
+func (o *ConeOp) ConeDropForward() float64 {
+	s := 0.0
+	for i := range o.Cap {
+		s += o.Cap[i] * o.Res[i]
+	}
+	return s
+}
+
+//dtgp:backward(conedrop)
+func (o *ConeOp) ConeDropBackward(g float64) {
+	for i := range o.Cap {
+		if !o.InCone[i] {
+			continue
+		}
+		o.gCap[i] += g * o.Res[i]
+	}
+}

@@ -60,6 +60,18 @@ func (s *Set) Clear() {
 	}
 }
 
+// ClearMembers removes every listed member. For a set whose members are
+// tracked in a side list this is O(len(members)) instead of the O(capacity)
+// word sweep of Clear, which is what keeps clearing a sparse cone cheap when
+// the universe is large.
+func (s *Set) ClearMembers(members []int32) {
+	for _, i := range members {
+		if w := int(i >> 6); w < len(s.words) {
+			s.words[w] &^= 1 << uint(i&63)
+		}
+	}
+}
+
 // Count returns the number of members.
 func (s *Set) Count() int {
 	n := 0

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"dtgp/internal/bitset"
 	"dtgp/internal/liberty"
@@ -52,6 +53,33 @@ type Options struct {
 	// pin whose AT/slew/hard-AT all changed by at most PropagateEps does
 	// not dirty its fanout. 0 propagates any bitwise change (exact).
 	PropagateEps float64
+
+	// SparseBackward enables the cone-restricted backward pass: adjoints
+	// are seeded only at the TopK most critical endpoints (per-domain
+	// quota), propagated through their transitive fan-in cones, and the
+	// contributions of unselected endpoints are carried forward as a
+	// decaying stale-gradient term (ConeDecay). The zero value keeps the
+	// legacy full backward bit-identically, mirroring the Incremental
+	// contract.
+	SparseBackward bool
+	// TopK is the endpoint budget of the sparse backward. <= 0 selects the
+	// default max(16, endpoints/8).
+	TopK int
+	// ConeDecay is the stale-gradient reuse factor in [0, 0.95]: each
+	// sparse pass emits coneGrad + ConeDecay·stale and stores the result
+	// as the next stale term, so non-cone endpoint contributions fade
+	// geometrically instead of vanishing abruptly. 0 uses pure cone
+	// gradients; values are clamped to 0.95.
+	ConeDecay float64
+	// ConePrune is the relative adjoint deadband of the sparse sweep: a
+	// pin whose ∂f/∂AT and ∂f/∂slew are both below ConePrune times the
+	// largest seeded adjoint magnitude does not propagate further. The LSE
+	// spreads a conserved adjoint mass over exponentially many fan-in
+	// paths, so per-pin magnitudes decay geometrically with depth and the
+	// deadband confines the expensive LUT-gradient work to the dominant
+	// sub-cone. 0 disables pruning (pure structural cones); values are
+	// clamped to 0.1. Ignored by the full pass, which stays exact.
+	ConePrune float64
 }
 
 // DefaultOptions mirrors the paper's §4 hyperparameters, with incremental
@@ -68,7 +96,23 @@ func DefaultOptions() Options {
 		DistortionLimit: 0.5,
 		FencePeriod:     10,
 		PropagateEps:    1e-3,
+		SparseBackward:  true,
+		TopK:            0, // auto: max(16, endpoints/8)
+		ConeDecay:       0.5,
+		ConePrune:       1e-3,
 	}
+}
+
+// PhaseTimes accumulates wall-clock nanoseconds per Evaluate phase, split so
+// benchmarks can report forward, cone-build and backward cost separately.
+type PhaseTimes struct {
+	// ForwardNS covers net refresh, Elmore forward and the level sweep.
+	ForwardNS int64
+	// ConeBuildNS covers endpoint selection and cone marking (sparse mode).
+	ConeBuildNS int64
+	// BackwardNS covers seeding, the reverse sweep, Elmore backward and the
+	// Fig. 4 redistribution (excluding ConeBuildNS).
+	BackwardNS int64
 }
 
 // fwdScratch holds one worker's candidate buffers for the cell-output LSE
@@ -200,12 +244,22 @@ type Timer struct {
 	netMovedFn    func(w, lo, hi int)
 	refreshLazyFn func(w, lo, hi int)
 	fwdIncFn      func(w, lo, hi int)
-	netMovedPred  func(i int) bool
 
-	// Objective scratch.
+	// Objective scratch. wnsM/wnsZ are the shift and partition value of the
+	// inline endpoint softmin, stored so the sparse seeding can renormalise
+	// over a subset with the same shifted form.
 	epStates []epState
 	sEps     []float64
 	epIdx    []int
+	wnsM     float64
+	wnsZ     float64
+
+	// Sparse backward state (Opts.SparseBackward); nil in full mode.
+	sb *sparseState
+
+	// Phase is the cumulative per-phase wall-clock split of Evaluate calls.
+	// Benchmarks may reset it between warm-up and measurement.
+	Phase PhaseTimes
 
 	clockSlew float64
 	period    float64
@@ -231,6 +285,20 @@ func NewTimer(g *timing.Graph, opts Options) *Timer {
 		}
 		if opts.PropagateEps < 0 {
 			opts.PropagateEps = 0
+		}
+	}
+	if opts.SparseBackward {
+		if opts.ConeDecay < 0 {
+			opts.ConeDecay = 0
+		}
+		if opts.ConeDecay > 0.95 {
+			opts.ConeDecay = 0.95
+		}
+		if opts.ConePrune < 0 {
+			opts.ConePrune = 0
+		}
+		if opts.ConePrune > 0.1 {
+			opts.ConePrune = 0.1
 		}
 	}
 	n2 := 2 * len(g.D.Pins)
@@ -289,7 +357,18 @@ func NewTimer(g *timing.Graph, opts Options) *Timer {
 	if opts.Incremental {
 		t.buildIncState()
 	}
+	if opts.SparseBackward {
+		t.buildSparseState()
+	}
 	return t
+}
+
+// Cone returns the sparse-backward statistics (zero value in full mode).
+func (t *Timer) Cone() ConeStats {
+	if t.sb == nil {
+		return ConeStats{}
+	}
+	return t.sb.stats
 }
 
 // buildIncState allocates the dirty-tracking buffers up front so the
@@ -449,7 +528,6 @@ func (t *Timer) buildKernels() {
 			}
 		}
 	}
-	t.netMovedPred = func(i int) bool { return t.netMoved[i] }
 	t.resetTasks = []func(){
 		func() {
 			for i := range t.gAT {
@@ -516,11 +594,14 @@ func (t *Timer) refreshNets() {
 	}
 	if t.Nets == nil {
 		t.Nets = timing.BuildNetStates(t.G)
+		t.fullPass = true
 	} else if t.evalCount%t.Opts.SteinerPeriod == 0 {
 		// Periodic topology rebuild reuses each net's buffers in place.
 		timing.RebuildNetStates(t.G, t.Nets)
+		t.fullPass = true
 	} else {
 		parallel.ForGuided(len(t.Nets), 16, parallel.CostDefault, t.refreshFn)
+		t.fullPass = false
 	}
 	t.evalCount++
 	parallel.ForGuided(len(t.Nets), 16, parallel.CostDefault, t.fwdNetsFn)
@@ -542,15 +623,19 @@ func (t *Timer) refreshNetsIncremental() {
 		return
 	}
 	if t.evalCount%t.Opts.FencePeriod == 0 {
-		timing.RebuildNetStates(t.G, t.Nets)
+		// Moved-only fence: nets that are bitwise unchanged since their
+		// last full extraction already hold exactly the state a rebuild
+		// would produce, so only changed nets are re-extracted (and
+		// forwarded inside the same sweep). Bit-identical to the full
+		// rebuild, but O(moved nets) in a converging placement.
+		timing.RebuildNetStatesMoved(t.G, t.Nets)
 		t.evalCount++
-		parallel.ForGuided(len(t.Nets), 16, parallel.CostDefault, t.fwdNetsFn)
 		t.fullPass = true
 		return
 	}
 	t.evalCount++
 	parallel.ForGuided(len(t.Nets), 16, parallel.CostLight, t.netMovedFn)
-	t.dirtyNets = t.compactor.Compact(t.dirtyNets, len(t.Nets), parallel.CostTrivial, t.netMovedPred)
+	t.dirtyNets = t.compactor.CompactBool(t.dirtyNets, t.netMoved, parallel.CostTrivial)
 	parallel.ForGuided(len(t.dirtyNets), 4, parallel.CostHeavy, t.refreshLazyFn)
 	// Dirty-density cutoff: when most nets moved, the plain full sweep is
 	// cheaper than dirty bookkeeping (and bit-identical — it recomputes
@@ -564,8 +649,10 @@ func (t *Timer) refreshNetsIncremental() {
 // gradient with respect to cell positions is left in CellGradX/CellGradY.
 //dtgp:hotpath
 func (t *Timer) Evaluate(t1, t2 float64) float64 {
+	start := time.Now()
 	t.refreshNets()
 	t.forward()
+	t.Phase.ForwardNS += time.Since(start).Nanoseconds()
 	return t.backward(t1, t2)
 }
 
@@ -979,6 +1066,7 @@ func (t *Timer) objective(t1, t2 float64, seed bool) (float64, bool) {
 	smWNS := -(wnsM + gamma*math.Log(wnsZ))
 	t.SmTNS, t.SmWNS = smTNS, smWNS
 	t.EstTNS, t.EstWNS = estTNS, estWNS
+	t.wnsM, t.wnsZ = wnsM, wnsZ
 
 	f := -t1*smTNS - t2*smWNS
 	if seed {
@@ -1066,7 +1154,21 @@ func (t *Timer) elmoreBackward(_, lo, hi int) {
 	}
 }
 
+// backward dispatches between the sparse cone-restricted pass and the legacy
+// full pass, accounting wall-clock time to Phase.BackwardNS either way.
+//
+//dtgp:hotpath
 func (t *Timer) backward(t1, t2 float64) float64 {
+	if t.sb != nil {
+		return t.backwardSparse(t1, t2)
+	}
+	b0 := time.Now()
+	f := t.backwardFull(t1, t2)
+	t.Phase.BackwardNS += time.Since(b0).Nanoseconds()
+	return f
+}
+
+func (t *Timer) backwardFull(t1, t2 float64) float64 {
 	g := t.G
 	d := g.D
 
@@ -1075,6 +1177,9 @@ func (t *Timer) backward(t1, t2 float64) float64 {
 
 	f, any := t.objective(t1, t2, true)
 	if !any {
+		if t.sb != nil {
+			t.sb.noteFull(t)
+		}
 		return f
 	}
 
@@ -1111,6 +1216,9 @@ func (t *Timer) backward(t1, t2 float64) float64 {
 				t.CellGradY[d.Pins[pid].Cell] += gr.Y[j]
 			}
 		}
+	}
+	if t.sb != nil {
+		t.sb.noteFull(t)
 	}
 	return f
 }

@@ -1,0 +1,99 @@
+package core
+
+import "dtgp/internal/parallel"
+
+// selectTopK picks the sparse pass's endpoint budget: each clock-domain
+// class (register data pins, output ports) receives a proportional share of
+// TopK with a floor of one, so a handful of port endpoints is never starved
+// by thousands of registers (and vice versa), then the per-domain
+// quickselect keeps that domain's most critical endpoints. The result is
+// compacted into selEps in ascending endpoint order so the seeding loop is
+// deterministic.
+//
+//dtgp:hotpath
+func (t *Timer) selectTopK() {
+	sb := t.sb
+	for di := range sb.domains {
+		dom := sb.domains[di]
+		if len(dom) == 0 {
+			continue
+		}
+		q := sb.topK * len(dom) / sb.nEndpoints
+		if q < 1 {
+			q = 1
+		}
+		if q > len(dom) {
+			q = len(dom)
+		}
+		order := sb.order[:len(dom)]
+		copy(order, dom)
+		t.topkSelect(order, q)
+		for _, ei := range order[:q] {
+			sb.selFlags[ei] = true
+		}
+	}
+	sb.selEps = sb.selCompactor.CompactBool(sb.selEps, sb.selFlags, parallel.CostTrivial)
+	for _, ei := range sb.selEps {
+		sb.selFlags[ei] = false
+	}
+}
+
+// epLess is the strict total order of endpoint criticality: smaller smoothed
+// slack first, ties broken by endpoint index (sEp is never NaN — slacks are
+// finite or +Inf), so the selected set is a pure function of the slack
+// vector.
+//
+//dtgp:hotpath
+func (t *Timer) epLess(a, b int32) bool {
+	sa, sbv := t.epStates[a].sEp, t.epStates[b].sEp
+	if sa != sbv {
+		return sa < sbv
+	}
+	return a < b
+}
+
+// topkSelect partially orders order so its first k entries are the k most
+// critical endpoints (unordered within the prefix). Deterministic
+// quickselect: median-of-three pivoting, no randomness.
+//
+//dtgp:hotpath
+func (t *Timer) topkSelect(order []int32, k int) {
+	lo, hi := 0, len(order)
+	for hi-lo > 1 && k > lo && k < hi {
+		p := t.epPartition(order, lo, hi)
+		if p >= k {
+			hi = p
+		} else {
+			lo = p + 1
+		}
+	}
+}
+
+// epPartition is a Lomuto partition of order[lo:hi] around the
+// median-of-three pivot; returns the pivot's final position.
+//
+//dtgp:hotpath
+func (t *Timer) epPartition(order []int32, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if t.epLess(order[mid], order[lo]) {
+		order[mid], order[lo] = order[lo], order[mid]
+	}
+	if t.epLess(order[hi-1], order[lo]) {
+		order[hi-1], order[lo] = order[lo], order[hi-1]
+	}
+	if t.epLess(order[hi-1], order[mid]) {
+		order[hi-1], order[mid] = order[mid], order[hi-1]
+	}
+	// order[mid] now holds the median; park it in the pivot slot.
+	order[mid], order[hi-1] = order[hi-1], order[mid]
+	pivot := order[hi-1]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if t.epLess(order[j], pivot) {
+			order[i], order[j] = order[j], order[i]
+			i++
+		}
+	}
+	order[i], order[hi-1] = order[hi-1], order[i]
+	return i
+}

@@ -59,8 +59,17 @@ func locate(idx []float64, q float64) (i int, t, invSpan float64) {
 	if n == 1 {
 		return 0, 0, 0
 	}
-	// Binary search for the rightmost segment start with idx[i] <= q,
-	// clamped so extrapolation reuses the outermost segment's slope.
+	// Rightmost segment start with idx[i] <= q, clamped so extrapolation
+	// reuses the outermost segment's slope. Liberty axes are tiny (typically
+	// 5-8 entries), where the predictable linear scan beats binary search;
+	// both find the same index.
+	if n <= 8 {
+		for i < n-2 && idx[i+1] <= q {
+			i++
+		}
+		span := idx[i+1] - idx[i]
+		return i, (q - idx[i]) / span, 1 / span
+	}
 	lo, hi := 0, n-2
 	for lo < hi {
 		mid := (lo + hi + 1) / 2

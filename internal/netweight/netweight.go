@@ -42,13 +42,20 @@ type Updater struct {
 	Opts Options
 	// velocity is the EMA of each net's weight increment.
 	velocity []float64
+	// crit is the persistent criticality buffer of Update (CriticalityInto
+	// target), so the steady-state reweight is allocation-free.
+	crit []float64
 	// Updates counts Update calls.
 	Updates int
 }
 
 // NewUpdater builds an updater for a design.
 func NewUpdater(d *netlist.Design, opts Options) *Updater {
-	return &Updater{Opts: opts, velocity: make([]float64, len(d.Nets))}
+	return &Updater{
+		Opts:     opts,
+		velocity: make([]float64, len(d.Nets)),
+		crit:     make([]float64, len(d.Nets)),
+	}
 }
 
 // SlackSource is the slack view Criticality consumes: either a from-scratch
@@ -71,7 +78,18 @@ type SlackSource interface {
 //
 //dtgp:forward(netweight, explicit-grad)
 func Criticality(d *netlist.Design, res SlackSource) []float64 {
-	crit := make([]float64, len(d.Nets))
+	return CriticalityInto(make([]float64, len(d.Nets)), d, res)
+}
+
+// CriticalityInto is the allocation-free Criticality: it fills and returns
+// crit (len must equal #nets). Updater.Update uses it with a persistent
+// buffer so the periodic reweight allocates nothing once warm.
+//
+//dtgp:hotpath
+func CriticalityInto(crit []float64, d *netlist.Design, res SlackSource) []float64 {
+	for ni := range crit {
+		crit[ni] = 0
+	}
 	wns := res.WorstSlack()
 	if wns >= 0 {
 		return crit
@@ -110,7 +128,7 @@ func Criticality(d *netlist.Design, res SlackSource) []float64 {
 //
 //dtgp:backward(netweight, explicit-grad)
 func (u *Updater) Update(d *netlist.Design, res SlackSource) {
-	crit := Criticality(d, res)
+	crit := CriticalityInto(u.crit, d, res)
 	o := u.Opts
 	for ni := range d.Nets {
 		inc := o.MaxIncrease * math.Pow(crit[ni], o.Exponent)

@@ -15,13 +15,15 @@ package parallel
 // its own. The closures handed to the pool are stored once at construction so
 // the steady-state Compact call is allocation-free.
 type Compactor struct {
-	pool    *Pool
-	counts  []int32
-	dst     []int32
-	n       int
-	pred    func(i int) bool
-	countFn func(i int)
-	writeFn func(i int)
+	pool     *Pool
+	counts   []int32
+	dst      []int32
+	n        int
+	pred     func(i int) bool
+	flags    []bool
+	countFn  func(i int)
+	writeFn  func(i int)
+	flagPred func(i int) bool
 }
 
 // NewCompactor returns a Compactor over the default pool with the given
@@ -55,6 +57,7 @@ func (p *Pool) NewCompactor(chunks int) *Compactor {
 			}
 		}
 	}
+	c.flagPred = func(i int) bool { return c.flags[i] }
 	return c
 }
 
@@ -104,4 +107,17 @@ func (c *Compactor) Compact(dst []int32, n, cost int, pred func(i int) bool) []i
 	c.pool.ForCost(chunks, chunkCost, c.writeFn)
 	c.dst, c.pred = nil, nil
 	return dst[:total]
+}
+
+// CompactBool is Compact with a flag-array predicate: it writes the indices i
+// with flags[i] into dst in ascending order. The common dirty-set shape
+// (per-element bool written by a parallel scan) gets a stored predicate so
+// callers do not have to keep their own closure around.
+//
+//dtgp:hotpath
+func (c *Compactor) CompactBool(dst []int32, flags []bool, cost int) []int32 {
+	c.flags = flags
+	out := c.Compact(dst, len(flags), cost, c.flagPred)
+	c.flags = nil
+	return out
 }

@@ -107,6 +107,16 @@ type Options struct {
 	// maintained incremental engine. Results are bit-identical either way;
 	// only the work per iteration differs.
 	ExactRefresh bool
+	// FullBackward disables the cone-restricted sparse backward pass (the
+	// quality A/B baseline): every timer evaluation seeds all violating
+	// endpoints and runs the full reverse sweep. Unlike ExactRefresh this
+	// changes the gradient (sparse is an approximation outside the cones),
+	// so the A/B comparison is on final WNS/TNS, not bit-identity.
+	FullBackward bool
+	// TimingTopK caps how many critical endpoints the sparse backward pass
+	// seeds per evaluation (0 = the timer's auto quota). Ignored when
+	// FullBackward is set.
+	TimingTopK int
 
 	// TraceTiming records exact WNS/TNS along the run (Fig. 8); expensive.
 	TraceTiming bool
@@ -180,6 +190,9 @@ type Result struct {
 	// supervision was disabled); Recovery.Healthy() distinguishes a clean
 	// run from one that rolled back or surrendered.
 	Recovery *guard.Report
+	// Cone summarises the sparse backward pass of the differentiable timer
+	// (zero value for other flows or FullBackward runs).
+	Cone core.ConeStats
 }
 
 // Run places the design in-place and returns metrics. The constraints may
@@ -216,6 +229,9 @@ func Run(d *netlist.Design, con *sdc.Constraints, opts Options) (*Result, error)
 		}
 	}
 	res.HPWL = d.HPWL()
+	if e.timer != nil {
+		res.Cone = e.timer.Cone()
+	}
 	if e.graph != nil {
 		res.STA = timing.Analyze(e.graph)
 		res.WNS = res.STA.WNS
@@ -384,6 +400,8 @@ func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, 
 			tOpts.Gamma = opts.TimingGamma
 			tOpts.SteinerPeriod = opts.SteinerPeriod
 			tOpts.Incremental = !opts.ExactRefresh
+			tOpts.SparseBackward = !opts.FullBackward
+			tOpts.TopK = opts.TimingTopK
 			e.timer = core.NewTimer(g, tOpts)
 		}
 		if opts.Mode == ModeNetWeight {

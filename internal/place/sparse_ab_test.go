@@ -1,0 +1,65 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"dtgp/internal/gen"
+	"dtgp/internal/netlist"
+	"dtgp/internal/sdc"
+)
+
+// runDiffTiming places a fresh clone of d0 with the differentiable-timing
+// flow and the given backward mode, returning the final exact WNS/TNS.
+func runDiffTiming(t *testing.T, d0 *netlist.Design, con *sdc.Constraints, full bool, topK int) *Result {
+	t.Helper()
+	d := d0.Clone()
+	opts := DefaultOptions(ModeDiffTiming)
+	opts.MaxIters = 40
+	opts.TimingStartIter = 5
+	opts.SkipLegalize = true
+	opts.FullBackward = full
+	opts.TimingTopK = topK
+	res, err := Run(d, con, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSparseBackwardQualityAB: the cone-restricted sparse backward is an
+// approximation (non-cone endpoints only contribute decayed stale
+// gradients), so the A/B contract is on solution quality, not bit-identity:
+// the final WNS and TNS of a sparse run must stay within 1% of the full-LSE
+// backward run — both at the default cone budget and at the aggressive
+// top-2 configuration the sparse benchmark arm uses.
+func TestSparseBackwardQualityAB(t *testing.T) {
+	d0, con, err := gen.Generate(gen.DefaultParams("ab", 400, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := runDiffTiming(t, d0, con, true, 0)
+	if full.WNS >= 0 {
+		t.Skipf("bed has no violation (WNS=%v); A/B needs timing pressure", full.WNS)
+	}
+
+	within := func(name string, got, want float64) {
+		t.Helper()
+		// Relative to the full run's magnitude; want < 0 checked above.
+		if rel := math.Abs(got-want) / math.Abs(want); rel > 0.01 {
+			t.Errorf("%s: sparse %v vs full %v (%.2f%% off, want ≤1%%)", name, got, want, 100*rel)
+		}
+	}
+	for _, cfg := range []struct {
+		name string
+		topK int
+	}{{"default-budget", 0}, {"top2", 2}} {
+		sparse := runDiffTiming(t, d0, con, false, cfg.topK)
+		if sparse.Cone.SparsePasses == 0 {
+			t.Fatalf("%s: no sparse pass ran (full=%d)", cfg.name, sparse.Cone.FullPasses)
+		}
+		within(cfg.name+"/WNS", sparse.WNS, full.WNS)
+		within(cfg.name+"/TNS", sparse.TNS, full.TNS)
+	}
+}

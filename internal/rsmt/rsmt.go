@@ -242,19 +242,46 @@ func buildExact(t *Tree, s *buildScratch) {
 	}
 	s.cands = cands
 
+	// Half-perimeter lower bound: no rectilinear Steiner tree over the pins
+	// can be shorter, and tryExact only replaces the incumbent on a
+	// *strictly* better length, so once the incumbent reaches the bound no
+	// later candidate can win and the enumeration can stop. For three pins
+	// the bound is always attained (the median Hanan point is optimal), so
+	// the candidate loop terminates almost immediately; for four pins it
+	// skips the 66-pair enumeration whenever a single Steiner point already
+	// closes the gap — the common case on real nets.
+	minX, maxX := t.X[0], t.X[0]
+	minY, maxY := t.Y[0], t.Y[0]
+	for i := 1; i < n; i++ {
+		minX = math.Min(minX, t.X[i])
+		maxX = math.Max(maxX, t.X[i])
+		minY = math.Min(minY, t.Y[i])
+		maxY = math.Max(maxY, t.Y[i])
+	}
+	lower := (maxX - minX) + (maxY - minY) + 1e-12
+
 	bestLen := math.Inf(1)
 	s.bestEdges = s.bestEdges[:0]
 	s.bestPts = s.bestPts[:0]
 
 	tryExact(t, s, nil, &bestLen)
-	for i := range cands {
-		tryExact(t, s, cands[i:i+1], &bestLen)
+	if bestLen > lower {
+		for i := range cands {
+			tryExact(t, s, cands[i:i+1], &bestLen)
+			if bestLen <= lower {
+				break
+			}
+		}
 	}
-	if n == 4 {
+	if n == 4 && bestLen > lower {
+	pairs:
 		for i := range cands {
 			for j := i + 1; j < len(cands); j++ {
 				pair := [2]hanan{cands[i], cands[j]}
 				tryExact(t, s, pair[:], &bestLen)
+				if bestLen <= lower {
+					break pairs
+				}
 			}
 		}
 	}

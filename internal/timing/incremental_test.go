@@ -177,3 +177,62 @@ func TestIncrementalConeIsSmall(t *testing.T) {
 		t.Errorf("WNS %v vs full %v", inc.WNS, full.WNS)
 	}
 }
+
+// TestIncrementalEpsilonDriftBounded: with a positive Epsilon the engine
+// deliberately stops propagating sub-threshold AT/slew/RAT changes, so the
+// maintained state may drift from a from-scratch analysis — but the drift
+// must stay bounded. Each suppressed propagation hides at most Epsilon of
+// change at one pin, so along any path the accumulated arrival error is
+// bounded by Epsilon per level; slews feed delay LUTs whose slopes are
+// moderate, covered by the safety factor. The bound must hold at every pin
+// and on WNS/TNS after a long sequence of small-move batches (the placer's
+// steady state, where Epsilon earns its keep).
+func TestIncrementalEpsilonDriftBounded(t *testing.T) {
+	g, inc := incBed(t, 400, 57)
+	const eps = 0.5 // ps; well above the 1e-6 default
+	inc.Epsilon = eps
+	d := g.D
+	maxLevel := int32(0)
+	for _, l := range g.Level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	bound := eps * float64(maxLevel+1) * 4 // 4x safety for LUT slope amplification
+	rng := rand.New(rand.NewSource(3))
+	maxPinDrift, maxWNSDrift := 0.0, 0.0
+	for round := 0; round < 20; round++ {
+		var moved []int32
+		for len(moved) < 8 {
+			ci := int32(rng.Intn(len(d.Cells)))
+			if !d.Cells[ci].Movable() {
+				continue
+			}
+			d.Cells[ci].Pos.X += rng.NormFloat64() * 5
+			d.Cells[ci].Pos.Y += rng.NormFloat64() * 5
+			moved = append(moved, ci)
+		}
+		inc.MoveCells(moved)
+		full := AnalyzeWithNets(g, inc.Nets)
+		for i := range inc.AT {
+			if !inc.Valid[i] || !full.Valid[i] {
+				continue
+			}
+			if dr := math.Abs(inc.AT[i] - full.ATLate[i]); dr > maxPinDrift {
+				maxPinDrift = dr
+			}
+		}
+		if dr := math.Abs(inc.WNS - full.WNS); dr > maxWNSDrift {
+			maxWNSDrift = dr
+		}
+		if maxPinDrift > bound {
+			t.Fatalf("round %d: pin AT drift %v exceeds bound %v (maxLevel %d)",
+				round, maxPinDrift, bound, maxLevel)
+		}
+		if maxWNSDrift > bound {
+			t.Fatalf("round %d: WNS drift %v exceeds bound %v", round, maxWNSDrift, bound)
+		}
+	}
+	t.Logf("eps=%v maxLevel=%d bound=%v: max pin drift %v, max WNS drift %v",
+		eps, maxLevel, bound, maxPinDrift, maxWNSDrift)
+}

@@ -36,6 +36,13 @@ type NetState struct {
 	// decide when sliding the stored Steiner points is no longer a faithful
 	// model and the topology must be re-extracted.
 	TopoHP float64
+	// fromBuild records that the current Steiner/RC state is exactly
+	// buildNetStateInto applied to the px/py snapshot (a full topology
+	// extraction, not a geometry slide). Extraction is deterministic, so a
+	// net with fromBuild set whose pins are bitwise unchanged since the
+	// snapshot would rebuild to the identical state — RebuildNetStatesMoved
+	// exploits this to skip it.
+	fromBuild bool
 }
 
 // SinkDelay returns the Elmore delay from the driver to net pin k.
@@ -78,6 +85,7 @@ func RebuildNetStates(g *Graph, states []NetState) {
 func buildNetStateInto(g *Graph, ni int32, ns *NetState) {
 	d := g.D
 	ns.Net = ni
+	ns.fromBuild = true
 	net := &d.Nets[ni]
 	if g.IsClockNet[ni] || net.Driver < 0 || len(net.Pins) < 2 {
 		ns.Tree, ns.RC = nil, nil
@@ -141,6 +149,36 @@ func buildNetStateInto(g *Graph, ni int32, ns *NetState) {
 	}
 }
 
+// RebuildNetStatesMoved is the fence variant of RebuildNetStates: it
+// re-extracts only nets whose state could differ from a fresh build —
+// nets whose pins moved bitwise since their px/py snapshot, or whose
+// topology was slid (RefreshNetState) rather than rebuilt since then.
+// Skipped nets already hold exactly the state a rebuild would produce
+// (extraction is deterministic), so the result is bit-identical to
+// RebuildNetStates. Rebuilt nets also get their Elmore forward pass here;
+// skipped nets keep their (identical) forward results, so the caller must
+// NOT run another forward sweep.
+//
+//dtgp:hotpath
+func RebuildNetStatesMoved(g *Graph, states []NetState) {
+	parallel.ForGuided(len(states), 8, parallel.CostHeavy, func(_, lo, hi int) {
+		for ni := lo; ni < hi; ni++ {
+			ns := &states[ni]
+			// Tree == nil nets always fall through: NetMoved cannot see
+			// their movement and a defensively-untimed net could become
+			// timeable at new geometry. buildNetStateInto early-returns
+			// for the structurally untimed ones, so the retry is cheap.
+			if ns.fromBuild && ns.Tree != nil && !NetMoved(g, ns, 0) {
+				continue
+			}
+			buildNetStateInto(g, int32(ni), ns)
+			if ns.RC != nil {
+				ns.RC.Forward()
+			}
+		}
+	})
+}
+
 // RefreshNetState updates one net's node coordinates and RC values from
 // current pin positions without rebuilding Steiner topology (§3.6: reuse
 // the stored Steiner points, moving them along with their attributed pins).
@@ -150,6 +188,7 @@ func RefreshNetState(g *Graph, ns *NetState) {
 	if ns.Tree == nil {
 		return
 	}
+	ns.fromBuild = false
 	d := g.D
 	net := &d.Nets[ns.Net]
 	if cap(ns.px) < len(net.Pins) {

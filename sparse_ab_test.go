@@ -1,0 +1,64 @@
+package dtgp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSparseBackwardQualitySuperblue is the acceptance A/B of the sparse
+// backward pass on the superblue presets: a differentiable-timing placement
+// driven by the cone-restricted gradient must land within 1% of the full-LSE
+// backward run on final exact WNS and TNS. The run is shortened to keep the
+// test fast; the gradient approximation is exercised from iteration 5 on.
+func TestSparseBackwardQualitySuperblue(t *testing.T) {
+	for _, preset := range []string{"superblue4", "superblue18"} {
+		t.Run(preset, func(t *testing.T) {
+			d0, con, err := GenerateBenchmark(preset, benchScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Calibrate the clock against a wirelength-only placement so the
+			// timing flows start under real pressure (as BenchmarkTable3
+			// does); calibrating at the initial spread leaves every path
+			// with slack once placed.
+			dCal := d0.Clone()
+			calOpts := DefaultPlaceOptions(FlowWirelength)
+			calOpts.MaxIters = 40
+			calOpts.SkipLegalize = true
+			resCal, err := Place(dCal, con, FlowWirelength, &calOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			con.Period = 0.7 * resCal.STA.CriticalDelay()
+			run := func(full bool) *PlaceResult {
+				d := d0.Clone()
+				opts := DefaultPlaceOptions(FlowDiffTiming)
+				opts.MaxIters = 40
+				opts.TimingStartIter = 5
+				opts.SkipLegalize = true
+				opts.FullBackward = full
+				res, err := Place(d, con, FlowDiffTiming, &opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			full := run(true)
+			if full.WNS >= 0 {
+				t.Skipf("no violation at this scale (WNS=%v)", full.WNS)
+			}
+			sparse := run(false)
+			if sparse.Cone.SparsePasses == 0 {
+				t.Fatal("sparse backward never engaged")
+			}
+			check := func(name string, got, want float64) {
+				t.Helper()
+				if rel := math.Abs(got-want) / math.Abs(want); rel > 0.01 {
+					t.Errorf("%s: sparse %v vs full %v (%.2f%% off, want ≤1%%)", name, got, want, 100*rel)
+				}
+			}
+			check("WNS", sparse.WNS, full.WNS)
+			check("TNS", sparse.TNS, full.TNS)
+		})
+	}
+}
