@@ -3,16 +3,25 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build vet test race bench bench-smoke check fuzz-smoke
+.PHONY: build vet vet-fixtures test race bench bench-smoke check fuzz-smoke
 
 build:
 	$(GO) build ./...
 
-# Static-analysis suite: errflow, floatdet, gradpair, hotalloc, mapiter,
-# parsafe, scratchlife (see internal/analysis and DESIGN.md §6). Fails on
-# any unsuppressed finding.
+# Static-analysis suite: dirtymark, errflow, floatdet, gradpair, hotalloc,
+# mapiter, parsafe, scratchlife (see internal/analysis and DESIGN.md §6, §10).
+# Fails on any unsuppressed finding; stale //dtgp:allow annotations and
+# hotalloc.allow entries are hard errors too.
 vet: build
 	$(GO) run ./cmd/dtgp-vet ./...
+
+# vet-fixtures proves the suite still BITES: every seeded-mutant fixture
+# under internal/analysis/testdata/ must keep producing its golden findings
+# (runGoldenFixture fails on zero diagnostics, and the seeded-mutant tests
+# assert each planted bug is individually reported). An analyzer refactor
+# that silently stops reporting shows up here, not as a green vet.
+vet-fixtures:
+	$(GO) test ./internal/analysis/ -count=1 -run '(Golden|SeededMutants)$$'
 
 test: vet
 	$(GO) test ./...
@@ -52,6 +61,7 @@ bench-smoke:
 # suite, the race detector over the quick (-short) suite, the benchmark
 # smoke, and the parser fuzz smoke.
 check: build vet
+	$(MAKE) vet-fixtures
 	$(GO) test ./...
 	$(GO) test -race -short ./...
 	$(MAKE) bench-smoke

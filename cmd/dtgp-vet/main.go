@@ -1,13 +1,32 @@
-// Command dtgp-vet runs the repo's static-analysis suite: seven analyzers
-// (mapiter, parsafe, hotalloc, floatdet, gradpair, scratchlife, errflow)
-// that enforce the determinism, parallel-safety, zero-allocation,
-// gradient-pairing, scratch-lifetime and error-handling invariants of the
-// placement and timing hot paths. See internal/analysis for the checks and
-// DESIGN.md §6 for why each invariant exists.
+// Command dtgp-vet runs the repo's static-analysis suite: eight analyzers
+// (mapiter, parsafe, hotalloc, floatdet, gradpair, scratchlife, errflow,
+// dirtymark) that enforce the determinism, parallel-safety, zero-allocation,
+// gradient-pairing, scratch-lifetime, error-handling and incremental-state
+// coherence invariants of the placement and timing hot paths. See
+// internal/analysis for the checks and DESIGN.md §6 and §10 for why each
+// invariant exists.
+//
+// parsafe, hotalloc and dirtymark are interprocedural: a call graph over the
+// whole module (direct calls, method calls, method values, closures handed
+// to parallel dispatch) feeds bottom-up per-function side-effect summaries,
+// so a write or heap escape buried in a helper is attributed through the
+// chain of callers that reaches hot or cached state.
+//
+// dirtymark consumes //dtgp:cached annotations on struct fields:
+//
+//	//dtgp:cached by=<marker>[,<marker>...]
+//
+// where each marker is a function or method name (Recv.Method for methods)
+// in the field's package. Every write to the field — direct or through any
+// chain of helpers — must sit on a CFG path that also calls one of the
+// declared markers (before or after the write); a write that can reach a
+// read of the cache without a refresh is reported at the write site. Writes
+// inside a marker itself (and helpers that only markers call) are exempt:
+// they are the refresh.
 //
 // Usage:
 //
-//	dtgp-vet [-C dir] [-allow file] [-noescapes] [-json] [packages]
+//	dtgp-vet [-C dir] [-allow file] [-noescapes] [-emit-allow] [-json] [packages]
 //
 // Packages are go-style patterns relative to the module root (default
 // ./...); the whole module is always loaded — patterns only filter which
@@ -18,6 +37,12 @@
 //	0  clean (no unsuppressed findings)
 //	1  findings remain after //dtgp:allow(<check>) suppressions
 //	2  usage or load error (bad flags, unparseable or untypeable module)
+//
+// Suppressions are audited: a //dtgp:allow(<check>) comment that no longer
+// suppresses any finding, or a hotalloc.allow entry no escape matches, is
+// itself reported as a hard allow-audit finding on unfiltered runs (hotalloc
+// entries only when escape analysis ran), so dead annotations cannot
+// accumulate.
 //
 // With -json every diagnostic — suppressed ones included — is printed as
 // one JSON object per line: {"file","line","check","message","suppressed"};

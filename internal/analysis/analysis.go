@@ -121,15 +121,32 @@ func sortDiagnostics(ds []Diagnostic) {
 // ---------------------------------------------------------------------------
 // Suppressions.
 
-var allowRE = regexp.MustCompile(`dtgp:allow\(([a-zA-Z0-9_,\- ]+)\)`)
+// allowRE matches directive-style annotations only: the comment must begin
+// with dtgp:allow (like any Go directive), so prose that merely mentions
+// //dtgp:allow(check) — analyzer docs, finding messages — is not a
+// suppression and cannot go stale.
+var allowRE = regexp.MustCompile(`^/[/*]\s*dtgp:allow\(([a-zA-Z0-9_,\- ]+)\)`)
 
-// allowSet maps file name → line → the set of checks allowed on that line.
-type allowSet map[string]map[int]map[string]bool
+// An allowEntry is one check name of one //dtgp:allow annotation, with its
+// source position and whether it suppressed anything this run. Entries that
+// suppress nothing on a whole-tree run are themselves findings: a stale
+// suppression either hides a fixed issue or papers over moved code.
+type allowEntry struct {
+	check string
+	pos   token.Position
+	used  bool
+}
+
+// allowSet indexes allow entries by file name and line.
+type allowSet struct {
+	lines   map[string]map[int][]*allowEntry
+	entries []*allowEntry // source order, for stable stale reporting
+}
 
 // collectAllows scans every comment of every loaded file for
 // //dtgp:allow(check[,check...]) annotations.
-func collectAllows(prog *Program) allowSet {
-	as := allowSet{}
+func collectAllows(prog *Program) *allowSet {
+	as := &allowSet{lines: map[string]map[int][]*allowEntry{}}
 	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -139,18 +156,13 @@ func collectAllows(prog *Program) allowSet {
 						continue
 					}
 					pos := prog.Fset.Position(c.Pos())
-					lines := as[pos.Filename]
-					if lines == nil {
-						lines = map[int]map[string]bool{}
-						as[pos.Filename] = lines
-					}
-					checks := lines[pos.Line]
-					if checks == nil {
-						checks = map[string]bool{}
-						lines[pos.Line] = checks
+					if as.lines[pos.Filename] == nil {
+						as.lines[pos.Filename] = map[int][]*allowEntry{}
 					}
 					for _, name := range strings.Split(m[1], ",") {
-						checks[strings.TrimSpace(name)] = true
+						e := &allowEntry{check: strings.TrimSpace(name), pos: pos}
+						as.lines[pos.Filename][pos.Line] = append(as.lines[pos.Filename][pos.Line], e)
+						as.entries = append(as.entries, e)
 					}
 				}
 			}
@@ -160,18 +172,34 @@ func collectAllows(prog *Program) allowSet {
 }
 
 // suppressed reports whether d is covered by a dtgp:allow annotation on the
-// same line or on the line directly above it.
-func (as allowSet) suppressed(d Diagnostic) bool {
-	lines := as[d.Position.Filename]
+// same line or on the line directly above it, marking every covering entry
+// used.
+func (as *allowSet) suppressed(d Diagnostic) bool {
+	lines := as.lines[d.Position.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, ln := range [2]int{d.Position.Line, d.Position.Line - 1} {
-		if checks := lines[ln]; checks != nil && (checks[d.Check] || checks["all"]) {
-			return true
+		for _, e := range lines[ln] {
+			if e.check == d.Check || e.check == "all" {
+				e.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
+}
+
+// unused returns the entries that suppressed nothing, in source order.
+func (as *allowSet) unused() []*allowEntry {
+	var stale []*allowEntry
+	for _, e := range as.entries {
+		if !e.used {
+			stale = append(stale, e)
+		}
+	}
+	return stale
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,234 @@
+package analysis
+
+// Interprocedural layer, part 1: the call graph. Analysis units are every
+// module function declaration plus every function literal (closures and
+// kernels get their own summaries; their effects bubble to the function
+// that binds them). Edges cover direct calls, method calls with static
+// receiver resolution, method values, and function values handed around as
+// arguments — the same resolution parsafe applies to dispatch kernels,
+// generalised. Calls whose callee cannot be resolved statically (interface
+// method calls, stored closure fields, function-typed parameters) have no
+// edge and fall back to the conservative empty summary.
+//
+// SCCs (Tarjan) give the bottom-up order summary.go needs: callees before
+// callers, mutually-recursive groups solved to a joint fixpoint.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A Unit is one analysis unit of the call graph: a declared function or a
+// function literal.
+type Unit struct {
+	// Fn is the enclosing declaration's record; for a literal unit it is
+	// the declaration the literal syntactically lives in.
+	Fn *FuncInfo
+	// Lit is non-nil for function-literal units.
+	Lit *ast.FuncLit
+	// Index is the unit's position in CallGraph.Units (deterministic:
+	// declaration order, literals in source order within each declaration).
+	Index int
+	// Callees are the units this unit's body may invoke (deduplicated,
+	// first-reference order). A parent declaration also has an edge to each
+	// literal it contains: binding a closure is treated as (potentially)
+	// running it, which is what makes stored-kernel effects visible at the
+	// binding site.
+	Callees []*Unit
+	// Callers is the reverse adjacency; units with no callers are the
+	// call-graph roots where bubbled dirtymark obligations are reported.
+	Callers []*Unit
+	// SCC is the strongly-connected-component id, numbered so that
+	// callees have lower ids than callers (reverse topological).
+	SCC int
+}
+
+// Body returns the unit's function body.
+func (u *Unit) Body() *ast.BlockStmt {
+	if u.Lit != nil {
+		return u.Lit.Body
+	}
+	return u.Fn.Decl.Body
+}
+
+// Pkg returns the package the unit's source lives in.
+func (u *Unit) Pkg() *Package { return u.Fn.Pkg }
+
+// Name renders the unit for diagnostics: the declared name, with a
+// "func literal in " prefix for literal units.
+func (u *Unit) Name() string {
+	if u.Lit != nil {
+		return "func literal in " + u.Fn.Obj.Name()
+	}
+	return u.Fn.Obj.Name()
+}
+
+// A CallGraph is the module-wide unit graph plus its SCC decomposition.
+type CallGraph struct {
+	Units []*Unit
+	// ByDecl maps a declared function to its unit; ByLit maps literals.
+	ByDecl map[*types.Func]*Unit
+	ByLit  map[*ast.FuncLit]*Unit
+	// SCCs[i] lists the units of component i; components are numbered in
+	// reverse topological order (callees first), so iterating SCCs in
+	// ascending order visits every callee component before its callers.
+	SCCs [][]*Unit
+}
+
+// UnitOf resolves a call-expression callee (or any function-valued
+// expression) to a unit, using the package's type info: direct calls,
+// selector-based method calls and method values, and function literals.
+// Returns nil for dynamic callees.
+func (cg *CallGraph) UnitOf(info *types.Info, e ast.Expr) *Unit {
+	switch x := unparen(e).(type) {
+	case *ast.FuncLit:
+		return cg.ByLit[x]
+	case *ast.Ident:
+		if fn, ok := info.Uses[x].(*types.Func); ok {
+			return cg.ByDecl[fn]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+			return cg.ByDecl[fn]
+		}
+	}
+	return nil
+}
+
+// BuildCallGraph constructs the module call graph over facts.
+func BuildCallGraph(prog *Program, facts *Facts) *CallGraph {
+	cg := &CallGraph{
+		ByDecl: map[*types.Func]*Unit{},
+		ByLit:  map[*ast.FuncLit]*Unit{},
+	}
+	addUnit := func(u *Unit) *Unit {
+		u.Index = len(cg.Units)
+		cg.Units = append(cg.Units, u)
+		return u
+	}
+	// Pass 1: enumerate units. Literals are discovered in source order by a
+	// body walk of each declaration (nested literals included).
+	for _, fi := range facts.All() {
+		addUnit(&Unit{Fn: fi})
+		cg.ByDecl[fi.Obj] = cg.Units[len(cg.Units)-1]
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				cg.ByLit[lit] = addUnit(&Unit{Fn: fi, Lit: lit})
+			}
+			return true
+		})
+	}
+	// Pass 2: edges. Each unit scans its own body, stopping at nested
+	// literal boundaries (the nested literal is its own unit; the enclosing
+	// unit gets an edge to it, covering both "calls it" and "stores it").
+	for _, u := range cg.Units {
+		info := u.Pkg().Info
+		seen := map[*Unit]bool{}
+		addEdge := func(c *Unit) {
+			if c != nil && c != u && !seen[c] {
+				seen[c] = true
+				u.Callees = append(u.Callees, c)
+			}
+		}
+		var self ast.Node = u.Fn.Decl
+		if u.Lit != nil {
+			self = u.Lit
+		}
+		ast.Inspect(u.Body(), func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				if x != self {
+					addEdge(cg.ByLit[x])
+					return false // nested literal's body belongs to its unit
+				}
+			case *ast.Ident:
+				// Any use of a module function identifier — call position or
+				// value position (method values, kernels passed by name) —
+				// is an edge, matching the facts reference graph.
+				if fn, ok := info.Uses[x].(*types.Func); ok {
+					addEdge(cg.ByDecl[fn])
+				}
+			}
+			return true
+		})
+	}
+	for _, u := range cg.Units {
+		for _, c := range u.Callees {
+			c.Callers = append(c.Callers, u)
+		}
+	}
+	cg.computeSCCs()
+	return cg
+}
+
+// computeSCCs runs Tarjan's algorithm (iterative, to survive deep call
+// chains) and numbers components in reverse topological order: Tarjan
+// emits a component only after all components reachable from it, so the
+// emission order already has callees first.
+func (cg *CallGraph) computeSCCs() {
+	n := len(cg.Units)
+	index := make([]int, n) // 1-based visit order; 0 = unvisited
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	stack := make([]int, 0, n)
+	next := 1
+
+	type frame struct {
+		v  int
+		ci int // next callee index to process
+	}
+	for _, u := range cg.Units {
+		u.SCC = -1
+	}
+	for v0 := 0; v0 < n; v0++ {
+		if index[v0] != 0 {
+			continue
+		}
+		frames := []frame{{v: v0}}
+		index[v0], lowlink[v0] = next, next
+		next++
+		stack = append(stack, v0)
+		onStack[v0] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			callees := cg.Units[f.v].Callees
+			if f.ci < len(callees) {
+				w := callees[f.ci].Index
+				f.ci++
+				if index[w] == 0 {
+					index[w], lowlink[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+				continue
+			}
+			// All callees done: pop the frame, maybe emit a component.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := frames[len(frames)-1].v; lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				id := len(cg.SCCs)
+				var comp []*Unit
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					cg.Units[w].SCC = id
+					comp = append(comp, cg.Units[w])
+					if w == v {
+						break
+					}
+				}
+				cg.SCCs = append(cg.SCCs, comp)
+			}
+		}
+	}
+}

@@ -10,7 +10,7 @@ import (
 )
 
 // All is the dtgp analyzer suite in report order.
-var All = []*Analyzer{ErrFlow, FloatDet, GradPair, HotAlloc, MapIter, ParSafe, ScratchLife}
+var All = []*Analyzer{DirtyMark, ErrFlow, FloatDet, GradPair, HotAlloc, MapIter, ParSafe, ScratchLife}
 
 // Options configure one Vet run.
 type Options struct {
@@ -81,11 +81,31 @@ func Vet(opts Options) (*Report, error) {
 	}
 
 	match := matchPatterns(modPath, opts.Patterns)
-	diags, suppressed, err := runAnalyzersFull(prog, facts, All, match)
+	diags, suppressed, allows, err := runAnalyzersRecording(prog, facts, All, match)
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{Diagnostics: diags, Suppressed: suppressed}
+	if match == nil {
+		// Stale //dtgp:allow annotations are hard findings, but only on an
+		// unfiltered run: a filtered run skips the other packages' analyzer
+		// passes, so their suppressions would all look unused. hotalloc (and
+		// blanket "all") entries are only decidable when escape data was
+		// collected — without it the analyzer reports nothing to suppress.
+		for _, e := range allows.unused() {
+			if !opts.Escapes && (e.check == "hotalloc" || e.check == "all") {
+				continue
+			}
+			rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+				Check:    "allow-audit",
+				Position: e.pos,
+				Message: fmt.Sprintf(
+					"stale //dtgp:allow(%s): no %s finding is suppressed here (the issue was fixed or the code moved; delete the annotation)",
+					e.check, e.check),
+			})
+		}
+		sortDiagnostics(rep.Diagnostics)
+	}
 	if opts.Escapes {
 		// Staleness is only decidable on an unfiltered run: a filtered run
 		// never visits the other packages, so their entries would all look
@@ -126,10 +146,18 @@ func RunAnalyzers(prog *Program, facts *Facts, analyzers []*Analyzer, match func
 }
 
 // runAnalyzersFull is RunAnalyzers plus the suppressed findings (marked
-// and sorted), for audit output. Identical findings are deduplicated: a
-// named kernel dispatched from several call sites, or an operator pair
-// cross-checked from both halves' packages, must report once.
+// and sorted), for audit output.
 func runAnalyzersFull(prog *Program, facts *Facts, analyzers []*Analyzer, match func(pkgPath string) bool) (kept, suppressed []Diagnostic, err error) {
+	kept, suppressed, _, err = runAnalyzersRecording(prog, facts, analyzers, match)
+	return kept, suppressed, err
+}
+
+// runAnalyzersRecording additionally returns the allow-annotation set with
+// per-entry usage recorded, so the driver can promote stale suppressions to
+// findings. Identical findings are deduplicated: a named kernel dispatched
+// from several call sites, or an operator pair cross-checked from both
+// halves' packages, must report once.
+func runAnalyzersRecording(prog *Program, facts *Facts, analyzers []*Analyzer, match func(pkgPath string) bool) (kept, suppressed []Diagnostic, allows *allowSet, err error) {
 	var diags []Diagnostic
 	collect := func(d Diagnostic) { diags = append(diags, d) }
 	for _, pkg := range prog.Pkgs {
@@ -139,12 +167,12 @@ func runAnalyzersFull(prog *Program, facts *Facts, analyzers []*Analyzer, match 
 		for _, a := range analyzers {
 			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, Facts: facts, report: collect}
 			if err := a.Run(pass); err != nil {
-				return nil, nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
 	seen := map[Diagnostic]bool{}
-	allows := collectAllows(prog)
+	allows = collectAllows(prog)
 	for _, d := range diags {
 		if seen[d] {
 			continue
@@ -159,7 +187,7 @@ func runAnalyzersFull(prog *Program, facts *Facts, analyzers []*Analyzer, match 
 	}
 	sortDiagnostics(kept)
 	sortDiagnostics(suppressed)
-	return kept, suppressed, nil
+	return kept, suppressed, allows, nil
 }
 
 // matchPatterns compiles go-style package patterns into a path filter.

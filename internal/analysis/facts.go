@@ -78,6 +78,10 @@ type Facts struct {
 	// ("funcKey\tmessage") for every unallowlisted hot escape, so
 	// `dtgp-vet -emit-allow` can regenerate the file mechanically.
 	ProposedAllow []string
+
+	// inter is the memoised interprocedural layer (call graph + per-unit
+	// side-effect summaries), built on first use via Facts.Interproc.
+	inter *Interproc
 }
 
 // All returns every function record in declaration order.

@@ -152,6 +152,34 @@ func runHotAlloc(pass *Pass) error {
 				fi.Obj.Name(), es.Message)
 		}
 	}
+	// Interprocedural phase: escapes inside cold helpers that a hot
+	// function reaches through calls. The loop above only sees escapes
+	// between a hot function's own braces; moving the allocation into a
+	// helper must not hide it. The summary engine stops propagation at hot
+	// callees (their own bodies are the loop above's job) and claims each
+	// site for the first hot root whose summary reaches it.
+	ip := facts.Interproc(pass.Prog)
+	for si, es := range facts.Escapes {
+		hot := ip.escHotRoot[si]
+		if hot == nil {
+			continue
+		}
+		owner := ip.escOwner[si]
+		if owner.Pkg() != pass.Pkg {
+			continue
+		}
+		// Allowlist entries key on the cold helper that owns the site, same
+		// as a direct annotation would.
+		key := funcKey(owner.Fn.Obj)
+		if facts.HotAllow[key][es.Message] {
+			facts.markAllowUsed(key, es.Message)
+			continue
+		}
+		facts.ProposedAllow = append(facts.ProposedAllow, key+"\t"+es.Message)
+		pass.reportAt(token.Position{Filename: es.File, Line: es.Line, Column: es.Column},
+			"heap escape in %s, reached from //dtgp:hotpath function %s: %s (the helper runs on the hot path through this call chain; hoist the allocation, mark the helper //dtgp:hotpath, or extend internal/analysis/hotalloc.allow only for one-time warm-up)",
+			owner.Name(), hot.Obj.Name(), es.Message)
+	}
 	return nil
 }
 

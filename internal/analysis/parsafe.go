@@ -144,6 +144,8 @@ func checkKernelBody(pass *Pass, info *types.Info, scope ast.Node, body *ast.Blo
 			} else if fn := calleeOf(info, stmt); fn != nil && isNonReentrant(fn) {
 				pass.Reportf(stmt.Pos(),
 					"call to non-reentrant %s from a parallel kernel (global generator state serialises lanes and makes results schedule-dependent; use a per-worker rand.Rand)", funcKey(fn))
+			} else {
+				checkKernelCallee(pass, info, stmt, scope, recv)
 			}
 		}
 		return true
@@ -195,6 +197,79 @@ func checkKernelWrite(pass *Pass, info *types.Info, scope ast.Node, recv *types.
 	pass.Reportf(lhs.Pos(),
 		"write to captured variable %s from a parallel kernel (not index- or worker-disjoint; lanes race and the result depends on the schedule)",
 		types.ExprString(lhs))
+}
+
+// checkKernelCallee consults the interprocedural summaries for calls whose
+// callee (transitively) writes through a pointer parameter: the write
+// happens inside the callee, out of reach of the syntactic captured-write
+// check above, but if the argument roots at a captured variable — or the
+// shared receiver of a method-value kernel — every lane still funnels into
+// the same location. Indexed arguments (&out[i]) stay exempt: they select
+// a lane-disjoint element, which is the pool's contract.
+func checkKernelCallee(pass *Pass, info *types.Info, call *ast.CallExpr, scope ast.Node, recv *types.Var) {
+	ip := pass.Facts.Interproc(pass.Prog)
+	callee := ip.CG.UnitOf(info, call.Fun)
+	if callee == nil || callee.Lit != nil {
+		return
+	}
+	sum := ip.Summaries[callee.Index]
+	if sum.ParamWrites == 0 {
+		return
+	}
+	sig, ok := callee.Fn.Obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	off := 0
+	if sig.Recv() != nil {
+		off = 1
+	}
+	for bit := 0; bit < 64; bit++ {
+		if !sum.WritesParam(bit) {
+			continue
+		}
+		var arg ast.Expr
+		if off == 1 && bit == 0 {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				arg = sel.X
+			}
+		} else if i := bit - off; i >= 0 && i < len(call.Args) {
+			arg = call.Args[i]
+		}
+		if arg == nil {
+			continue
+		}
+		v := nonIndexedRoot(info, arg)
+		if v == nil {
+			continue
+		}
+		if recv != nil && v == recv {
+			pass.Reportf(arg.Pos(),
+				"call to %s writes shared receiver state %s from a parallel method-value kernel (the callee writes through its %s; every lane shares the receiver)",
+				callee.Name(), types.ExprString(arg), summaryParamName(sig, bit))
+			continue
+		}
+		if within(v.Pos(), scope) {
+			continue // kernel-local root: lane-private
+		}
+		pass.Reportf(arg.Pos(),
+			"call to %s writes captured variable %s from a parallel kernel (the callee writes through its %s; not index- or worker-disjoint, lanes race)",
+			callee.Name(), types.ExprString(arg), summaryParamName(sig, bit))
+	}
+}
+
+// summaryParamName renders a ParamWrites bit for diagnostics.
+func summaryParamName(sig *types.Signature, bit int) string {
+	if sig.Recv() != nil {
+		if bit == 0 {
+			return "receiver"
+		}
+		bit--
+	}
+	if bit < sig.Params().Len() && sig.Params().At(bit).Name() != "" {
+		return "parameter " + sig.Params().At(bit).Name()
+	}
+	return "parameter"
 }
 
 // calleeOf resolves a call's static callee, if any.

@@ -1,0 +1,691 @@
+package analysis
+
+// Interprocedural layer, part 3: the bottom-up summary computation. Each
+// SCC is solved in two fixpoint phases: phase A unions the monotone bit
+// facts (Writes, Markers, ParamWrites, EscSites) over the component until
+// stable; phase B runs the per-unit dominated-or-followed coverage check
+// (two must-join dataflow solves over the marker bit-space) and propagates
+// uncovered write obligations, again to a fixpoint for recursive groups.
+// Components are visited callees-first (the SCC numbering from Tarjan), so
+// every callee summary a unit consults is final by the time phase B caches
+// the unit's flow solution.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A fieldWrite is one cached-field write found in an atom.
+type fieldWrite struct {
+	field *CachedField
+	pos   token.Pos
+}
+
+// An atomCall is one call site found in an atom: the static callee plus
+// any function-valued arguments (literals and named functions handed to
+// dispatchers run when the dispatcher does — their markers count here and
+// their obligations surface here).
+type atomCall struct {
+	pos     token.Pos
+	callees []*Unit
+}
+
+// atomInfo is the scanned content of one CFG atom.
+type atomInfo struct {
+	writes []fieldWrite
+	calls  []atomCall
+}
+
+// unitFlow caches one unit's CFG, scanned atoms and (in phase B) the two
+// coverage solves.
+type unitFlow struct {
+	cfg   *CFG
+	atoms [][]atomInfo // per block, per atom
+	// paramEdges records calls that pass this unit's parameters to a
+	// callee: argBit[calleeBit] is the local parameter bit the callee
+	// would write through, or -1.
+	paramEdges []paramEdge
+	localParam uint64
+	localWrite bvec
+	localEsc   bvec
+	events     []*WriteEvent
+
+	// Phase-B cache (valid once callee Markers are final).
+	solved   bool
+	atomMark [][]bvec // marker bits per atom
+	fwd, bwd *FlowResult
+}
+
+type paramEdge struct {
+	callee *Unit
+	argBit []int
+}
+
+// computeSummaries runs the bottom-up pass over the SCCs.
+func (ip *Interproc) computeSummaries() {
+	n := len(ip.CG.Units)
+	nm, nf := len(ip.Markers), len(ip.Fields)
+	ne := 0
+	if ip.Facts.EscapesValid {
+		ne = len(ip.Facts.Escapes)
+	}
+	ip.Summaries = make([]*Summary, n)
+	ip.flows = make([]*unitFlow, n)
+	for i, u := range ip.CG.Units {
+		ip.flows[i] = ip.scanUnit(u, ne)
+		s := &Summary{
+			Writes:      newBvec(nf),
+			Markers:     newBvec(nm),
+			EscSites:    newBvec(ne),
+			ParamWrites: ip.flows[i].localParam,
+			oblSeen:     map[*WriteEvent]bool{},
+		}
+		s.Writes.or(ip.flows[i].localWrite)
+		s.Markers.or(ip.selfMarker[i])
+		s.EscSites.or(ip.flows[i].localEsc)
+		ip.Summaries[i] = s
+	}
+	for _, comp := range ip.CG.SCCs {
+		for changed := true; changed; {
+			changed = false
+			for _, u := range comp {
+				if ip.updateBits(u) {
+					changed = true
+				}
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, u := range comp {
+				if ip.updateObligations(u) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// updateBits folds callee summaries into u's phase-A facts; reports change.
+func (ip *Interproc) updateBits(u *Unit) bool {
+	s := ip.Summaries[u.Index]
+	fl := ip.flows[u.Index]
+	before := struct {
+		w, m, e bvec
+		p       uint64
+	}{w: newBvec(len(ip.Fields)), m: newBvec(len(ip.Markers)), e: newBvec(len(s.EscSites) * 64), p: s.ParamWrites}
+	before.w.copyFrom(s.Writes)
+	before.m.copyFrom(s.Markers)
+	before.e = append(bvec(nil), s.EscSites...)
+	for _, c := range u.Callees {
+		cs := ip.Summaries[c.Index]
+		s.Writes.or(cs.Writes)
+		s.Markers.or(cs.Markers)
+		if !c.Fn.Hot {
+			s.EscSites.or(cs.EscSites)
+		}
+	}
+	for _, pe := range fl.paramEdges {
+		cs := ip.Summaries[pe.callee.Index]
+		for cb, mine := range pe.argBit {
+			if mine >= 0 && cs.WritesParam(cb) {
+				s.ParamWrites |= 1 << uint(mine)
+			}
+		}
+	}
+	return !before.w.equal(s.Writes) || !before.m.equal(s.Markers) ||
+		!before.e.equal(s.EscSites) || before.p != s.ParamWrites
+}
+
+// updateObligations runs the coverage check over u's CFG and exports
+// uncovered writes (local and bubbled from callees); reports change.
+func (ip *Interproc) updateObligations(u *Unit) bool {
+	s := ip.Summaries[u.Index]
+	fl := ip.flows[u.Index]
+	// Nothing to check or bubble without any annotated fields.
+	if len(ip.Fields) == 0 {
+		return false
+	}
+	hasObl := len(fl.events) > 0
+	if !hasObl {
+	scan:
+		for _, blk := range fl.atoms {
+			for _, ai := range blk {
+				for _, ac := range ai.calls {
+					for _, c := range ac.callees {
+						if len(ip.Summaries[c.Index].Obligations) > 0 {
+							hasObl = true
+							break scan
+						}
+					}
+				}
+			}
+		}
+	}
+	if !hasObl {
+		return false
+	}
+	ip.solveFlows(u)
+	changed := false
+	exempt := ip.selfMarker[u.Index]
+	emit := func(ev *WriteEvent, via string) {
+		if s.oblSeen[ev] {
+			return
+		}
+		s.oblSeen[ev] = true
+		if via == "" {
+			via = u.Name()
+		} else {
+			via = via + " ← " + u.Name()
+		}
+		s.Obligations = append(s.Obligations, Obligation{Event: ev, Via: via})
+		changed = true
+	}
+	evIdx := 0
+	for bi, blk := range fl.atoms {
+		for ai, info := range blk {
+			for range info.writes {
+				ev := fl.events[evIdx]
+				evIdx++
+				if ip.exemptOrCovered(fl, exempt, ev.Field, bi, ai) {
+					continue
+				}
+				emit(ev, "")
+			}
+			for _, ac := range info.calls {
+				for _, c := range ac.callees {
+					for _, obl := range ip.Summaries[c.Index].Obligations {
+						if ip.exemptOrCovered(fl, exempt, obl.Event.Field, bi, ai) {
+							continue
+						}
+						emit(obl.Event, obl.Via)
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// exemptOrCovered reports whether an event for field cf anchored at atom
+// (bi, ai) needs no marker here: either this unit is itself (inside) one
+// of the field's markers, or a marker call dominates or follows the atom
+// on every CFG path through the unit.
+func (ip *Interproc) exemptOrCovered(fl *unitFlow, exempt bvec, cf *CachedField, bi, ai int) bool {
+	for i := range exempt {
+		if exempt[i]&cf.MarkerBits[i] != 0 {
+			return true
+		}
+	}
+	have := newBvec(len(ip.Markers))
+	have.copyFrom(fl.fwd.In[bi]) // markers on every path before the block
+	for k := 0; k < ai; k++ {
+		have.or(fl.atomMark[bi][k])
+	}
+	if intersects(have, cf.MarkerBits) {
+		return true
+	}
+	have.copyFrom(fl.bwd.Out[bi]) // markers on every path after the block
+	for k := ai + 1; k < len(fl.atomMark[bi]); k++ {
+		have.or(fl.atomMark[bi][k])
+	}
+	return intersects(have, cf.MarkerBits)
+}
+
+func intersects(a, b bvec) bool {
+	for i := range a {
+		if a[i]&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// solveFlows computes (once per unit) the per-atom marker bits and the two
+// must-join solves: forward "marker definitely already executed" and
+// backward "marker definitely will execute before exit".
+func (ip *Interproc) solveFlows(u *Unit) {
+	fl := ip.flows[u.Index]
+	if fl.solved {
+		return
+	}
+	fl.solved = true
+	nm := len(ip.Markers)
+	nb := len(fl.cfg.Blocks)
+	fl.atomMark = make([][]bvec, nb)
+	gen := make([]bvec, nb)
+	kill := make([]bvec, nb)
+	for bi := range fl.atoms {
+		gen[bi] = newBvec(nm)
+		kill[bi] = newBvec(nm)
+		fl.atomMark[bi] = make([]bvec, len(fl.atoms[bi]))
+		for ai, info := range fl.atoms[bi] {
+			m := newBvec(nm)
+			for _, ac := range info.calls {
+				for _, c := range ac.callees {
+					m.or(ip.Summaries[c.Index].Markers)
+				}
+			}
+			fl.atomMark[bi][ai] = m
+			gen[bi].or(m)
+		}
+	}
+	fwd := &FlowProblem{CFG: fl.cfg, NBits: nm, Gen: gen, Kill: kill, Must: true}
+	fl.fwd = fwd.Solve()
+	bwd := &FlowProblem{CFG: fl.cfg, NBits: nm, Gen: gen, Kill: kill, Must: true, Backward: true}
+	fl.bwd = bwd.Solve()
+}
+
+// markLeaks sets the Leaked flag on every write event whose obligation
+// reaches a call-graph root uncovered, recording the first root-reaching
+// call chain, and claims interprocedural escape sites for hotalloc.
+func (ip *Interproc) markLeaks() {
+	for _, u := range ip.CG.Units {
+		if len(u.Callers) > 0 {
+			continue
+		}
+		for _, obl := range ip.Summaries[u.Index].Obligations {
+			if !obl.Event.Leaked {
+				obl.Event.Leaked = true
+				obl.Event.Chain = obl.Via
+			}
+		}
+	}
+	if !ip.Facts.EscapesValid {
+		return
+	}
+	for _, fi := range ip.Facts.All() {
+		if !fi.Hot {
+			continue
+		}
+		u := ip.CG.ByDecl[fi.Obj]
+		if u == nil {
+			continue
+		}
+		es := ip.Summaries[u.Index].EscSites
+		for si := range ip.Facts.Escapes {
+			if !es.has(si) || ip.escHotRoot[si] != nil {
+				continue
+			}
+			owner := ip.escOwner[si]
+			// Sites inside hot code (including this root's own body and its
+			// literals) are the intraprocedural pass's job.
+			if owner == nil || owner.Fn.Hot {
+				continue
+			}
+			ip.escHotRoot[si] = fi
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Atom scanning.
+
+// scanUnit builds the unit's CFG and scans every atom for cached-field
+// writes, call sites and (when escape data is loaded) its own escape
+// sites; it also derives the unit's local parameter write-set and the
+// param-forwarding edges.
+func (ip *Interproc) scanUnit(u *Unit, nEsc int) *unitFlow {
+	fl := &unitFlow{cfg: BuildCFG(u.Body())}
+	info := u.Pkg().Info
+	fl.localWrite = newBvec(len(ip.Fields))
+	fl.localEsc = newBvec(nEsc)
+	params := unitParams(u, info)
+	fl.atoms = make([][]atomInfo, len(fl.cfg.Blocks))
+	for bi, blk := range fl.cfg.Blocks {
+		fl.atoms[bi] = make([]atomInfo, len(blk.Nodes))
+		for ai, atom := range blk.Nodes {
+			a := ip.scanAtom(u, info, atom, params, fl)
+			fl.atoms[bi][ai] = a
+			for _, w := range a.writes {
+				fl.localWrite.set(w.field.Bit)
+				fl.events = append(fl.events, &WriteEvent{Field: w.field, Pos: w.pos, Unit: u})
+			}
+		}
+	}
+	if nEsc > 0 {
+		for si := range ip.Facts.Escapes {
+			if ip.escOwner[si] == u {
+				fl.localEsc.set(si)
+			}
+		}
+	}
+	return fl
+}
+
+// unitParams maps the unit's receiver and parameter objects to their
+// ParamWrites bit (receiver = 0 when present).
+func unitParams(u *Unit, info *types.Info) map[*types.Var]int {
+	var sig *types.Signature
+	if u.Lit != nil {
+		if tv, ok := info.Types[u.Lit]; ok {
+			sig, _ = tv.Type.(*types.Signature)
+		}
+	} else {
+		sig, _ = u.Fn.Obj.Type().(*types.Signature)
+	}
+	params := map[*types.Var]int{}
+	if sig == nil {
+		return params
+	}
+	bit := 0
+	if sig.Recv() != nil {
+		params[sig.Recv()] = 0
+		bit = 1
+	}
+	for i := 0; i < sig.Params().Len() && bit < 64; i++ {
+		params[sig.Params().At(i)] = bit
+		bit++
+	}
+	return params
+}
+
+// scanAtom decomposes one CFG atom. Nested function literals are opaque
+// (they are their own units); a literal or named function appearing as a
+// call argument contributes its unit to that call's callee set.
+func (ip *Interproc) scanAtom(u *Unit, info *types.Info, atom ast.Node, params map[*types.Var]int, fl *unitFlow) atomInfo {
+	var a atomInfo
+	var walkExpr func(e ast.Expr)
+	walkExpr = func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false // its body belongs to its own unit
+			case *ast.CallExpr:
+				ip.scanCall(u, info, x, params, fl, &a, walkExpr)
+				return false
+			}
+			return true
+		})
+	}
+	write := func(lhs ast.Expr) {
+		for _, cf := range ip.lvalueFields(info, lhs) {
+			a.writes = append(a.writes, fieldWrite{field: cf, pos: lhs.Pos()})
+		}
+		if bit, ok := paramWriteBit(info, params, lhs); ok {
+			fl.localParam |= 1 << uint(bit)
+		}
+	}
+	switch n := atom.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			walkExpr(rhs)
+		}
+		for _, lhs := range n.Lhs {
+			walkIndexOperands(lhs, walkExpr)
+			write(lhs)
+		}
+	case *ast.IncDecStmt:
+		walkIndexOperands(n.X, walkExpr)
+		write(n.X)
+	case *ast.RangeStmt:
+		walkExpr(n.X)
+		for _, lv := range [2]ast.Expr{n.Key, n.Value} {
+			if lv != nil {
+				write(lv)
+			}
+		}
+	case *ast.DeferStmt:
+		// Arguments are evaluated here; the call itself is replayed as a
+		// bare CallExpr in the exit block.
+		for _, arg := range n.Call.Args {
+			walkExpr(arg)
+		}
+	case *ast.GoStmt:
+		walkExpr(n.Call)
+	case *ast.DeclStmt:
+		walkExpr2All(n, walkExpr)
+	case ast.Expr:
+		walkExpr(n)
+	default:
+		walkExpr2All(n, walkExpr)
+	}
+	return a
+}
+
+// walkIndexOperands feeds the index/slice operand expressions of an
+// lvalue to the expression walker (writing t.Cap[f(i)] calls f).
+func walkIndexOperands(lhs ast.Expr, walkExpr func(ast.Expr)) {
+	for {
+		switch x := unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			walkExpr(x.Index)
+			lhs = x.X
+		case *ast.SliceExpr:
+			for _, ix := range [3]ast.Expr{x.Low, x.High, x.Max} {
+				if ix != nil {
+					walkExpr(ix)
+				}
+			}
+			lhs = x.X
+		case *ast.SelectorExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		default:
+			return
+		}
+	}
+}
+
+// walkExpr2All walks every expression under a generic statement atom.
+func walkExpr2All(n ast.Node, walkExpr func(ast.Expr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if e, ok := m.(ast.Expr); ok {
+			walkExpr(e)
+			return false
+		}
+		return true
+	})
+}
+
+// scanCall records one call site: static callee, function-valued
+// arguments, builtin copy's destination write, and param-forwarding edges.
+func (ip *Interproc) scanCall(u *Unit, info *types.Info, call *ast.CallExpr, params map[*types.Var]int, fl *unitFlow, a *atomInfo, walkExpr func(ast.Expr)) {
+	// copy(dst, src): an element write of dst.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "copy" && len(call.Args) == 2 {
+		if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			for _, cf := range ip.lvalueFields(info, call.Args[0]) {
+				a.writes = append(a.writes, fieldWrite{field: cf, pos: call.Args[0].Pos()})
+			}
+			if bit, ok := paramWriteBit(info, params, call.Args[0]); ok {
+				fl.localParam |= 1 << uint(bit)
+			}
+			walkExpr(call.Args[1])
+			return
+		}
+	}
+	ac := atomCall{pos: call.Pos()}
+	static := ip.CG.UnitOf(info, call.Fun)
+	if static != nil {
+		ac.callees = append(ac.callees, static)
+	}
+	// A method call's receiver chain is an ordinary expression.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		walkExpr(sel.X)
+	}
+	for _, arg := range call.Args {
+		switch x := unparen(arg).(type) {
+		case *ast.FuncLit:
+			if c := ip.CG.ByLit[x]; c != nil {
+				ac.callees = append(ac.callees, c)
+			}
+		case *ast.Ident, *ast.SelectorExpr:
+			if c := ip.CG.UnitOf(info, arg); c != nil {
+				// A named function or method value handed to a dispatcher:
+				// assume it runs here.
+				ac.callees = append(ac.callees, c)
+			} else {
+				walkExpr(arg)
+			}
+		default:
+			walkExpr(arg)
+		}
+	}
+	if len(ac.callees) > 0 {
+		a.calls = append(a.calls, ac)
+	}
+	// Param forwarding: map each callee parameter bit to the local
+	// parameter bit its argument roots at (if any).
+	if static == nil || static.Lit != nil {
+		return
+	}
+	sig, ok := static.Fn.Obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	nbits := sig.Params().Len()
+	off := 0
+	if sig.Recv() != nil {
+		nbits++
+		off = 1
+	}
+	if nbits > 64 {
+		nbits = 64
+	}
+	pe := paramEdge{callee: static, argBit: make([]int, nbits)}
+	for i := range pe.argBit {
+		pe.argBit[i] = -1
+	}
+	argFor := func(bit int) ast.Expr {
+		if sig.Recv() != nil && bit == 0 {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return sel.X
+			}
+			return nil
+		}
+		if i := bit - off; i < len(call.Args) {
+			return call.Args[i]
+		}
+		return nil
+	}
+	any := false
+	for b := 0; b < nbits; b++ {
+		arg := argFor(b)
+		if arg == nil {
+			continue
+		}
+		if v := nonIndexedRoot(info, arg); v != nil {
+			if mine, ok := params[v]; ok {
+				pe.argBit[b] = mine
+				any = true
+			}
+		}
+	}
+	if any {
+		fl.paramEdges = append(fl.paramEdges, pe)
+	}
+}
+
+// lvalueFields resolves the cached fields written by an lvalue: the
+// outermost field selection in the chain (writing ns.RC.Delay[i] writes
+// Delay, reading through RC), or — for a whole-struct assignment — every
+// cached field of the assigned named struct type.
+func (ip *Interproc) lvalueFields(info *types.Info, lhs ast.Expr) []*CachedField {
+	e := lhs
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel := info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					if cf := ip.fieldOf[v]; cf != nil {
+						return []*CachedField{cf}
+					}
+				}
+				return nil
+			}
+			return nil
+		case *ast.Ident:
+			// Whole-struct assignment: writing a value of an annotated owner
+			// type rewrites all its cached fields.
+			if tv, ok := info.Types[unparen(lhs)]; ok {
+				if named, ok := tv.Type.(*types.Named); ok {
+					return ip.ownerFields[named.Obj()]
+				}
+			}
+			return nil
+		default:
+			if x != e {
+				e = x
+				continue
+			}
+			// Whole-struct write through a deref/index chain.
+			if tv, ok := info.Types[unparen(lhs)]; ok {
+				if named, ok := tv.Type.(*types.Named); ok {
+					return ip.ownerFields[named.Obj()]
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// paramWriteBit resolves a write lvalue (or copy destination) to the
+// parameter bit it writes through: the chain may cross field selections
+// and derefs but not index expressions (indexed writes are the pool's
+// lane-disjoint contract, so they carry no summary bit).
+func paramWriteBit(info *types.Info, params map[*types.Var]int, lhs ast.Expr) (int, bool) {
+	e := lhs
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.IndexExpr, *ast.SliceExpr:
+			return 0, false
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel := info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+				e = x.X
+				continue
+			}
+			return 0, false
+		case *ast.Ident:
+			obj := info.ObjectOf(x)
+			if v, ok := obj.(*types.Var); ok {
+				if bit, ok := params[v]; ok {
+					return bit, true
+				}
+			}
+			return 0, false
+		default:
+			return 0, false
+		}
+	}
+}
+
+// nonIndexedRoot resolves an argument expression (&x, x.f, *p, x) to its
+// root variable, failing on any index step: an indexed argument selects a
+// lane-disjoint element, which the pool contract already covers.
+func nonIndexedRoot(info *types.Info, arg ast.Expr) *types.Var {
+	e := arg
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel := info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+				e = x.X
+				continue
+			}
+			return nil
+		case *ast.Ident:
+			v, _ := info.ObjectOf(x).(*types.Var)
+			return v
+		default:
+			return nil
+		}
+	}
+}

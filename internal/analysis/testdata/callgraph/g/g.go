@@ -1,0 +1,69 @@
+// Package g is the call-graph fixture: direct calls, method calls, method
+// values, an interface call (conservative: no edge), mutual recursion (one
+// SCC), and a closure handed to parallel.Pool.Run.
+package g
+
+import "fx/internal/parallel"
+
+// T owns a cached counter so the SCC test can watch a write bit propagate
+// around the Even/Odd cycle.
+type T struct {
+	//dtgp:cached by=sync
+	count int
+}
+
+// sync is the counter's dirty-marker.
+func sync(t *T) { t.count = 0 }
+
+func helper(t *T) int { return t.count }
+
+func (t *T) method() {}
+
+// Direct calls a free function and a method directly.
+func Direct(t *T) {
+	helper(t)
+	t.method()
+}
+
+func run(fn func()) { fn() }
+
+// Dispatch binds t.method as a method value: no call expression names
+// method, but binding must still create the edge.
+func Dispatch(t *T) {
+	run(t.method)
+}
+
+// Iface is implemented by *T; a call through it has no static callee.
+type Iface interface{ method() }
+
+// ViaIface calls through the interface: conservative fallback, no edge.
+func ViaIface(i Iface) {
+	i.method()
+}
+
+func kernel(t *T) { helper(t) }
+
+// Launch hands a closure to parallel.Pool.Run: the literal is its own
+// unit, Launch gets a binding edge to it, and the literal calls kernel.
+func Launch(t *T) {
+	parallel.Default().Run(func() {
+		kernel(t)
+	})
+}
+
+// Even and Odd are mutually recursive: one SCC, solved to a joint
+// fixpoint. Even writes the cached field, then discharges it; the write
+// bit must appear in both summaries.
+func Even(t *T, n int) {
+	if n > 0 {
+		Odd(t, n-1)
+	}
+	t.count++
+	sync(t)
+}
+
+func Odd(t *T, n int) {
+	if n > 0 {
+		Even(t, n-1)
+	}
+}

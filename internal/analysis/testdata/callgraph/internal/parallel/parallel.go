@@ -1,0 +1,17 @@
+// Package parallel is a hermetic stand-in for the repo's worker pool,
+// shaped like the real one (a Pool with a variadic Run) so the call-graph
+// fixture exercises closures handed to parallel.Pool.Run.
+package parallel
+
+// Pool is a minimal task pool.
+type Pool struct{}
+
+// Default returns the shared pool.
+func Default() *Pool { return &Pool{} }
+
+// Run executes the tasks.
+func (p *Pool) Run(tasks ...func()) {
+	for _, t := range tasks {
+		t()
+	}
+}

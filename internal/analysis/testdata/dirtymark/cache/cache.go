@@ -1,0 +1,120 @@
+// Package cache is the dirtymark fixture: a struct with //dtgp:cached
+// fields, their marker functions, and a row of seeded mutants — a removed
+// dirty-mark, a write hidden in a helper callee, a write behind a method
+// value, and a conditional (non-dominating) marker — that the analyzer
+// must flag, next to covered and suppressed variants that must stay clean.
+package cache
+
+// Grid carries derived state cached against a source array.
+type Grid struct {
+	src []float64
+	// vals is the cached interpolation table, re-derived by the markers.
+	//dtgp:cached by=refresh,Grid.rebuild
+	vals []float64
+	// gen is the snapshot generation the table was derived at.
+	gen int //dtgp:cached by=refresh
+	// stale carries a marker name that resolves to nothing: dirtymark must
+	// report the annotation itself rather than silently skip the field.
+	//dtgp:cached by=noSuchMarker
+	stale int
+	n     int
+}
+
+// refresh re-derives the cached table from src; it is the field's declared
+// dirty-marker, so its own writes are exempt.
+func refresh(g *Grid) {
+	for i := range g.vals {
+		g.vals[i] = g.src[i%len(g.src)]
+	}
+	g.gen++
+}
+
+// rebuild is the method-form marker (declared as Grid.rebuild).
+func (g *Grid) rebuild(n int) {
+	g.vals = make([]float64, n)
+	g.n = n
+	refresh(g)
+}
+
+// GrowCovered writes the cached table and refreshes afterwards on every
+// path: clean (dominated-or-followed, followed side).
+func GrowCovered(g *Grid) {
+	g.vals = append(g.vals, 0)
+	refresh(g)
+}
+
+// ResetCovered refreshes first, then touches the generation: clean
+// (dominated side).
+func ResetCovered(g *Grid) {
+	refresh(g)
+	g.gen = 0
+}
+
+// LoopCovered writes inside a loop with the marker after the loop: every
+// path that leaves the loop passes the marker, so the write is covered.
+func LoopCovered(g *Grid, xs []float64) {
+	for i, x := range xs {
+		g.vals[i%len(g.vals)] = x
+	}
+	g.rebuild(len(xs))
+}
+
+// Corrupt is the seeded "removed dirty-mark" mutant: a direct write with
+// no marker anywhere. It has no callers, so it is a call-graph root and
+// must be reported here.
+func Corrupt(g *Grid) {
+	g.vals[0] = 1
+}
+
+// helperSet hides a cached-field write inside a helper: the obligation
+// must bubble to every caller.
+func helperSet(g *Grid, v int) {
+	g.gen = v
+}
+
+// ViaHelperCovered discharges the helper's obligation with a marker after
+// the call: clean.
+func ViaHelperCovered(g *Grid) {
+	helperSet(g, 1)
+	refresh(g)
+}
+
+// ViaHelper is the seeded "write via a helper callee" mutant: the helper's
+// uncovered write escapes through this root.
+func ViaHelper(g *Grid) {
+	helperSet(g, 2)
+}
+
+// apply runs a callback; the dynamic call inside carries no summary, so
+// coverage must come from resolving the method value at the call site.
+func apply(fn func()) {
+	fn()
+}
+
+// poke writes the cached table from a method used as a method value.
+func (g *Grid) poke() {
+	g.vals[0] = 2
+}
+
+// ViaMethodValue is the seeded "write behind a method value" mutant: the
+// uncovered write inside poke reaches this root through the method value
+// handed to apply.
+func ViaMethodValue(g *Grid) {
+	apply(g.poke)
+}
+
+// MaybeRefresh is the conditional-marker mutant: the marker runs on only
+// one branch, so the write is neither dominated nor followed on all paths.
+func MaybeRefresh(g *Grid, cond bool) {
+	g.vals[0] = 3
+	if cond {
+		refresh(g)
+	}
+}
+
+// AllowedWrite carries a justified suppression: the write is fenced
+// externally by the test harness, and the annotation must move the finding
+// to the audit stream rather than fail the run.
+func AllowedWrite(g *Grid) {
+	g.gen = 9 //dtgp:allow(dirtymark) -- harness re-derives the table before every read
+}

@@ -5,6 +5,7 @@ package pkg
 
 // Grow allocates only under a capacity guard; the fixture allowlist covers
 // the escape, so no finding.
+//
 //dtgp:hotpath
 func Grow(buf []float64, n int) []float64 {
 	if cap(buf) < n {
@@ -14,6 +15,7 @@ func Grow(buf []float64, n int) []float64 {
 }
 
 // Leak allocates per call with no allowlist entry: flagged.
+//
 //dtgp:hotpath
 func Leak(n int) []float64 {
 	return make([]float64, n) // WANT-ESCAPE: make([]float64, n) escapes to heap
@@ -22,4 +24,32 @@ func Leak(n int) []float64 {
 // Cold is unannotated: escapes outside hot functions are ignored.
 func Cold(n int) []float64 {
 	return make([]float64, n) // WANT-ESCAPE: make([]float64, n) escapes to heap
+}
+
+// scratch is cold itself but reached from HotCaller below: moving the
+// allocation out of the annotated function must not hide it from the
+// intraprocedural position check — the interprocedural phase claims it.
+func scratch(n int) []float64 {
+	return make([]float64, n) // WANT-ESCAPE: make([]float64, n) helper escapes to heap
+}
+
+// HotCaller reaches scratch's allocation through the call: flagged at the
+// helper's site, naming this root.
+//
+//dtgp:hotpath
+func HotCaller(n int) []float64 {
+	return scratch(n)
+}
+
+// warm is a cold helper whose one-time warm-up allocation is allowlisted
+// under the helper's own key: reached from HotWarm, but not flagged.
+func warm(n int) []float64 {
+	return make([]float64, n) // WANT-ESCAPE: make([]float64, n) warm escapes to heap
+}
+
+// HotWarm reaches the allowlisted helper escape.
+//
+//dtgp:hotpath
+func HotWarm(n int) []float64 {
+	return warm(n)
 }

@@ -81,9 +81,12 @@ type sparseState struct {
 	levelGroups  [][]int32
 	netMark      bitset.Set
 	coneNets     []int32
-	seedPins     []int32
+	//dtgp:cached by=buildSparseState,backwardSparse
+	seedPins []int32
+	//dtgp:cached by=buildSparseState,backwardSparse
 	prevSeedPins []int32
-	coneValid    bool
+	//dtgp:cached by=buildSparseState,backwardSparse
+	coneValid bool
 
 	// Touched-net tracking: the sweep kernels flag nets whose Elmore
 	// accumulators they actually wrote (sink side and driver side have

@@ -246,9 +246,7 @@ func (t *Timer) holdObjective(t3 float64, seed bool) float64 {
 		var wTr [2]float64
 		switch {
 		case ok[0] && ok[1]:
-			v, w := SoftMinGrad(gamma, s[0], s[1])
-			sEp = v
-			wTr[0], wTr[1] = w[0], w[1]
+			sEp, wTr = SoftMin2Grad(gamma, s[0], s[1])
 		case ok[0]:
 			sEp, wTr[0] = s[0], 1
 		case ok[1]:

@@ -105,6 +105,27 @@ func SoftMinGrad(gamma float64, xs ...float64) (float64, []float64) {
 	return -v, w
 }
 
+// SoftMin2Grad is SoftMinGrad specialised to two inputs — the rise/fall
+// merge at every hold endpoint — so the steady-state hold objective pays no
+// per-endpoint slice allocation. For finite inputs the value and weights are
+// bit-identical to SoftMinGrad(gamma, a, b): the shifted exponents
+// (m − x_i)/γ are the exact negations of LSEGrad's (−x_i − (−m))/γ, and
+// round-to-nearest is symmetric under negation. (SoftMinGrad keeps the
+// softmin backward declaration; this is a call-site specialisation, not a
+// second derivative pair.)
+//
+//dtgp:hotpath
+func SoftMin2Grad(gamma, a, b float64) (float64, [2]float64) {
+	m := a
+	if b < m {
+		m = b
+	}
+	wa := math.Exp((m - a) / gamma)
+	wb := math.Exp((m - b) / gamma)
+	z := wa + wb
+	return m - gamma*math.Log(z), [2]float64{wa / z, wb / z}
+}
+
 // SoftNeg is the smooth version of min(0, s) used inside the TNS objective:
 //
 //	softneg_γ(s) = −γ·log(1 + exp(−s/γ))

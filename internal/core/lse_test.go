@@ -97,6 +97,31 @@ func TestSoftMin(t *testing.T) {
 	}
 }
 
+// TestSoftMin2GradMatchesGeneral pins the hold objective's allocation-free
+// two-input path to the general variadic form: bit-identical values and
+// weights, and zero heap allocations per call.
+func TestSoftMin2GradMatchesGeneral(t *testing.T) {
+	f := func(a, b, g float64) bool {
+		a, b = math.Mod(a, 1e4), math.Mod(b, 1e4)
+		gamma := math.Abs(math.Mod(g, 100)) + 1e-3
+		v1, w1 := SoftMinGrad(gamma, a, b)
+		v2, w2 := SoftMin2Grad(gamma, a, b)
+		return v1 == v2 && w1[0] == w2[0] && w1[1] == w2[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	var sink float64
+	allocs := testing.AllocsPerRun(100, func() {
+		v, w := SoftMin2Grad(25, -3.5, 1.25)
+		sink += v + w[0] + w[1]
+	})
+	if allocs != 0 {
+		t.Errorf("SoftMin2Grad allocates %v times per call, want 0", allocs)
+	}
+	_ = sink
+}
+
 func TestSoftNeg(t *testing.T) {
 	// Bounds: min(0,s) − γ·ln2 ≤ softneg(s) ≤ min(0,s).
 	f := func(s float64) bool {

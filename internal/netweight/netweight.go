@@ -40,7 +40,10 @@ func DefaultOptions() Options {
 // Updater maintains per-net momentum state across STA invocations.
 type Updater struct {
 	Opts Options
-	// velocity is the EMA of each net's weight increment.
+	// velocity is the EMA of each net's weight increment. It must track the
+	// weight trajectory: only the reweight itself and a checkpoint restore
+	// may move it.
+	//dtgp:cached by=Update,RestoreVelocity
 	velocity []float64
 	// crit is the persistent criticality buffer of Update (CriticalityInto
 	// target), so the steady-state reweight is allocation-free.

@@ -267,7 +267,8 @@ type engine struct {
 	// seen, staMoved is the per-call moved-cell scratch. Position-diffing
 	// against the snapshot (rather than trusting callers to report moves)
 	// makes the engine self-correcting across supervisor rollbacks.
-	staInc     *timing.Incremental
+	staInc *timing.Incremental
+	//dtgp:cached by=incrementalSTA
 	staX, staY []float64
 	staMoved   []int32
 

@@ -18,28 +18,41 @@ import (
 // Tree is an RC tree with Elmore state. Node indices coincide with the
 // underlying rsmt.Tree nodes; the root is the driver pin's node.
 type Tree struct {
-	N      int
-	Root   int32
+	N    int
+	Root int32
+	// Parent/Order are the rooted topology, re-derived from the Steiner
+	// tree by Rebuild only.
+	//dtgp:cached by=Rebuild
 	Parent []int32 // Parent[Root] = -1
-	Order  []int32 // preorder: parents precede children
+	//dtgp:cached by=Rebuild
+	Order []int32 // preorder: parents precede children
 	// Res[u] is the resistance of the edge Parent[u]→u (kΩ); Res[Root]=0.
+	//dtgp:cached by=Rebuild,RefreshGeometry
 	Res []float64
 	// Cap[u] is the lumped capacitance at u (fF): attached pin caps plus
 	// half the wire cap of each incident edge.
+	//dtgp:cached by=Rebuild,RefreshGeometry
 	Cap []float64
 
-	// Forward results (Eq. 7).
-	Load    []float64 // downstream capacitance
-	Delay   []float64 // Elmore delay from root
-	LDelay  []float64 // Σ_subtree Cap·Delay (slew intermediate)
-	Beta    []float64 // second moment accumulator
+	// Forward results (Eq. 7), valid only after a Forward over the current
+	// Res/Cap state.
+	//dtgp:cached by=Forward,Rebuild
+	Load []float64 // downstream capacitance
+	//dtgp:cached by=Forward,Rebuild
+	Delay []float64 // Elmore delay from root
+	//dtgp:cached by=Forward,Rebuild
+	LDelay []float64 // Σ_subtree Cap·Delay (slew intermediate)
+	//dtgp:cached by=Forward,Rebuild
+	Beta []float64 // second moment accumulator
+	//dtgp:cached by=Forward,Rebuild
 	Impulse []float64 // sqrt(2·Beta − Delay²), the slew impulse
 
 	// Geometry bookkeeping for the coordinate gradient.
 	st       *rsmt.Tree
 	rPerUnit float64
 	cPerUnit float64
-	edgeLen  []float64 // length of edge Parent[u]→u
+	//dtgp:cached by=Rebuild,RefreshGeometry
+	edgeLen []float64 // length of edge Parent[u]→u
 }
 
 // Grad holds the backward sweep results.

@@ -25,14 +25,18 @@ import (
 // nodes (an L-shaped route has exactly that wirelength, so no bend nodes
 // are needed for RC extraction).
 type Tree struct {
-	X, Y    []float64
+	//dtgp:cached by=BuildInto,UpdateFromPins
+	X, Y []float64
+	//dtgp:cached by=BuildInto
 	NumPins int
 	// Edges connect node indices; the tree has len(X)-1 edges when
 	// len(X) > 0 and the net is connected.
+	//dtgp:cached by=BuildInto
 	Edges [][2]int32
 	// XPin[i] / YPin[i] give the pin index (0..NumPins-1) whose x (resp.
 	// y) coordinate determines node i's x (resp. y). For pins these are
 	// the identity.
+	//dtgp:cached by=BuildInto
 	XPin, YPin []int32
 }
 

@@ -15,14 +15,18 @@ type NetState struct {
 	Net int32
 	// Tree is the Steiner topology; nil for clock, degenerate (<2 pins)
 	// and undriven nets.
+	//dtgp:cached by=buildNetStateInto
 	Tree *rsmt.Tree
 	// RC is the rooted RC tree with Elmore state; nil when Tree is nil.
+	//dtgp:cached by=buildNetStateInto
 	RC *rctree.Tree
 	// Node[k] is the Steiner-tree node of net pin k (net.Pins[k]); the
 	// driver's node is the RC root.
+	//dtgp:cached by=buildNetStateInto
 	Node []int32
 	// PinOfNode[j] maps tree node j back to the design pin id, or -1 for
 	// Steiner points.
+	//dtgp:cached by=buildNetStateInto
 	PinOfNode []int32
 	// px, py are scratch coordinate buffers reused by RefreshNetState so
 	// the steady-state geometry update is allocation-free; pinCap is the
@@ -30,11 +34,13 @@ type NetState struct {
 	// px/py double as the reference geometry of the displacement-driven
 	// dirty test (NetMoved): they hold the pin coordinates the current
 	// Steiner/RC state was extracted from.
+	//dtgp:cached by=buildNetStateInto,RefreshNetState
 	px, py, pinCap []float64
 	// TopoHP is the pin bounding-box half-perimeter at the last topology
 	// build; RefreshNetStateLazy compares it against the current bbox to
 	// decide when sliding the stored Steiner points is no longer a faithful
 	// model and the topology must be re-extracted.
+	//dtgp:cached by=buildNetStateInto
 	TopoHP float64
 	// fromBuild records that the current Steiner/RC state is exactly
 	// buildNetStateInto applied to the px/py snapshot (a full topology
@@ -42,6 +48,7 @@ type NetState struct {
 	// net with fromBuild set whose pins are bitwise unchanged since the
 	// snapshot would rebuild to the identical state — RebuildNetStatesMoved
 	// exploits this to skip it.
+	//dtgp:cached by=buildNetStateInto,RefreshNetState
 	fromBuild bool
 }
 
