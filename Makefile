@@ -3,7 +3,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build vet vet-fixtures test race bench bench-smoke check fuzz-smoke
+.PHONY: build vet vet-fixtures test race bench bench-smoke check fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,19 @@ fuzz-smoke:
 	$(GO) test ./internal/liberty/ -run '^FuzzParseLiberty$$' -fuzz '^FuzzParseLiberty$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verilog/ -run '^FuzzParseVerilog$$' -fuzz '^FuzzParseVerilog$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sdc/ -run '^FuzzParseSdc$$' -fuzz '^FuzzParseSdc$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/guard/ -run '^FuzzDecodeCheckpoint$$' -fuzz '^FuzzDecodeCheckpoint$$' -fuzztime $(FUZZTIME)
+
+# Chaos smoke: the seeded fault-injection matrix (kernel panics, NaN/Inf
+# gradient poison, stalls, checkpoint I/O faults) plus the kill/resume
+# bit-identity round-trip and the deadline/cancellation paths, all under the
+# race detector. Every schedule is seed-deterministic, so a failure here
+# reproduces exactly.
+chaos-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestChaos|TestKillResume|TestDeadline|TestCancel|TestResume|TestCheckpointIOFaults|TestDurableRequires' \
+		./internal/place/
+	$(GO) test -race -count=1 ./internal/chaos/
+	$(GO) test -race -count=1 -run 'TestRing|TestCheckpoint|TestDecode|TestStore' ./internal/guard/
 
 # Bench smoke: run every benchmark exactly once (no timing fidelity) so a
 # benchmark that panics, allocates unboundedly, or bit-rots against an API
@@ -58,12 +71,13 @@ bench-smoke:
 	done
 
 # check is the full pre-merge gate: compile, static analysis, the whole test
-# suite, the race detector over the quick (-short) suite, the benchmark
-# smoke, and the parser fuzz smoke.
+# suite, the race detector over the quick (-short) suite, the chaos/resume
+# robustness matrix, the benchmark smoke, and the parser+codec fuzz smoke.
 check: build vet
 	$(MAKE) vet-fixtures
 	$(GO) test ./...
 	$(GO) test -race -short ./...
+	$(MAKE) chaos-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
 

@@ -4,19 +4,33 @@
 //
 // Exit codes: 0 success, 1 load/placement failure (one-line diagnostic on
 // stderr naming the offending file and line), 2 usage error, 3 the run
-// finished but only by surrendering to a persistent numerical fault — the
-// written placement is the best finite iterate, not a converged solution.
+// finished but only by surrendering to a persistent numerical fault or an
+// exceeded -deadline — the written placement is the best finite iterate,
+// not a converged solution, 4 -resume failed (missing, corrupt, truncated,
+// version-skewed or mismatched checkpoint) — the run refuses to fall back
+// to a cold start silently; the typed error and checkpoint context are
+// printed on stderr.
+//
+// With -checkpoint-dir every healthy supervisor checkpoint is durably
+// persisted (temp file + fsync + atomic rename), -resume continues a killed
+// run bit-identically from the latest committed snapshot, and -deadline
+// bounds the wall clock: on expiry the run persists a final checkpoint and
+// exits via the graceful-surrender path.
 //
 // Usage:
 //
 //	dtgp-place -design bench/superblue4 -flow difftiming -out placed/
+//	dtgp-place -design bench/superblue4 -checkpoint-dir ckpt/ -deadline 10m
+//	dtgp-place -design bench/superblue4 -checkpoint-dir ckpt/ -resume
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"dtgp"
 )
@@ -25,10 +39,20 @@ import (
 // graceful-degradation path; main maps it to exit code 3.
 var errSurrendered = fmt.Errorf("placement surrendered to a persistent fault")
 
+// resumeError marks a failed -resume; main maps it to exit code 4.
+type resumeError struct{ err error }
+
+func (e *resumeError) Error() string { return e.err.Error() }
+func (e *resumeError) Unwrap() error { return e.err }
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "dtgp-place: %v\n", err)
-		if err == errSurrendered {
+		var re *resumeError
+		switch {
+		case errors.As(err, &re):
+			os.Exit(4)
+		case err == errSurrendered:
 			os.Exit(3)
 		}
 		os.Exit(1)
@@ -37,16 +61,20 @@ func main() {
 
 func run() error {
 	var (
-		design  = flag.String("design", "", "path prefix of the benchmark (dir/base)")
-		flowStr = flag.String("flow", "difftiming", "flow: wirelength | netweight | difftiming")
-		out     = flag.String("out", "", "output directory for the placed design (default: in place)")
-		svg     = flag.String("svg", "", "write a slack-coloured placement SVG to this path")
-		iters   = flag.Int("iters", 0, "max iterations (0 = default)")
-		noGuard = flag.Bool("no-guard", false, "disable the fault-tolerance supervisor (checkpoints, rollback)")
-		exact   = flag.Bool("exact-refresh", false, "disable incremental timing: full re-extraction every evaluation (A/B baseline, bit-identical results)")
-		fullBwd = flag.Bool("full-backward", false, "disable the sparse cone-restricted backward pass: seed every violating endpoint (quality A/B baseline)")
-		topk    = flag.Int("topk", 0, "critical endpoints seeded per sparse backward pass (0 = auto quota)")
-		verbose = flag.Bool("v", false, "progress output")
+		design   = flag.String("design", "", "path prefix of the benchmark (dir/base)")
+		flowStr  = flag.String("flow", "difftiming", "flow: wirelength | netweight | difftiming")
+		out      = flag.String("out", "", "output directory for the placed design (default: in place)")
+		svg      = flag.String("svg", "", "write a slack-coloured placement SVG to this path")
+		iters    = flag.Int("iters", 0, "max iterations (0 = default)")
+		noGuard  = flag.Bool("no-guard", false, "disable the fault-tolerance supervisor (checkpoints, rollback)")
+		exact    = flag.Bool("exact-refresh", false, "disable incremental timing: full re-extraction every evaluation (A/B baseline, bit-identical results)")
+		fullBwd  = flag.Bool("full-backward", false, "disable the sparse cone-restricted backward pass: seed every violating endpoint (quality A/B baseline)")
+		topk     = flag.Int("topk", 0, "critical endpoints seeded per sparse backward pass (0 = auto quota)")
+		ckptDir  = flag.String("checkpoint-dir", "", "durably persist supervisor checkpoints into this directory (crash-consistent)")
+		ckptKeep = flag.Int("checkpoint-keep", 4, "checkpoints retained in -checkpoint-dir (0 = keep all)")
+		resume   = flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir (exit 4 if it cannot be loaded)")
+		deadline = flag.Duration("deadline", 0, "wall-clock budget; on expiry the run persists a final checkpoint and surrenders the best iterate (exit 3)")
+		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
 	if *design == "" {
@@ -63,6 +91,14 @@ func run() error {
 		flow = dtgp.FlowDiffTiming
 	default:
 		fmt.Fprintf(os.Stderr, "dtgp-place: unknown flow %q\n", *flowStr)
+		os.Exit(2)
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "dtgp-place: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
+	if (*ckptDir != "" || *deadline != 0) && *noGuard {
+		fmt.Fprintln(os.Stderr, "dtgp-place: -checkpoint-dir/-deadline require the supervisor (drop -no-guard)")
 		os.Exit(2)
 	}
 
@@ -82,11 +118,35 @@ func run() error {
 	opts.ExactRefresh = *exact
 	opts.FullBackward = *fullBwd
 	opts.TimingTopK = *topk
+	opts.CheckpointDir = *ckptDir
+	opts.CheckpointKeep = *ckptKeep
+	if *deadline > 0 {
+		opts.Deadline = time.Now().Add(*deadline)
+	}
 	if *verbose {
 		opts.Logf = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
 	}
+	if *resume {
+		store, err := dtgp.OpenCheckpointStore(*ckptDir, *ckptKeep)
+		if err != nil {
+			return &resumeError{fmt.Errorf("resume failed: %w", err)}
+		}
+		cp, path, err := store.LoadLatest()
+		if err != nil {
+			// The typed decode error names the file, the failing section
+			// and the cause; never fall through to a cold start.
+			return &resumeError{fmt.Errorf("resume failed (placement NOT started; "+
+				"remove or repair %s to cold-start deliberately): %w",
+				*ckptDir, err)}
+		}
+		opts.Resume = cp
+		fmt.Printf("resuming   : iter %d (%s, overflow %.3f)\n", cp.Iter, path, cp.Overflow)
+	}
 	res, err := dtgp.Place(d, con, flow, &opts)
 	if err != nil {
+		if errors.Is(err, dtgp.ErrCheckpointMismatch) {
+			return &resumeError{fmt.Errorf("resume failed: %w", err)}
+		}
 		return fmt.Errorf("placing %s: %w", *design, err)
 	}
 	fmt.Printf("flow       : %v\n", res.Mode)
@@ -103,10 +163,18 @@ func run() error {
 		fmt.Printf("legalized  : %d cells, avg disp %.2f, max disp %.2f\n",
 			res.Legal.Moved, res.Legal.AvgDisplacement, res.Legal.MaxDisplacement)
 	}
-	if rec := res.Recovery; rec != nil && !rec.Healthy() {
-		// Structured recovery report: what faulted, when, and how the
-		// supervisor responded.
-		rec.Write(os.Stderr)
+	if rec := res.Recovery; rec != nil {
+		if rec.ResumedFrom >= 0 {
+			fmt.Printf("resumed    : from checkpoint at iter %d\n", rec.ResumedFrom)
+		}
+		if rec.DurableIter >= 0 {
+			fmt.Printf("checkpoint : iter %d durably committed in %s\n", rec.DurableIter, *ckptDir)
+		}
+		if !rec.Healthy() {
+			// Structured recovery report: what faulted, when, and how the
+			// supervisor responded.
+			rec.Write(os.Stderr)
+		}
 	}
 
 	outDir := dir

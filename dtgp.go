@@ -25,6 +25,7 @@ import (
 	"dtgp/internal/defio"
 	"dtgp/internal/detailed"
 	"dtgp/internal/gen"
+	"dtgp/internal/guard"
 	"dtgp/internal/legalize"
 	"dtgp/internal/liberty"
 	"dtgp/internal/netlist"
@@ -60,7 +61,37 @@ type (
 	LegalizeResult = legalize.Result
 	// DetailedResult reports detailed-placement refinement.
 	DetailedResult = detailed.Result
+	// Checkpoint is one durable optimizer snapshot (see CheckpointStore).
+	Checkpoint = guard.Checkpoint
+	// CheckpointStore is the crash-consistent durable checkpoint store a
+	// supervised run persists into (PlaceOptions.CheckpointDir) and a
+	// resumed run loads from (PlaceOptions.Resume).
+	CheckpointStore = guard.Store
 )
+
+// Typed checkpoint/resume errors, for exit-code mapping in callers: resume
+// failures (corrupt or missing checkpoints, mismatched designs) are a
+// distinct category from placement failures and must never silently fall
+// back to a cold start.
+var (
+	// ErrNoCheckpoint: the checkpoint directory holds no committed snapshot.
+	ErrNoCheckpoint = guard.ErrNoCheckpoint
+	// ErrCheckpointCorrupt: CRC mismatch or structural damage.
+	ErrCheckpointCorrupt = guard.ErrCorrupt
+	// ErrCheckpointTruncated: the file ends before its declared structure.
+	ErrCheckpointTruncated = guard.ErrTruncated
+	// ErrCheckpointVersionSkew: written by a different format version.
+	ErrCheckpointVersionSkew = guard.ErrVersionSkew
+	// ErrCheckpointMismatch: the snapshot belongs to a different run
+	// (design shape or seed).
+	ErrCheckpointMismatch = guard.ErrMismatch
+)
+
+// OpenCheckpointStore opens (creating if needed) a durable checkpoint
+// directory with the given retention (keep <= 0 retains everything).
+func OpenCheckpointStore(dir string, keep int) (*CheckpointStore, error) {
+	return guard.NewStore(guard.OSFS, dir, keep)
+}
 
 // Flow selects a placement flavour (Table 3 columns).
 type Flow = place.Mode

@@ -363,6 +363,24 @@ func NewTimer(g *timing.Graph, opts Options) *Timer {
 	return t
 }
 
+// Reanchor resets the evaluation cadence so the next Evaluate runs the
+// full-refresh fence: every bitwise-moved net is re-extracted, the forward
+// sweep recomputes every pin, and (in sparse mode) the backward pass is the
+// exact full sweep, whose gradients noteFull copies into the stale-gradient
+// memory. After that evaluation the timer's observable behaviour — outputs
+// and all subsequent evaluations — is bitwise identical to a freshly
+// constructed timer evaluated at the same cell positions, because every
+// piece of history-dependent state (net geometry vs. last refresh, fence
+// phase, stale sparse gradients, cached cone marks) is either rebuilt from
+// the current positions or a pure structural function of the seed selection.
+//
+// The durable-checkpoint path calls this after every committed save, in the
+// original run and in resumed runs alike, which is what makes
+// kill-at-any-checkpoint + resume bit-identical to the uninterrupted run: a
+// resumed run's fresh timer and the original run's re-anchored warm timer
+// start their next evaluation from equal state.
+func (t *Timer) Reanchor() { t.evalCount = 0 }
+
 // Cone returns the sparse-backward statistics (zero value in full mode).
 func (t *Timer) Cone() ConeStats {
 	if t.sb == nil {

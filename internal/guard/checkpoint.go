@@ -31,6 +31,23 @@ type Checkpoint struct {
 	NetWeights, NetVelocity []float64
 	// Seed is the run's base RNG seed.
 	Seed int64
+
+	// BestU/BestOv/BestIter snapshot the best-overflow iterate seen so far.
+	// Rollback deliberately ignores them (best-so-far tracking survives a
+	// rollback), but a durable resume must restore them: both the plateau
+	// restore and a graceful surrender reach for the best iterate, so a
+	// resumed run without it would diverge from the uninterrupted one.
+	BestU    []float64
+	BestOv   float64
+	BestIter int
+	// DampIters/DampFactor/FreezeLambda/Retries carry the recovery-damping
+	// state across a process restart, so a run killed mid-recovery resumes
+	// with the same damped trajectory and remaining retry budget. All zero
+	// (DampFactor 1) on a clean run.
+	DampIters    int
+	DampFactor   float64
+	FreezeLambda int
+	Retries      int
 }
 
 // Ring is a fixed-capacity ring of checkpoints, oldest overwritten first.
@@ -55,6 +72,7 @@ func NewRing(size, vecLen, nNets int) *Ring {
 		cp.V = make([]float64, vecLen)
 		cp.VPrev = make([]float64, vecLen)
 		cp.GPrev = make([]float64, vecLen)
+		cp.BestU = make([]float64, vecLen)
 		cp.NetWeights = make([]float64, nNets)
 		cp.NetVelocity = make([]float64, nNets)
 	}

@@ -1,0 +1,92 @@
+package guard
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the narrow filesystem surface the durable checkpoint store writes
+// through. Production code uses OSFS; the chaos harness (internal/chaos)
+// substitutes a fault-injecting implementation so checkpoint I/O errors —
+// including a crash mid-write, before the atomic rename — are exercised
+// deterministically in tests without touching a real disk's failure modes.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create truncates/creates name for writing.
+	Create(name string) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname (POSIX rename
+	// semantics — this is the commit point of a checkpoint).
+	Rename(oldname, newname string) error
+	// Remove deletes name (retention and temp-file cleanup).
+	Remove(name string) error
+	// ReadDir lists the file names (not full paths) in dir.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself so a committed rename survives a
+	// power loss, not just a process crash.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle Create returns: sequential writes, an
+// explicit durability barrier, and close.
+type File interface {
+	io.Writer
+	// Sync flushes the file contents to stable storage.
+	Sync() error
+	// Close releases the handle (contents are only durable after Sync).
+	Close() error
+}
+
+// OSFS is the production FS backed by the real filesystem.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			names = append(names, ent.Name())
+		}
+	}
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	// Directory fsync is advisory on some filesystems; a sync error after a
+	// successful rename still leaves a consistent (if not yet durable) file,
+	// so the error is reported but the rename is not rolled back.
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -80,6 +80,14 @@ const (
 	// ReasonKernelPanic: a parallel kernel panicked (recovered and
 	// isolated by internal/parallel).
 	ReasonKernelPanic
+	// ReasonDeadline: the run's wall-clock budget expired (or it was
+	// cooperatively canceled) and it surrendered its best iterate after
+	// persisting a final checkpoint.
+	ReasonDeadline
+	// ReasonCheckpointIO: a durable checkpoint save failed. The trajectory
+	// is unaffected (the in-memory ring still holds the snapshot); the
+	// incident records the lost durability.
+	ReasonCheckpointIO
 )
 
 func (r Reason) String() string {
@@ -100,6 +108,10 @@ func (r Reason) String() string {
 		return "overflow oscillation"
 	case ReasonKernelPanic:
 		return "kernel panic"
+	case ReasonDeadline:
+		return "deadline exceeded"
+	case ReasonCheckpointIO:
+		return "checkpoint I/O failure"
 	default:
 		return fmt.Sprintf("reason(%d)", uint8(r))
 	}

@@ -36,6 +36,16 @@ type Report struct {
 	// CheckpointIter is the iteration of the last healthy checkpoint
 	// taken (-1 when none).
 	CheckpointIter int
+	// DurableIter is the iteration of the last checkpoint durably
+	// committed to the checkpoint directory (-1 when durable
+	// checkpointing was off or no save succeeded).
+	DurableIter int
+	// ResumedFrom is the checkpoint iteration this run resumed from
+	// (-1 for a cold start).
+	ResumedFrom int
+	// DeadlineExceeded: the run hit its wall-clock deadline (or external
+	// cancellation) and exited through the graceful-surrender path.
+	DeadlineExceeded bool
 }
 
 // Healthy reports whether the run completed without a single incident.

@@ -1,0 +1,115 @@
+package guard
+
+import "testing"
+
+// fillRing commits a checkpoint at iter with a recognisable payload.
+func fillRing(r *Ring, iter int) {
+	cp := r.Next()
+	cp.Iter = iter
+	for i := range cp.U {
+		cp.U[i] = float64(iter)
+	}
+	r.Commit()
+}
+
+func TestRingPopEmpty(t *testing.T) {
+	r := NewRing(3, 4, 2)
+	if cp := r.Pop(); cp != nil {
+		t.Fatalf("Pop on empty ring = %+v, want nil", cp)
+	}
+	if cp := r.Latest(); cp != nil {
+		t.Fatalf("Latest on empty ring = %+v, want nil", cp)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len on empty ring = %d", r.Len())
+	}
+	// Popping past empty repeatedly must stay nil, not wrap.
+	for i := 0; i < 5; i++ {
+		if r.Pop() != nil {
+			t.Fatal("repeated Pop on empty ring returned a snapshot")
+		}
+	}
+}
+
+func TestRingSizeOneWraparound(t *testing.T) {
+	// NewRing clamps size < 1 up to 1, so both of these are size-1 rings.
+	for _, size := range []int{0, 1} {
+		r := NewRing(size, 2, 0)
+		for iter := 0; iter < 4; iter++ {
+			fillRing(r, iter)
+			if r.Len() != 1 {
+				t.Fatalf("size-1 ring Len = %d after commit %d", r.Len(), iter)
+			}
+			if got := r.Latest().Iter; got != iter {
+				t.Fatalf("size-1 ring Latest.Iter = %d, want %d", got, iter)
+			}
+		}
+		// The single slot holds only the newest snapshot.
+		if cp := r.Pop(); cp == nil || cp.Iter != 3 {
+			t.Fatalf("size-1 ring Pop = %+v, want iter 3", cp)
+		}
+		if r.Pop() != nil {
+			t.Fatal("size-1 ring held more than one snapshot")
+		}
+	}
+}
+
+func TestRingLatestAfterPop(t *testing.T) {
+	r := NewRing(3, 2, 0)
+	for iter := 10; iter <= 30; iter += 10 {
+		fillRing(r, iter)
+	}
+	if cp := r.Pop(); cp.Iter != 30 {
+		t.Fatalf("first Pop = iter %d, want 30", cp.Iter)
+	}
+	// Latest must now be the next-older snapshot, not the popped slot.
+	if cp := r.Latest(); cp == nil || cp.Iter != 20 {
+		t.Fatalf("Latest after Pop = %+v, want iter 20", cp)
+	}
+	if cp := r.Pop(); cp.Iter != 20 {
+		t.Fatalf("second Pop = iter %d, want 20", cp.Iter)
+	}
+	if cp := r.Latest(); cp == nil || cp.Iter != 10 {
+		t.Fatalf("Latest after second Pop = %+v, want iter 10", cp)
+	}
+	r.Pop()
+	if r.Latest() != nil || r.Pop() != nil || r.Len() != 0 {
+		t.Fatal("ring not empty after popping all snapshots")
+	}
+	// Commit after full drain starts a fresh sequence.
+	fillRing(r, 40)
+	if cp := r.Latest(); cp == nil || cp.Iter != 40 {
+		t.Fatalf("Latest after refill = %+v, want iter 40", cp)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(2, 2, 0)
+	for iter := 1; iter <= 5; iter++ {
+		fillRing(r, iter)
+	}
+	// Capacity 2: only iters 4 and 5 survive, newest first.
+	if cp := r.Pop(); cp.Iter != 5 {
+		t.Fatalf("Pop = iter %d, want 5", cp.Iter)
+	}
+	if cp := r.Pop(); cp.Iter != 4 {
+		t.Fatalf("Pop = iter %d, want 4", cp.Iter)
+	}
+	if r.Pop() != nil {
+		t.Fatal("capacity-2 ring held a third snapshot")
+	}
+}
+
+func TestRingAbandonedNextHarmless(t *testing.T) {
+	r := NewRing(2, 2, 0)
+	fillRing(r, 1)
+	// Next without Commit must not publish or consume anything.
+	slot := r.Next()
+	slot.Iter = 99
+	if got := r.Latest().Iter; got != 1 {
+		t.Fatalf("abandoned Next changed Latest to %d", got)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("abandoned Next changed Len to %d", r.Len())
+	}
+}

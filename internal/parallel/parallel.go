@@ -38,12 +38,21 @@
 package parallel
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrCanceled is the typed cancellation signal of the cooperative-stop
+// protocol: when a cancel flag registered with SetCancelFlag is set, the
+// next kernel submission panics with ErrCanceled *before* dispatching any
+// work. The supervisor's iteration-boundary recover (guard.AsError wraps
+// error panics with %w) turns it into an error that errors.Is can route to
+// a graceful deadline surrender instead of a rollback.
+var ErrCanceled = errors.New("parallel: run canceled")
 
 // KernelPanicError is a panic captured inside a parallel kernel. Workers
 // recover the panic instead of crashing the process; after the barrier the
@@ -142,6 +151,13 @@ type Pool struct {
 	// serial forces inline execution of every kernel (ForceSerial); used by
 	// the run supervisor to replay a panicking kernel deterministically.
 	serial atomic.Bool
+	// cancel optionally points at an external stop flag (SetCancelFlag).
+	// Every kernel submission — parallel or serial-fallback — checks it
+	// before dispatching work, so cancellation is observed at barrier
+	// boundaries only: in-flight kernels always complete and the pool is
+	// left idle and reusable. Two relaxed atomic loads on the hot path,
+	// zero allocations.
+	cancel atomic.Pointer[atomic.Bool]
 
 	// Current job descriptor. Written by the submitter before bumping seq,
 	// read by workers after observing the bump.
@@ -201,6 +217,7 @@ func (p *Pool) For(n int, fn func(i int)) { p.ForCost(n, CostDefault, fn) }
 // ForCost runs fn(i) for every i in [0, n); cost is the approximate
 // per-element work (use the Cost* hints) driving the serial cutoff.
 func (p *Pool) ForCost(n, cost int, fn func(i int)) {
+	p.checkCanceled()
 	if n <= 0 {
 		return
 	}
@@ -219,6 +236,7 @@ func (p *Pool) ForCost(n, cost int, fn func(i int)) {
 // chunk per participating lane. Use it when per-call setup should amortise
 // across a chunk.
 func (p *Pool) ForChunked(n int, fn func(lo, hi int)) {
+	p.checkCanceled()
 	if n <= 0 {
 		return
 	}
@@ -236,6 +254,7 @@ func (p *Pool) ForChunked(n int, fn func(lo, hi int)) {
 // kernel can use worker-keyed scratch. On the serial path fn(0, 0, n) runs
 // inline.
 func (p *Pool) ForWorker(n, cost int, fn func(worker, lo, hi int)) {
+	p.checkCanceled()
 	if n <= 0 {
 		return
 	}
@@ -255,6 +274,7 @@ func (p *Pool) ForWorker(n, cost int, fn func(worker, lo, hi int)) {
 // kernels, where net sizes are power-law distributed); static splits would
 // leave lanes idle behind one huge element.
 func (p *Pool) ForGuided(n, grain, cost int, fn func(worker, lo, hi int)) {
+	p.checkCanceled()
 	if n <= 0 {
 		return
 	}
@@ -275,6 +295,7 @@ func (p *Pool) ForGuided(n, grain, cost int, fn func(worker, lo, hi int)) {
 // handful of accumulator arrays of a backward pass); there is no cost-model
 // cutoff, so do not use it for trivial tasks.
 func (p *Pool) Run(tasks ...func()) {
+	p.checkCanceled()
 	if len(tasks) <= 1 || p.lanes <= 1 || !p.mu.TryLock() {
 		for _, t := range tasks {
 			t()
@@ -304,6 +325,26 @@ func (p *Pool) acquire(n, cost int) bool {
 // exactly what a deterministic diagnostic replay of a KernelPanicError
 // needs. Not intended for use while kernels are in flight.
 func (p *Pool) ForceSerial(on bool) { p.serial.Store(on) }
+
+// SetCancelFlag registers (or, with nil, deregisters) the cooperative stop
+// flag every subsequent kernel submission checks. Setting the flag makes
+// the next submission panic with ErrCanceled before any work is dispatched;
+// kernels already past the check run to completion, so the pool is always
+// left at a barrier, idle and reusable. The registering caller owns the
+// flag's lifecycle and must deregister before handing the pool to work that
+// should not be cancelable (e.g. post-loop legalization).
+func (p *Pool) SetCancelFlag(f *atomic.Bool) { p.cancel.Store(f) }
+
+// checkCanceled is the barrier-boundary cancellation check: a pointer load,
+// and only when a flag is registered a bool load. No allocations — the
+// sentinel panic value is a package-level error.
+//
+//dtgp:hotpath
+func (p *Pool) checkCanceled() {
+	if f := p.cancel.Load(); f != nil && f.Load() {
+		panic(ErrCanceled)
+	}
+}
 
 // laneCount caps the number of participating lanes so each gets at least
 // laneMinWork of estimated work.
@@ -559,3 +600,7 @@ func Run(tasks ...func()) { Default().Run(tasks...) }
 
 // ForceSerial toggles inline serial execution on the default pool.
 func ForceSerial(on bool) { Default().ForceSerial(on) }
+
+// SetCancelFlag registers the cooperative stop flag on the default pool
+// (nil deregisters). See Pool.SetCancelFlag.
+func SetCancelFlag(f *atomic.Bool) { Default().SetCancelFlag(f) }

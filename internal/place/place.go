@@ -11,9 +11,11 @@
 package place
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"dtgp/internal/core"
@@ -24,6 +26,7 @@ import (
 	"dtgp/internal/legalize"
 	"dtgp/internal/netlist"
 	"dtgp/internal/netweight"
+	"dtgp/internal/parallel"
 	"dtgp/internal/sdc"
 	"dtgp/internal/timing"
 	"dtgp/internal/wirelength"
@@ -129,6 +132,35 @@ type Options struct {
 	// Supervision of a healthy run is strictly observational — the
 	// trajectory is bit-identical with it on or off.
 	Guard guard.Config
+	// CheckpointDir, when non-empty, durably persists every healthy
+	// checkpoint (crash-consistent: temp file + fsync + atomic rename), so
+	// a killed run can resume. Requires Guard.Enabled. Durable
+	// checkpointing re-anchors the incremental timer at every save — a
+	// deterministic cadence change, so a durable run is bit-identical to
+	// its own resumed runs and re-runs, but not to a run without a
+	// checkpoint directory (same contract as changing the fence period).
+	CheckpointDir string
+	// CheckpointKeep bounds retention in CheckpointDir (<= 0 keeps all).
+	CheckpointKeep int
+	// CheckpointFS overrides the filesystem the durable store writes
+	// through (nil = the real filesystem). The chaos harness injects
+	// deterministic I/O faults here.
+	CheckpointFS guard.FS
+	// Resume, when set, restores the optimizer from a durable checkpoint
+	// (guard.Store.LoadLatest) instead of cold-starting: the run continues
+	// at Resume.Iter+1 and its final placement is bit-identical to the
+	// uninterrupted durable run. The checkpoint must match this run's
+	// design shape and Seed (guard.ErrMismatch otherwise).
+	Resume *guard.Checkpoint
+	// Deadline, when non-zero, is the wall-clock instant at which the run
+	// stops cooperatively: the supervisor persists a final checkpoint
+	// (when CheckpointDir is set) and surrenders the best finite iterate.
+	// Observed at iteration and parallel-kernel barrier boundaries.
+	Deadline time.Time
+	// Cancel, when non-nil, is an external cooperative stop flag with the
+	// same semantics as Deadline (set it from another goroutine or a
+	// signal handler to request graceful shutdown).
+	Cancel *atomic.Bool
 	// SkipLegalize leaves the result as raw global placement.
 	SkipLegalize bool
 	// DetailedPasses > 0 runs detailed-placement refinement after
@@ -291,6 +323,13 @@ type engine struct {
 	// use it to poison an entry with NaN or to dispatch a panicking
 	// parallel kernel at a chosen iteration.
 	faultHook func(iter int, g []float64)
+
+	// stopFlag is the cooperative-cancellation flag the optimize loop
+	// registers with the worker pool when a Deadline or Cancel option is
+	// configured: the deadline timer (and the external Cancel flag, copied
+	// at iteration boundaries) sets it, and the next iteration or kernel
+	// barrier observes it.
+	stopFlag atomic.Bool
 }
 
 func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, error) {
@@ -637,10 +676,12 @@ type optState struct {
 
 	// Recovery damping, applied by rollback only — all zero on a clean
 	// run, so a healthy trajectory is bit-identical with supervision on
-	// or off.
+	// or off. retries is the consumed rollback budget; it lives here (not
+	// as a loop local) so checkpoints carry it across a process restart.
 	dampIters    int     // iterations the BB step stays damped
 	dampFactor   float64 // multiplier on the BB step while damped
 	freezeLambda int     // iterations λ growth stays frozen
+	retries      int     // rollback budget consumed
 	inDegraded   bool    // report bookkeeping: inside a degrading streak
 }
 
@@ -871,6 +912,10 @@ func (e *engine) checkpoint(ring *guard.Ring, st *optState, iter int) {
 		e.nwUp.SnapshotVelocity(cp.NetVelocity)
 	}
 	cp.Seed = e.opts.Seed
+	copy(cp.BestU, st.bestU)
+	cp.BestOv, cp.BestIter = st.bestOv, st.bestIter
+	cp.DampIters, cp.DampFactor = st.dampIters, st.dampFactor
+	cp.FreezeLambda, cp.Retries = st.freezeLambda, st.retries
 	e.writePositions(st.u)
 	cp.HPWL = e.d.HPWL()
 	if e.timer != nil {
@@ -913,6 +958,84 @@ func (e *engine) rollback(ring *guard.Ring, st *optState, cfg guard.Config) *gua
 	return cp
 }
 
+// applyResume validates a durable checkpoint against this run and installs
+// it as the optimizer state. Validation is strict: a checkpoint from a
+// different design shape or RNG seed would silently produce a divergent
+// (or corrupt) trajectory, so any mismatch is a typed guard.ErrMismatch.
+//
+// Unlike a divergence rollback — which deliberately resets momentum and
+// damps the step — resume is an exact continuation: every scalar is
+// restored bit-for-bit, including the Nesterov momentum coefficient.
+func (e *engine) applyResume(cp *guard.Checkpoint, st *optState) error {
+	n2 := len(st.u)
+	if len(cp.U) != n2 || len(cp.V) != n2 || len(cp.VPrev) != n2 ||
+		len(cp.GPrev) != n2 || len(cp.BestU) != n2 {
+		return fmt.Errorf("%w: checkpoint has %d position DoF, this run has %d (design or filler layout changed)",
+			guard.ErrMismatch, len(cp.U), n2)
+	}
+	if len(cp.NetWeights) != len(e.d.Nets) || len(cp.NetVelocity) != len(e.d.Nets) {
+		return fmt.Errorf("%w: checkpoint has %d net weights, design has %d nets",
+			guard.ErrMismatch, len(cp.NetWeights), len(e.d.Nets))
+	}
+	if cp.Seed != e.opts.Seed {
+		return fmt.Errorf("%w: checkpoint seed %d, run seed %d (filler placement would differ)",
+			guard.ErrMismatch, cp.Seed, e.opts.Seed)
+	}
+	copy(st.u, cp.U)
+	copy(st.uPrev, cp.U)
+	copy(st.v, cp.V)
+	copy(st.vPrev, cp.VPrev)
+	copy(st.gPrev, cp.GPrev)
+	copy(st.bestU, cp.BestU)
+	st.a, st.alpha = cp.A, cp.Alpha
+	st.prevOv, st.lastOv = cp.PrevOv, cp.Overflow
+	st.bestOv, st.bestIter = cp.BestOv, cp.BestIter
+	st.dampIters, st.dampFactor = cp.DampIters, cp.DampFactor
+	st.freezeLambda, st.retries = cp.FreezeLambda, cp.Retries
+	e.lambda, e.tGrow = cp.Lambda, cp.TGrow
+	e.timingActive = cp.TimingActive
+	for ni := range e.d.Nets {
+		e.d.Nets[ni].Weight = cp.NetWeights[ni]
+	}
+	if e.nwUp != nil {
+		e.nwUp.RestoreVelocity(cp.NetVelocity)
+	}
+	e.writePositions(st.u)
+	return nil
+}
+
+// stopRequested reports whether a deadline or external cancellation asked
+// the run to halt, latching the external flag into stopFlag so parallel
+// kernels observe it too.
+func (e *engine) stopRequested() bool {
+	if e.opts.Cancel != nil && e.opts.Cancel.Load() {
+		e.stopFlag.Store(true)
+	}
+	return e.stopFlag.Load()
+}
+
+// haltCanceled is the graceful deadline/cancellation exit: surrender the
+// best finite iterate, then durably persist it as a final checkpoint so a
+// later resume can pick the run back up.
+func (e *engine) haltCanceled(store *guard.Store, ring *guard.Ring, st *optState,
+	rep *guard.Report, iter int) {
+	rep.DeadlineExceeded = true
+	e.surrender(st, rep, iter, guard.ReasonDeadline, "deadline exceeded")
+	if store == nil {
+		return
+	}
+	e.checkpoint(ring, st, iter)
+	rep.CheckpointIter = iter
+	if err := store.Save(ring.Latest()); err != nil {
+		rep.Record(guard.Incident{
+			Iter: iter, Health: guard.Degrading, Reason: guard.ReasonCheckpointIO,
+			Action: "final checkpoint lost", Detail: err.Error(),
+		})
+	} else {
+		rep.DurableIter = iter
+	}
+}
+
 func (e *engine) optimize(res *Result) error {
 	if e.opts.Logf == nil {
 		e.opts.Logf = func(string, ...any) {}
@@ -929,13 +1052,71 @@ func (e *engine) optimize(res *Result) error {
 	if cfg.Enabled {
 		mon = guard.NewMonitor(cfg)
 		ring = guard.NewRing(cfg.RingSize, len(st.u), len(e.d.Nets))
-		rep = &guard.Report{Enabled: true, CheckpointIter: -1}
+		rep = &guard.Report{Enabled: true, CheckpointIter: -1, DurableIter: -1, ResumedFrom: -1}
 		res.Recovery = rep
 	}
 
-	retries := 0
-	for iter := 0; iter < e.opts.MaxIters; iter++ {
+	// Durable checkpointing, resume and cooperative cancellation all ride
+	// the supervisor (they need the ring, the report and the surrender
+	// path), so they refuse to run unsupervised rather than half-work.
+	var store *guard.Store
+	if e.opts.CheckpointDir != "" {
+		if mon == nil {
+			return fmt.Errorf("place: CheckpointDir requires Guard.Enabled")
+		}
+		var err error
+		store, err = guard.NewStore(e.opts.CheckpointFS, e.opts.CheckpointDir, e.opts.CheckpointKeep)
+		if err != nil {
+			return err
+		}
+	}
+	startIter := 0
+	if cp := e.opts.Resume; cp != nil {
+		if mon == nil {
+			return fmt.Errorf("place: Resume requires Guard.Enabled")
+		}
+		if err := e.applyResume(cp, st); err != nil {
+			return err
+		}
+		startIter = cp.Iter + 1
+		rep.ResumedFrom = cp.Iter
+		res.Iterations = startIter
+		e.opts.Logf("[%v] resuming from checkpoint at iter %d", e.opts.Mode, cp.Iter)
+	}
+	if !e.opts.Deadline.IsZero() || e.opts.Cancel != nil {
+		if mon == nil {
+			return fmt.Errorf("place: Deadline/Cancel require Guard.Enabled")
+		}
+		// Kernel submissions observe the flag at barrier boundaries;
+		// deregistered before legalization and the final STA, which must
+		// run to completion even on a canceled run.
+		parallel.SetCancelFlag(&e.stopFlag)
+		defer parallel.SetCancelFlag(nil)
+		if !e.opts.Deadline.IsZero() {
+			if !time.Now().Before(e.opts.Deadline) {
+				e.stopFlag.Store(true)
+			} else {
+				dt := time.AfterFunc(time.Until(e.opts.Deadline), func() {
+					e.stopFlag.Store(true)
+				})
+				defer dt.Stop()
+			}
+		}
+	}
+
+	for iter := startIter; iter < e.opts.MaxIters; iter++ {
+		if e.stopRequested() {
+			e.haltCanceled(store, ring, st, rep, iter)
+			break
+		}
 		err := e.step(st, iter, res, false)
+		if err != nil && errors.Is(err, parallel.ErrCanceled) {
+			// Not a fault: a kernel barrier observed the stop flag
+			// mid-iteration. The partial iteration is discarded by
+			// surrendering to the best complete iterate.
+			e.haltCanceled(store, ring, st, rep, iter)
+			break
+		}
 
 		health, reason := guard.Healthy, guard.ReasonNone
 		if err != nil {
@@ -962,8 +1143,8 @@ func (e *engine) optimize(res *Result) error {
 					}
 				})
 			}
-			retries++
-			if retries > cfg.RetryBudget {
+			st.retries++
+			if st.retries > cfg.RetryBudget {
 				e.surrender(st, rep, iter, reason, "retry budget exhausted")
 				break
 			}
@@ -977,11 +1158,11 @@ func (e *engine) optimize(res *Result) error {
 			rep.Record(guard.Incident{
 				Iter: iter, Health: guard.Diverged, Reason: reason,
 				Action: fmt.Sprintf("rollback to iter %d (retry %d/%d, step damped ×%.3g)",
-					cp.Iter, retries, cfg.RetryBudget, st.dampFactor),
+					cp.Iter, st.retries, cfg.RetryBudget, st.dampFactor),
 				Detail: detail,
 			})
 			e.opts.Logf("[%v] %s at iter %d; rollback to iter %d (retry %d/%d)",
-				e.opts.Mode, reason, iter, cp.Iter, retries, cfg.RetryBudget)
+				e.opts.Mode, reason, iter, cp.Iter, st.retries, cfg.RetryBudget)
 			continue
 		}
 
@@ -998,6 +1179,30 @@ func (e *engine) optimize(res *Result) error {
 		if mon != nil && health == guard.Healthy && iter%cfg.CheckpointPeriod == 0 {
 			e.checkpoint(ring, st, iter)
 			rep.CheckpointIter = iter
+			if store != nil {
+				if err := store.Save(ring.Latest()); err != nil {
+					// Durability is lost but the trajectory is not: the
+					// in-memory ring still holds the snapshot and the
+					// re-anchor below runs regardless, so a run with
+					// failing checkpoint I/O stays bit-identical to one
+					// whose saves succeed.
+					rep.Record(guard.Incident{
+						Iter: iter, Health: guard.Degrading, Reason: guard.ReasonCheckpointIO,
+						Action: "continuing without durability (in-memory ring intact)",
+						Detail: err.Error(),
+					})
+				} else {
+					rep.DurableIter = iter
+				}
+				if e.timer != nil {
+					// Deterministic re-anchor at every durable-checkpoint
+					// boundary: the next evaluation rebuilds the timer's
+					// incremental state from current positions exactly as
+					// a resumed run's fresh timer would, which is what
+					// makes kill-at-k + resume bit-identical to this run.
+					e.timer.Reanchor()
+				}
+			}
 		}
 
 		if st.stop {
