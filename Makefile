@@ -3,17 +3,23 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build vet vet-fixtures test race bench bench-smoke check fuzz-smoke chaos-smoke
+.PHONY: build vet vet-budget vet-fixtures test race bench bench-smoke check fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
 
 # Static-analysis suite: dirtymark, errflow, floatdet, gradpair, hotalloc,
-# mapiter, parsafe, scratchlife (see internal/analysis and DESIGN.md §6, §10).
-# Fails on any unsuppressed finding; stale //dtgp:allow annotations and
-# hotalloc.allow entries are hard errors too.
+# indexspace, mapiter, parsafe, scratchlife (see internal/analysis and
+# DESIGN.md §6, §10, §12). Fails on any unsuppressed finding; stale
+# //dtgp:allow annotations and hotalloc.allow entries are hard errors too.
 vet: build
 	$(GO) run ./cmd/dtgp-vet ./...
+
+# vet-budget is the CI time gate: per-analyzer wall time must stay under 2x
+# the committed baseline in internal/analysis/vet-budget.json. The baselines
+# are generous — the gate is for complexity regressions, not machine noise.
+vet-budget: build
+	$(GO) run ./cmd/dtgp-vet -q -stats -strict-budget ./...
 
 # vet-fixtures proves the suite still BITES: every seeded-mutant fixture
 # under internal/analysis/testdata/ must keep producing its golden findings

@@ -1,10 +1,10 @@
-// Command dtgp-vet runs the repo's static-analysis suite: eight analyzers
+// Command dtgp-vet runs the repo's static-analysis suite: nine analyzers
 // (mapiter, parsafe, hotalloc, floatdet, gradpair, scratchlife, errflow,
-// dirtymark) that enforce the determinism, parallel-safety, zero-allocation,
-// gradient-pairing, scratch-lifetime, error-handling and incremental-state
-// coherence invariants of the placement and timing hot paths. See
-// internal/analysis for the checks and DESIGN.md §6 and §10 for why each
-// invariant exists.
+// dirtymark, indexspace) that enforce the determinism, parallel-safety,
+// zero-allocation, gradient-pairing, scratch-lifetime, error-handling,
+// incremental-state coherence and index-domain invariants of the placement
+// and timing hot paths. See internal/analysis for the checks and DESIGN.md
+// §6, §10 and §12 for why each invariant exists.
 //
 // parsafe, hotalloc and dirtymark are interprocedural: a call graph over the
 // whole module (direct calls, method calls, method values, closures handed
@@ -24,9 +24,36 @@
 // inside a marker itself (and helpers that only markers call) are exempt:
 // they are the refresh.
 //
+// indexspace types the integer index spaces of the SoA flow. Domains are
+// declared once, anywhere in the module (duplicates are errors):
+//
+//	//dtgp:indexdomain <name> [cap=<N>] [alias=<other>]
+//
+// where cap is the largest population the domain reaches at paper scale
+// (1.9M cells) and alias declares a second name for the same space.
+// Containers, struct fields and locals are annotated with a trailing
+// comment (or one on the line above):
+//
+//	//dtgp:index domain=<d> [elem=<e>]
+//
+// domain=<d> says the container is subscripted by <d>; elem=<e> says its
+// elements are themselves indices into <e>. Functions declare parameter and
+// result domains in their doc comment:
+//
+//	//dtgp:index <param>=<spec> [<param>=<spec>...] [return=<spec>]
+//
+// with <spec> one of <d> (an index), []<e> (a slice of indices into e), or
+// <d>[]<e> (a container subscripted by d holding indices into e). A
+// flow-sensitive abstract interpretation propagates these domains through
+// locals, range loops, arithmetic and calls, and reports subscripts whose
+// value domain does not match the container, int→int32 narrowings of
+// values with no capacity fact below 2³¹, and index arithmetic whose
+// capacity bound overflows int32. Unannotated values and containers are
+// never flagged (gradual typing).
+//
 // Usage:
 //
-//	dtgp-vet [-C dir] [-allow file] [-noescapes] [-emit-allow] [-json] [packages]
+//	dtgp-vet [-C dir] [-allow file] [-noescapes] [-emit-allow] [-json] [-stats] [-strict-budget] [packages]
 //
 // Packages are go-style patterns relative to the module root (default
 // ./...); the whole module is always loaded — patterns only filter which
@@ -47,6 +74,14 @@
 // With -json every diagnostic — suppressed ones included — is printed as
 // one JSON object per line: {"file","line","check","message","suppressed"};
 // the exit code still counts only unsuppressed findings.
+//
+// With -stats the wall time of each analyzer (and of the load/facts/escapes
+// driver phases) is reported after the findings — as {"stat","millis"}
+// objects under -json, as an aligned table on stderr otherwise. Each time
+// is compared against the committed per-analyzer baseline in
+// internal/analysis/vet-budget.json: exceeding 2× baseline prints a soft
+// warning on stderr, and under -strict-budget (the CI budget gate) it also
+// fails the run with exit code 1.
 package main
 
 import (
@@ -54,6 +89,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"dtgp/internal/analysis"
 )
@@ -66,6 +102,9 @@ func main() {
 		emitAllow = flag.Bool("emit-allow", false, "print hotalloc allowlist lines covering every reported escape and exit")
 		jsonOut   = flag.Bool("json", false, "print one JSON diagnostic per line (suppressed findings included)")
 		quiet     = flag.Bool("q", false, "suppress the success summary")
+		stats     = flag.Bool("stats", false, "report per-analyzer wall time and check it against the committed budget")
+		budgetF   = flag.String("budget", "", "per-analyzer time-budget path (default <module>/internal/analysis/vet-budget.json)")
+		strict    = flag.Bool("strict-budget", false, "with -stats: fail (exit 1) if any analyzer exceeds 2x its committed baseline")
 	)
 	flag.Parse()
 
@@ -91,6 +130,28 @@ func main() {
 		}
 		return
 	}
+	// Budget check: compare measured analyzer times against the committed
+	// baseline. Soft warning by default; a hard failure under -strict-budget.
+	var overBudget []analysis.BudgetViolation
+	if *stats {
+		path := *budgetF
+		if path == "" {
+			root, _, err := analysis.ModuleRoot(*dir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dtgp-vet: %v\n", err)
+				os.Exit(2)
+			}
+			path = filepath.Join(root, "internal", "analysis", "vet-budget.json")
+		}
+		budget, err := analysis.LoadBudget(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtgp-vet: %v\n", err)
+			os.Exit(2)
+		}
+		overBudget = analysis.OverBudget(rep.Stats, budget)
+	}
+	fail := len(rep.Diagnostics) > 0 || (*strict && len(overBudget) > 0)
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, list := range [2][]analysis.Diagnostic{rep.Diagnostics, rep.Suppressed} {
@@ -107,7 +168,16 @@ func main() {
 				}
 			}
 		}
-		if len(rep.Diagnostics) > 0 {
+		if *stats {
+			for _, s := range rep.Stats {
+				if err := enc.Encode(jsonStat{Stat: s.Name, Millis: s.Millis}); err != nil {
+					fmt.Fprintf(os.Stderr, "dtgp-vet: %v\n", err)
+					os.Exit(2)
+				}
+			}
+		}
+		warnBudget(overBudget, *strict)
+		if fail {
 			os.Exit(1)
 		}
 		return
@@ -117,10 +187,31 @@ func main() {
 			fmt.Println(d)
 		}
 		fmt.Fprintf(os.Stderr, "dtgp-vet: %d finding(s)\n", len(rep.Diagnostics))
+	}
+	if *stats {
+		for _, s := range rep.Stats {
+			fmt.Fprintf(os.Stderr, "dtgp-vet: stat %-12s %8.1fms\n", s.Name, s.Millis)
+		}
+	}
+	warnBudget(overBudget, *strict)
+	if fail {
 		os.Exit(1)
 	}
 	if !*quiet {
 		fmt.Println("dtgp-vet: ok")
+	}
+}
+
+// warnBudget reports budget violations on stderr. Under -strict-budget the
+// caller turns them into a failing exit code (the CI gate); otherwise they
+// are advisory.
+func warnBudget(over []analysis.BudgetViolation, strict bool) {
+	severity := "warning"
+	if strict {
+		severity = "error"
+	}
+	for _, v := range over {
+		fmt.Fprintf(os.Stderr, "dtgp-vet: budget %s: %s\n", severity, v)
 	}
 }
 
@@ -131,4 +222,12 @@ type jsonDiag struct {
 	Check      string `json:"check"`
 	Message    string `json:"message"`
 	Suppressed bool   `json:"suppressed"`
+}
+
+// jsonStat is the -json -stats wire format: one timing object per analyzer
+// or driver phase, after all diagnostics. The "stat" key (vs "check")
+// distinguishes timing lines from findings.
+type jsonStat struct {
+	Stat   string  `json:"stat"`
+	Millis float64 `json:"millis"`
 }

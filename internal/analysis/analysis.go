@@ -1,8 +1,9 @@
 // Package analysis is dtgp's in-tree static-analysis framework: a small
 // go/ast + go/types driver (stdlib only — no golang.org/x/tools) with a
-// go/analysis-style Analyzer interface, plus the seven project analyzers
-// that turn the repo's determinism, parallel-safety, zero-allocation and
-// gradient-correctness conventions into build failures:
+// go/analysis-style Analyzer interface, plus the nine project analyzers
+// that turn the repo's determinism, parallel-safety, zero-allocation,
+// gradient-correctness, cache-coherence and index-domain conventions into
+// build failures:
 //
 //   - mapiter:  no `range` over a map in any function reachable from a
 //     //dtgp:hotpath root — map iteration order is nondeterministic and
@@ -24,8 +25,20 @@
 //     escape the function, and never be read after Put.
 //   - errflow: no error value assigned from a call may be dead at its
 //     definition (dropped or silently overwritten).
+//   - dirtymark: every write to a //dtgp:cached struct field — direct or
+//     through any helper chain — must sit on a CFG path that also calls
+//     one of the field's declared refresh markers, so incrementally
+//     maintained state cannot go silently stale.
+//   - indexspace: //dtgp:indexdomain declares the typed index spaces of
+//     the SoA flow (cell, net, pin, tnode, …) with paper-scale capacity
+//     facts; //dtgp:index annotates containers, fields, params and
+//     results. A flow-sensitive abstract domain over integer locals then
+//     flags domain-mismatched subscripts, unguarded int→int32 narrowing
+//     of values with no capacity bound, and index arithmetic that can
+//     overflow int32 at 1.9M cells. Unannotated code is never flagged.
 //
-// The last three are flow-sensitive, built on the in-package dataflow
+// gradpair, scratchlife, errflow and indexspace are flow-sensitive, built
+// on the in-package dataflow
 // engine (cfg.go, dataflow.go, cells.go): a per-function CFG with
 // short-circuit decomposition and defer/panic modelling, plus a generic
 // gen/kill worklist solver instantiated as reaching-definitions and

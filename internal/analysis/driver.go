@@ -7,10 +7,11 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // All is the dtgp analyzer suite in report order.
-var All = []*Analyzer{DirtyMark, ErrFlow, FloatDet, GradPair, HotAlloc, MapIter, ParSafe, ScratchLife}
+var All = []*Analyzer{DirtyMark, ErrFlow, FloatDet, GradPair, HotAlloc, IndexSpace, MapIter, ParSafe, ScratchLife}
 
 // Options configure one Vet run.
 type Options struct {
@@ -42,6 +43,11 @@ type Report struct {
 	// ProposedAllow holds sorted, deduplicated hotalloc allowlist lines
 	// covering every reported escape (for `dtgp-vet -emit-allow`).
 	ProposedAllow []string
+	// Stats records the wall time of each analyzer (summed across
+	// packages) plus the "load", "facts" and "escapes" driver phases, in
+	// run order. Compared against internal/analysis/vet-budget.json by
+	// `dtgp-vet -stats` and the CI budget gate.
+	Stats []AnalyzerStat
 }
 
 // Vet loads the module around opts.Dir, runs the analyzer suite and
@@ -55,17 +61,26 @@ func Vet(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	var stats []AnalyzerStat
+	phase := func(name string, start time.Time) {
+		stats = append(stats, AnalyzerStat{Name: name, Millis: float64(time.Since(start)) / float64(time.Millisecond)})
+	}
+	start := time.Now()
 	prog, err := Load(Mapping{Prefix: modPath, Dir: root})
 	if err != nil {
 		return nil, err
 	}
+	phase("load", start)
+	start = time.Now()
 	facts := ComputeFacts(prog)
+	phase("facts", start)
 
 	allowFile := opts.AllowFile
 	if allowFile == "" {
 		allowFile = filepath.Join(root, "internal", "analysis", "hotalloc.allow")
 	}
 	if opts.Escapes {
+		start = time.Now()
 		cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
 		cmd.Dir = root
 		out, err := cmd.CombinedOutput()
@@ -78,14 +93,15 @@ func Vet(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		phase("escapes", start)
 	}
 
 	match := matchPatterns(modPath, opts.Patterns)
-	diags, suppressed, allows, err := runAnalyzersRecording(prog, facts, All, match)
+	diags, suppressed, allows, timings, err := runAnalyzersRecording(prog, facts, All, match)
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{Diagnostics: diags, Suppressed: suppressed}
+	rep := &Report{Diagnostics: diags, Suppressed: suppressed, Stats: append(stats, timings...)}
 	if match == nil {
 		// Stale //dtgp:allow annotations are hard findings, but only on an
 		// unfiltered run: a filtered run skips the other packages' analyzer
@@ -148,28 +164,35 @@ func RunAnalyzers(prog *Program, facts *Facts, analyzers []*Analyzer, match func
 // runAnalyzersFull is RunAnalyzers plus the suppressed findings (marked
 // and sorted), for audit output.
 func runAnalyzersFull(prog *Program, facts *Facts, analyzers []*Analyzer, match func(pkgPath string) bool) (kept, suppressed []Diagnostic, err error) {
-	kept, suppressed, _, err = runAnalyzersRecording(prog, facts, analyzers, match)
+	kept, suppressed, _, _, err = runAnalyzersRecording(prog, facts, analyzers, match)
 	return kept, suppressed, err
 }
 
 // runAnalyzersRecording additionally returns the allow-annotation set with
 // per-entry usage recorded, so the driver can promote stale suppressions to
-// findings. Identical findings are deduplicated: a named kernel dispatched
-// from several call sites, or an operator pair cross-checked from both
-// halves' packages, must report once.
-func runAnalyzersRecording(prog *Program, facts *Facts, analyzers []*Analyzer, match func(pkgPath string) bool) (kept, suppressed []Diagnostic, allows *allowSet, err error) {
+// findings, and the per-analyzer wall times (summed across packages, in
+// analyzer run order) for the -stats budget report. Identical findings are
+// deduplicated: a named kernel dispatched from several call sites, or an
+// operator pair cross-checked from both halves' packages, must report once.
+func runAnalyzersRecording(prog *Program, facts *Facts, analyzers []*Analyzer, match func(pkgPath string) bool) (kept, suppressed []Diagnostic, allows *allowSet, timings []AnalyzerStat, err error) {
 	var diags []Diagnostic
 	collect := func(d Diagnostic) { diags = append(diags, d) }
+	elapsed := make([]time.Duration, len(analyzers))
 	for _, pkg := range prog.Pkgs {
 		if match != nil && !match(pkg.Path) {
 			continue
 		}
-		for _, a := range analyzers {
+		for ai, a := range analyzers {
 			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, Facts: facts, report: collect}
+			start := time.Now()
 			if err := a.Run(pass); err != nil {
-				return nil, nil, nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, nil, nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
+			elapsed[ai] += time.Since(start)
 		}
+	}
+	for ai, a := range analyzers {
+		timings = append(timings, AnalyzerStat{Name: a.Name, Millis: float64(elapsed[ai]) / float64(time.Millisecond)})
 	}
 	seen := map[Diagnostic]bool{}
 	allows = collectAllows(prog)
@@ -187,7 +210,7 @@ func runAnalyzersRecording(prog *Program, facts *Facts, analyzers []*Analyzer, m
 	}
 	sortDiagnostics(kept)
 	sortDiagnostics(suppressed)
-	return kept, suppressed, allows, nil
+	return kept, suppressed, allows, timings, nil
 }
 
 // matchPatterns compiles go-style package patterns into a path filter.

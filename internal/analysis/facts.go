@@ -82,6 +82,9 @@ type Facts struct {
 	// inter is the memoised interprocedural layer (call graph + per-unit
 	// side-effect summaries), built on first use via Facts.Interproc.
 	inter *Interproc
+	// idx is the memoised indexspace analysis (domain declarations,
+	// annotations, flow results), built on first use via Facts.indexSpace.
+	idx *indexState
 }
 
 // All returns every function record in declaration order.

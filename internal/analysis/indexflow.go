@@ -1,0 +1,1200 @@
+package analysis
+
+// indexspace, part 2: the flow-sensitive abstract interpreter and the
+// bottom-up interprocedural summary fixpoint. Each call-graph unit is
+// analyzed over its CFG (cfg.go): an environment maps integer-valued
+// locals to their index-domain annotation and tracks which variables are
+// must-guarded by a dominating upper-bound comparison (the comparison
+// atoms produced by short-circuit decomposition sit last in 2-successor
+// blocks, true edge first, so guard facts are folded into the matching
+// edge). Summaries — declared or inferred parameter requirements and
+// result domains — are solved to a fixpoint over each SCC in ascending
+// (callee-first) order, then one reporting sweep per unit emits the
+// cross-domain, narrowing and overflow findings.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+)
+
+// ---------------------------------------------------------------------------
+// Environments.
+
+// idxEnv is the abstract state at one program point.
+type idxEnv struct {
+	ann   map[*types.Var]idxAnn
+	guard map[*types.Var]bool
+}
+
+func newIdxEnv() *idxEnv {
+	return &idxEnv{ann: map[*types.Var]idxAnn{}, guard: map[*types.Var]bool{}}
+}
+
+func (e *idxEnv) clone() *idxEnv {
+	c := &idxEnv{
+		ann:   make(map[*types.Var]idxAnn, len(e.ann)),
+		guard: make(map[*types.Var]bool, len(e.guard)),
+	}
+	for k, v := range e.ann {
+		c.ann[k] = v
+	}
+	for k := range e.guard {
+		c.guard[k] = true
+	}
+	return c
+}
+
+// meetAnn keeps per-field agreement and drops the rest (the lattice meet).
+func meetAnn(a, b idxAnn) idxAnn {
+	var m idxAnn
+	if a.val == b.val {
+		m.val = a.val
+	}
+	if a.by == b.by {
+		m.by = a.by
+	}
+	if a.elem == b.elem {
+		m.elem = a.elem
+	}
+	return m
+}
+
+// meetEnv merges src into dst (dst nil means unvisited: clone src).
+// Annotations meet per field; guards intersect (must-analysis).
+func meetEnv(dst, src *idxEnv) *idxEnv {
+	if dst == nil {
+		return src.clone()
+	}
+	out := &idxEnv{ann: map[*types.Var]idxAnn{}, guard: map[*types.Var]bool{}}
+	for k, v := range dst.ann {
+		if m := meetAnn(v, src.ann[k]); !m.zero() {
+			out.ann[k] = m
+		}
+	}
+	for k := range dst.guard {
+		if src.guard[k] {
+			out.guard[k] = true
+		}
+	}
+	return out
+}
+
+func envEqual(a, b *idxEnv) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.ann) != len(b.ann) || len(a.guard) != len(b.guard) {
+		return false
+	}
+	for k, v := range a.ann {
+		if b.ann[k] != v {
+			return false
+		}
+	}
+	for k := range a.guard {
+		if !b.guard[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Summary construction and the SCC fixpoint.
+
+func (st *indexState) computeSummaries() {
+	n := len(st.cg.Units)
+	st.summaries = make([]*idxSummary, n)
+	st.paramVars = make([][]*types.Var, n)
+	st.tainted = make([]map[*types.Var]bool, n)
+	st.cfgs = make([]*CFG, n)
+	for _, u := range st.cg.Units {
+		st.initSummary(u)
+	}
+	for _, scc := range st.cg.SCCs {
+		for changed := true; changed; {
+			changed = false
+			for _, u := range scc {
+				if st.analyzeUnit(u, false) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (st *indexState) initSummary(u *Unit) {
+	var ft *ast.FuncType
+	var sig *types.Signature
+	info := u.Pkg().Info
+	if u.Lit != nil {
+		ft = u.Lit.Type
+		sig, _ = info.Types[u.Lit].Type.(*types.Signature)
+	} else {
+		ft = u.Fn.Decl.Type
+		sig, _ = u.Fn.Obj.Type().(*types.Signature)
+	}
+	var pvars []*types.Var
+	if ft.Params != nil {
+		for _, f := range ft.Params.List {
+			if len(f.Names) == 0 {
+				pvars = append(pvars, nil)
+				continue
+			}
+			for _, name := range f.Names {
+				v, _ := info.Defs[name].(*types.Var)
+				pvars = append(pvars, v)
+			}
+		}
+	}
+	st.paramVars[u.Index] = pvars
+	sum := &idxSummary{
+		params:      make([]idxAnn, len(pvars)),
+		reqs:        make([]*idxDomain, len(pvars)),
+		reqConflict: make([]bool, len(pvars)),
+	}
+	for i, v := range pvars {
+		if v != nil {
+			sum.params[i] = st.varAnn[v]
+		}
+	}
+	nres := 0
+	if sig != nil {
+		nres = sig.Results().Len()
+		sum.variadic = sig.Variadic()
+	}
+	sum.results = make([]idxAnn, nres)
+	sum.declared = make([]bool, nres)
+	if u.Lit == nil {
+		for i := 0; i < nres; i++ {
+			if ann, ok := st.declResults[declResultKey{u.Fn.Obj, i}]; ok {
+				sum.results[i] = ann
+				sum.declared[i] = true
+			}
+		}
+	}
+	st.summaries[u.Index] = sum
+
+	// Taint: a parameter that is reassigned, advanced, or address-taken
+	// anywhere in the body no longer carries its incoming value, so it
+	// neither satisfies nor contributes inferred subscript requirements.
+	taint := map[*types.Var]bool{}
+	isParam := map[*types.Var]bool{}
+	for _, v := range pvars {
+		if v != nil {
+			isParam[v] = true
+		}
+	}
+	mark := func(e ast.Expr) {
+		if id, ok := unparen(e).(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && isParam[v] {
+				taint[v] = true
+			}
+		}
+	}
+	ast.Inspect(u.Body(), func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				mark(l)
+			}
+		case *ast.IncDecStmt:
+			mark(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				mark(x.X)
+			}
+		case *ast.RangeStmt:
+			if x.Key != nil {
+				mark(x.Key)
+			}
+			if x.Value != nil {
+				mark(x.Value)
+			}
+		}
+		return true
+	})
+	st.tainted[u.Index] = taint
+}
+
+// ---------------------------------------------------------------------------
+// Per-unit analysis.
+
+// idxWalker runs one analysis sweep over one unit.
+type idxWalker struct {
+	st     *indexState
+	u      *Unit
+	info   *types.Info
+	sum    *idxSummary
+	report bool
+	// paramOf maps this unit's parameter vars to their positions.
+	paramOf map[*types.Var]int
+	// reqSeen collects, per parameter, the subscript domains the parameter
+	// was used against (inference input).
+	reqSeen map[int]map[*idxDomain]bool
+	// retAnns / retSeen fold the annotations of every return statement.
+	retAnns []idxAnn
+	retSeen bool
+}
+
+// analyzeUnit runs the CFG fixpoint and one sweep over the unit; in
+// inference mode (report=false) it folds the sweep's observations into the
+// unit summary and reports whether the summary changed.
+func (st *indexState) analyzeUnit(u *Unit, report bool) bool {
+	cfg := st.cfgs[u.Index]
+	if cfg == nil {
+		cfg = BuildCFG(u.Body())
+		st.cfgs[u.Index] = cfg
+	}
+	sum := st.summaries[u.Index]
+	w := &idxWalker{
+		st: st, u: u, info: u.Pkg().Info, sum: sum, report: report,
+		paramOf: map[*types.Var]int{},
+		reqSeen: map[int]map[*idxDomain]bool{},
+		retAnns: make([]idxAnn, len(sum.results)),
+	}
+	for i, v := range st.paramVars[u.Index] {
+		if v != nil {
+			w.paramOf[v] = i
+		}
+	}
+	entry := newIdxEnv()
+	for i, v := range st.paramVars[u.Index] {
+		if v != nil && !sum.params[i].zero() {
+			entry.ann[v] = sum.params[i]
+		}
+	}
+
+	ins := make([]*idxEnv, len(cfg.Blocks))
+	ins[cfg.Entry.Index] = entry
+	order := rpoBlocks(cfg)
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for _, b := range order {
+			in := ins[b.Index]
+			if in == nil {
+				continue
+			}
+			outs := w.transferBlock(b, in, false)
+			for si, s := range b.Succs {
+				merged := meetEnv(ins[s.Index], outs[si])
+				if !envEqual(merged, ins[s.Index]) {
+					ins[s.Index] = merged
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Reporting / inference sweep over the converged states.
+	for _, b := range order {
+		if ins[b.Index] != nil {
+			w.transferBlock(b, ins[b.Index], true)
+		}
+	}
+	if report {
+		return false
+	}
+	return w.foldInference()
+}
+
+// foldInference merges the sweep's observations into the summary.
+func (w *idxWalker) foldInference() bool {
+	changed := false
+	for i := range w.sum.reqs {
+		if w.sum.params[i].val != nil || w.sum.reqConflict[i] {
+			continue
+		}
+		seen := w.reqSeen[i]
+		switch {
+		case len(seen) == 1:
+			for d := range seen {
+				if w.sum.reqs[i] == nil {
+					w.sum.reqs[i] = d
+					changed = true
+				} else if w.sum.reqs[i] != d {
+					w.sum.reqConflict[i], w.sum.reqs[i] = true, nil
+					changed = true
+				}
+			}
+		case len(seen) > 1:
+			w.sum.reqConflict[i], w.sum.reqs[i] = true, nil
+			changed = true
+		}
+	}
+	if w.retSeen {
+		for i := range w.sum.results {
+			if w.sum.declared[i] {
+				continue
+			}
+			if w.retAnns[i] != w.sum.results[i] {
+				w.sum.results[i] = w.retAnns[i]
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// rpoBlocks returns the CFG blocks in reverse post-order from the entry.
+func rpoBlocks(cfg *CFG) []*CFGBlock {
+	seen := make([]bool, len(cfg.Blocks))
+	var post []*CFGBlock
+	var visit func(b *CFGBlock)
+	visit = func(b *CFGBlock) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				visit(s)
+			}
+		}
+		post = append(post, b)
+	}
+	visit(cfg.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// transferBlock interprets one block from the given entry state and
+// returns the per-successor-edge out states. When sweep is true the
+// walker's report/inference actions fire; plain fixpoint iterations only
+// propagate the environment.
+func (w *idxWalker) transferBlock(b *CFGBlock, in *idxEnv, sweep bool) []*idxEnv {
+	env := in.clone()
+	act := w.report && sweep
+	infer := !w.report && sweep
+	for _, n := range b.Nodes {
+		w.atom(n, env, act, infer)
+	}
+	outs := make([]*idxEnv, len(b.Succs))
+	if len(b.Succs) == 2 && len(b.Nodes) > 0 {
+		if v, onTrue := guardAtom(w.info, b.Nodes[len(b.Nodes)-1]); v != nil {
+			other := env
+			guarded := env.clone()
+			guarded.guard[v] = true
+			if onTrue {
+				outs[0], outs[1] = guarded, other
+			} else {
+				outs[0], outs[1] = other, guarded
+			}
+			return outs
+		}
+	}
+	for i := range outs {
+		outs[i] = env
+	}
+	return outs
+}
+
+// guardAtom recognises an upper-bound comparison atom: `v < e` / `v <= e`
+// guards v on the true edge, `v > e` / `v >= e` (i.e. the negation is an
+// upper bound) on the false edge; mirrored when v is the right operand.
+func guardAtom(info *types.Info, n ast.Node) (v *types.Var, onTrue bool) {
+	be, ok := n.(*ast.BinaryExpr)
+	if !ok {
+		return nil, false
+	}
+	varOf := func(e ast.Expr) *types.Var {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		vv, _ := info.Uses[id].(*types.Var)
+		if vv != nil && isIntegerType(vv.Type()) {
+			return vv
+		}
+		return nil
+	}
+	switch be.Op {
+	case token.LSS, token.LEQ:
+		if v := varOf(be.X); v != nil {
+			return v, true
+		}
+		if v := varOf(be.Y); v != nil {
+			return v, false
+		}
+	case token.GTR, token.GEQ:
+		if v := varOf(be.X); v != nil {
+			return v, false
+		}
+		if v := varOf(be.Y); v != nil {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Atom transfer.
+
+func (w *idxWalker) atom(n ast.Node, env *idxEnv, act, infer bool) {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		w.assign(x, env, act, infer)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			w.localDecl(gd, env, act, infer)
+		}
+	case *ast.IncDecStmt:
+		w.expr(x.X, env, act, infer)
+		if v := w.lhsVar(x.X); v != nil {
+			delete(env.guard, v)
+		}
+	case *ast.RangeStmt:
+		w.rangeAtom(x, env, act, infer)
+	case *ast.ReturnStmt:
+		w.ret(x, env, act, infer)
+	case *ast.SendStmt:
+		w.expr(x.Chan, env, act, infer)
+		w.expr(x.Value, env, act, infer)
+	case *ast.GoStmt:
+		w.expr(x.Call, env, act, infer)
+	case *ast.DeferStmt:
+		w.expr(x.Call, env, act, infer)
+	case *ast.ExprStmt:
+		w.expr(x.X, env, act, infer)
+	case ast.Expr:
+		w.expr(x, env, act, infer)
+	}
+}
+
+// lhsVar resolves an assignment target identifier (definition or use).
+func (w *idxWalker) lhsVar(e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := w.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := w.info.Uses[id].(*types.Var)
+	return v
+}
+
+// declaredAnn returns the sticky (declared) annotation of a variable, if
+// any: package vars and struct fields, annotated parameters, annotated
+// locals.
+func (w *idxWalker) declaredAnn(v *types.Var) (idxAnn, bool) {
+	if a, ok := w.st.varAnn[v]; ok {
+		return a, true
+	}
+	if a, ok := w.st.localAnn[v]; ok {
+		return a, true
+	}
+	return idxAnn{}, false
+}
+
+// bindLocalAnn applies a same-line or line-above //dtgp:index comment to a
+// local declaration target (idempotent across fixpoint iterations).
+func (w *idxWalker) bindLocalAnn(at token.Pos, v *types.Var) {
+	if v == nil {
+		return
+	}
+	if _, done := w.st.localAnn[v]; done {
+		return
+	}
+	pos := w.st.prog.Fset.Position(at)
+	lines := w.st.lineAnn[pos.Filename]
+	if lines == nil {
+		return
+	}
+	ic := lines[pos.Line]
+	if ic == nil {
+		// Fall back to the line above only for a not-yet-bound comment:
+		// a trailing annotation on the previous statement's line belongs
+		// to that statement, not to whatever follows it.
+		if above := lines[pos.Line-1]; above != nil && !above.consumed {
+			ic = above
+		}
+	}
+	if ic == nil || ic.malfor {
+		return
+	}
+	w.st.localAnn[v] = w.st.applyVarAnn(w.u.Pkg(), ic, v.Type())
+}
+
+func (w *idxWalker) assign(x *ast.AssignStmt, env *idxEnv, act, infer bool) {
+	// Evaluate RHS states before any environment update (a, b = b, a).
+	var rhs []idxAnn
+	multi := false
+	if len(x.Rhs) == 1 && len(x.Lhs) > 1 {
+		multi = true
+		rhs = w.multiValueAnns(x.Rhs[0], env, len(x.Lhs))
+	} else {
+		for _, r := range x.Rhs {
+			rhs = append(rhs, w.evalAnn(r, env))
+		}
+	}
+	for _, r := range x.Rhs {
+		w.expr(r, env, act, infer)
+	}
+	compound := x.Tok != token.ASSIGN && x.Tok != token.DEFINE
+	for i, l := range x.Lhs {
+		var rAnn idxAnn
+		if i < len(rhs) {
+			rAnn = rhs[i]
+		}
+		switch lv := unparen(l).(type) {
+		case *ast.Ident:
+			v := w.lhsVar(lv)
+			if v == nil {
+				continue
+			}
+			if x.Tok == token.DEFINE {
+				w.bindLocalAnn(x.Pos(), v)
+			}
+			delete(env.guard, v)
+			if compound {
+				// i += stride stays in i's domain; the guard kill above is
+				// the only effect.
+				continue
+			}
+			if decl, ok := w.declaredAnn(v); ok && !decl.zero() {
+				if act {
+					w.checkCoerce(l.Pos(), rAnn, decl, "assigned to")
+				}
+				env.ann[v] = decl
+				continue
+			}
+			if rAnn.zero() {
+				delete(env.ann, v)
+			} else {
+				env.ann[v] = rAnn
+			}
+		case *ast.IndexExpr:
+			w.expr(lv, env, act, infer)
+			if act && !compound && !multi {
+				c := w.evalAnn(lv.X, env)
+				if c.elem != nil && c.elem != w.st.anyDom && rAnn.val != nil &&
+					rAnn.val != w.st.anyDom && rAnn.val != c.elem {
+					w.reportf(l.Pos(), "element domain mismatch: domain=%s value stored in elem=%s container",
+						rAnn.val.name, c.elem.name)
+				}
+			}
+		case *ast.SelectorExpr:
+			w.expr(lv.X, env, act, infer)
+			if act && !compound && !multi {
+				if fv, ok := w.info.Uses[lv.Sel].(*types.Var); ok {
+					if decl, ok := w.st.varAnn[fv]; ok {
+						w.checkCoerce(l.Pos(), rAnn, decl, "assigned to")
+					}
+				}
+			}
+		default:
+			w.expr(l, env, act, infer)
+		}
+	}
+}
+
+// multiValueAnns resolves the per-position annotations of a multi-value
+// RHS: call results via the callee summary, comma-ok map reads via the
+// container's element domain.
+func (w *idxWalker) multiValueAnns(e ast.Expr, env *idxEnv, n int) []idxAnn {
+	anns := make([]idxAnn, n)
+	switch x := unparen(e).(type) {
+	case *ast.CallExpr:
+		if u := w.st.cg.UnitOf(w.info, x.Fun); u != nil {
+			res := w.st.summaries[u.Index].results
+			for i := 0; i < n && i < len(res); i++ {
+				anns[i] = res[i]
+			}
+		}
+	case *ast.IndexExpr:
+		c := w.evalAnn(x.X, env)
+		if c.elem != nil && n > 0 {
+			anns[0] = w.stepAnn(c, w.info.Types[x].Type)
+		}
+	}
+	return anns
+}
+
+func (w *idxWalker) localDecl(gd *ast.GenDecl, env *idxEnv, act, infer bool) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		var rhs []idxAnn
+		if len(vs.Values) == 1 && len(vs.Names) > 1 {
+			rhs = w.multiValueAnns(vs.Values[0], env, len(vs.Names))
+		} else {
+			for _, r := range vs.Values {
+				rhs = append(rhs, w.evalAnn(r, env))
+			}
+		}
+		for _, r := range vs.Values {
+			w.expr(r, env, act, infer)
+		}
+		for i, name := range vs.Names {
+			v, _ := w.info.Defs[name].(*types.Var)
+			if v == nil {
+				continue
+			}
+			w.bindLocalAnn(vs.Pos(), v)
+			var rAnn idxAnn
+			if i < len(rhs) {
+				rAnn = rhs[i]
+			}
+			if decl, ok := w.declaredAnn(v); ok && !decl.zero() {
+				if act {
+					w.checkCoerce(name.Pos(), rAnn, decl, "assigned to")
+				}
+				env.ann[v] = decl
+			} else if !rAnn.zero() {
+				env.ann[v] = rAnn
+			}
+		}
+	}
+}
+
+func (w *idxWalker) rangeAtom(x *ast.RangeStmt, env *idxEnv, act, infer bool) {
+	w.expr(x.X, env, act, infer)
+	c := w.evalAnn(x.X, env)
+	t := w.info.Types[x.X].Type
+	if t == nil {
+		return
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	if v := w.lhsVar(x.Key); v != nil {
+		delete(env.ann, v)
+		delete(env.guard, v)
+		if c.by != nil {
+			env.ann[v] = idxAnn{val: c.by}
+		}
+		if !isMap && isIntegerType(v.Type()) {
+			// A positional range key is bounded by len(X) on every
+			// iteration: a dominating bounds guard by construction.
+			env.guard[v] = true
+		}
+	}
+	if x.Value != nil {
+		if v := w.lhsVar(x.Value); v != nil {
+			delete(env.ann, v)
+			delete(env.guard, v)
+			if c.elem != nil {
+				env.ann[v] = w.stepAnn(c, v.Type())
+			}
+		}
+	}
+}
+
+func (w *idxWalker) ret(x *ast.ReturnStmt, env *idxEnv, act, infer bool) {
+	for i, r := range x.Results {
+		w.expr(r, env, act, infer)
+		if i >= len(w.sum.results) {
+			break
+		}
+		ann := w.evalAnn(r, env)
+		if act && w.sum.declared[i] {
+			w.checkCoerce(r.Pos(), ann, w.sum.results[i], "returned as")
+		}
+		if infer && !w.sum.declared[i] {
+			if !w.retSeen {
+				w.retAnns[i] = ann
+			} else {
+				w.retAnns[i] = meetAnn(w.retAnns[i], ann)
+			}
+		}
+	}
+	if infer && len(x.Results) > 0 {
+		w.retSeen = true
+	}
+}
+
+// checkCoerce reports a domain disagreement between an expression's
+// annotation and a declared target annotation (assignment, return).
+func (w *idxWalker) checkCoerce(pos token.Pos, got, want idxAnn, verb string) {
+	any := w.st.anyDom
+	if got.val != nil && want.val != nil && got.val != want.val && got.val != any && want.val != any {
+		w.reportf(pos, "domain mismatch: domain=%s value %s domain=%s storage", got.val.name, verb, want.val.name)
+	}
+	if got.by != nil && want.by != nil && got.by != want.by && got.by != any && want.by != any {
+		w.reportf(pos, "domain mismatch: domain=%s container %s domain=%s storage", got.by.name, verb, want.by.name)
+	}
+	if got.elem != nil && want.elem != nil && got.elem != want.elem && got.elem != any && want.elem != any {
+		w.reportf(pos, "domain mismatch: elem=%s container %s elem=%s storage", got.elem.name, verb, want.elem.name)
+	}
+}
+
+func (w *idxWalker) reportf(pos token.Pos, format string, args ...any) {
+	w.st.errf(w.u.Pkg(), pos, format, args...)
+}
+
+// ---------------------------------------------------------------------------
+// Expression checks.
+
+// expr walks an expression tree (stopping at function-literal boundaries:
+// literals are their own units) and applies the three checks at index,
+// call/conversion and arithmetic nodes.
+func (w *idxWalker) expr(e ast.Expr, env *idxEnv, act, infer bool) {
+	if e == nil || (!act && !infer) {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IndexExpr:
+			w.checkIndex(x, env, act, infer)
+		case *ast.CallExpr:
+			w.checkCall(x, env, act, infer)
+		case *ast.BinaryExpr:
+			if act {
+				w.checkArith(x, env)
+			}
+		}
+		return true
+	})
+}
+
+// checkIndex flags cross-domain subscripts and records parameter subscript
+// requirements for inference.
+func (w *idxWalker) checkIndex(x *ast.IndexExpr, env *idxEnv, act, infer bool) {
+	c := w.evalAnn(x.X, env)
+	if c.by == nil || c.by == w.st.anyDom {
+		return
+	}
+	i := w.evalAnn(x.Index, env)
+	if act && i.val != nil && i.val != w.st.anyDom && i.val != c.by {
+		w.reportf(x.Index.Pos(), "index domain mismatch: domain=%s container subscripted with domain=%s value",
+			c.by.name, i.val.name)
+	}
+	if infer {
+		if v := w.lhsVar(x.Index); v != nil {
+			if pi, ok := w.paramOf[v]; ok && !w.st.tainted[w.u.Index][v] && w.sum.params[pi].val == nil {
+				if w.reqSeen[pi] == nil {
+					w.reqSeen[pi] = map[*idxDomain]bool{}
+				}
+				w.reqSeen[pi][c.by] = true
+			}
+		}
+	}
+}
+
+// checkCall handles conversions (narrowing), builtins (append/copy element
+// discipline) and resolved calls (argument-vs-parameter domains, plus
+// requirement propagation through call chains).
+func (w *idxWalker) checkCall(x *ast.CallExpr, env *idxEnv, act, infer bool) {
+	if tv, ok := w.info.Types[x.Fun]; ok && tv.IsType() {
+		if act && len(x.Args) == 1 {
+			w.checkNarrow(x, tv.Type, x.Args[0], env)
+		}
+		return
+	}
+	if id, ok := unparen(x.Fun).(*ast.Ident); ok {
+		if b, ok := w.info.Uses[id].(*types.Builtin); ok {
+			w.checkBuiltin(b.Name(), x, env, act)
+			return
+		}
+	}
+	callee := w.st.cg.UnitOf(w.info, x.Fun)
+	if callee == nil {
+		return
+	}
+	if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := w.info.Types[sel.X]; ok && tv.IsType() {
+			return // method expression: the receiver shifts argument positions
+		}
+	}
+	sum := w.st.summaries[callee.Index]
+	np := len(sum.params)
+	for i, arg := range x.Args {
+		pi := i
+		if pi >= np {
+			if !sum.variadic || np == 0 || x.Ellipsis != token.NoPos {
+				break
+			}
+			pi = np - 1 // variadic tail
+		}
+		pv := w.st.paramVars[callee.Index][pi]
+		want := sum.params[pi]
+		req := sum.reqs[pi]
+		aAnn := w.evalAnn(arg, env)
+		if i >= np && want.elem != nil {
+			// bare argument to a variadic []T parameter: compare against
+			// the element domain.
+			want = idxAnn{val: want.elem}
+		}
+		any := w.st.anyDom
+		if act {
+			pname := "_"
+			if pv != nil {
+				pname = pv.Name()
+			}
+			if aAnn.val != nil && aAnn.val != any {
+				if want.val != nil && want.val != any && want.val != aAnn.val {
+					w.reportf(arg.Pos(), "call of %s: argument is domain=%s, parameter %q is declared domain=%s",
+						callee.Name(), aAnn.val.name, pname, want.val.name)
+				} else if want.val == nil && req != nil && req != any && req != aAnn.val {
+					w.reportf(arg.Pos(), "call of %s: argument is domain=%s, parameter %q subscripts domain=%s containers",
+						callee.Name(), aAnn.val.name, pname, req.name)
+				}
+			}
+			if aAnn.by != nil && want.by != nil && aAnn.by != any && want.by != any && aAnn.by != want.by {
+				w.reportf(arg.Pos(), "call of %s: argument container is domain=%s, parameter %q is declared domain=%s",
+					callee.Name(), aAnn.by.name, pname, want.by.name)
+			}
+			if aAnn.elem != nil && want.elem != nil && aAnn.elem != any && want.elem != any && aAnn.elem != want.elem && i < np {
+				w.reportf(arg.Pos(), "call of %s: argument elements are domain=%s, parameter %q is declared elem=%s",
+					callee.Name(), aAnn.elem.name, pname, want.elem.name)
+			}
+		}
+		if infer && aAnn.val == nil {
+			// Passing our own untainted parameter into a requiring callee
+			// parameter propagates the requirement up the call chain.
+			need := want.val
+			if need == nil {
+				need = req
+			}
+			if need != nil && need != any {
+				if v := w.lhsVar(arg); v != nil {
+					if mypi, ok := w.paramOf[v]; ok && !w.st.tainted[w.u.Index][v] && w.sum.params[mypi].val == nil {
+						if w.reqSeen[mypi] == nil {
+							w.reqSeen[mypi] = map[*idxDomain]bool{}
+						}
+						w.reqSeen[mypi][need] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkBuiltin enforces element-domain discipline for append and copy.
+func (w *idxWalker) checkBuiltin(name string, x *ast.CallExpr, env *idxEnv, act bool) {
+	if !act || len(x.Args) == 0 {
+		return
+	}
+	any := w.st.anyDom
+	switch name {
+	case "append":
+		dst := w.evalAnn(x.Args[0], env)
+		if dst.elem == nil || dst.elem == any {
+			return
+		}
+		for _, arg := range x.Args[1:] {
+			a := w.evalAnn(arg, env)
+			if x.Ellipsis != token.NoPos {
+				if a.elem != nil && a.elem != any && a.elem != dst.elem {
+					w.reportf(arg.Pos(), "element domain mismatch: appending elem=%s container to elem=%s container",
+						a.elem.name, dst.elem.name)
+				}
+				continue
+			}
+			if a.val != nil && a.val != any && a.val != dst.elem {
+				w.reportf(arg.Pos(), "element domain mismatch: appending domain=%s value to elem=%s container",
+					a.val.name, dst.elem.name)
+			}
+		}
+	case "copy":
+		if len(x.Args) != 2 {
+			return
+		}
+		dst, src := w.evalAnn(x.Args[0], env), w.evalAnn(x.Args[1], env)
+		if dst.elem != nil && src.elem != nil && dst.elem != any && src.elem != any && dst.elem != src.elem {
+			w.reportf(x.Args[1].Pos(), "element domain mismatch: copying elem=%s container into elem=%s container",
+				src.elem.name, dst.elem.name)
+		}
+		if dst.by != nil && src.by != nil && dst.by != any && src.by != any && dst.by != src.by {
+			w.reportf(x.Args[1].Pos(), "domain mismatch: copying domain=%s container into domain=%s container",
+				src.by.name, dst.by.name)
+		}
+	}
+}
+
+// checkNarrow flags int/int64 → sized conversions whose operand is an
+// index-domain value that provably does not fit, or that has no capacity
+// fact and no dominating bounds guard.
+func (w *idxWalker) checkNarrow(x *ast.CallExpr, tgt types.Type, arg ast.Expr, env *idxEnv) {
+	tmax, narrow := intTypeMax(tgt)
+	if !narrow {
+		return
+	}
+	atv, ok := w.info.Types[arg]
+	if !ok || atv.Type == nil || !isWideInt(atv.Type) || atv.Value != nil {
+		return
+	}
+	if v := w.lhsVar(arg); v != nil && env.guard[v] {
+		return
+	}
+	b := w.bound(arg, env)
+	if b >= 0 && b <= tmax {
+		return
+	}
+	tname := tgt.String()
+	if bt, ok := tgt.Underlying().(*types.Basic); ok {
+		tname = bt.Name()
+	}
+	if b > tmax {
+		w.reportf(x.Pos(), "narrowing overflow: %s conversion of a value that may reach %d", tname, b)
+		return
+	}
+	a := w.evalAnn(arg, env)
+	if a.val != nil && a.val != w.st.anyDom {
+		w.reportf(x.Pos(), "unguarded narrowing: %s conversion of domain=%s value with no capacity fact and no dominating bounds guard",
+			tname, a.val.name)
+	}
+}
+
+// checkArith flags 32-bit-or-narrower index arithmetic whose capacity-fact
+// upper bound exceeds the static type's maximum.
+func (w *idxWalker) checkArith(x *ast.BinaryExpr, env *idxEnv) {
+	switch x.Op {
+	case token.MUL, token.ADD, token.SHL:
+	default:
+		return
+	}
+	tv, ok := w.info.Types[x]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return
+	}
+	tmax, sized := intTypeMax(tv.Type)
+	if !sized {
+		return
+	}
+	ub := w.bound(x, env)
+	if ub > tmax {
+		tname := tv.Type.String()
+		if bt, ok := tv.Type.Underlying().(*types.Basic); ok {
+			tname = bt.Name()
+		}
+		w.reportf(x.OpPos, "index arithmetic may reach %d, overflowing %s (compute in int and narrow after a bounds check)",
+			ub, tname)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Abstract evaluation.
+
+// stepAnn is the result of subscripting a container annotation once,
+// shaped by the produced type.
+func (w *idxWalker) stepAnn(c idxAnn, t types.Type) idxAnn {
+	if t == nil || c.elem == nil {
+		return idxAnn{}
+	}
+	if isIntegerType(t) {
+		return idxAnn{val: c.elem}
+	}
+	if isContainer(t) {
+		return idxAnn{elem: c.elem}
+	}
+	return idxAnn{}
+}
+
+// evalAnn computes the annotation of an expression under env.
+func (w *idxWalker) evalAnn(e ast.Expr, env *idxEnv) idxAnn {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := w.info.Uses[x].(*types.Var)
+		if !ok {
+			return idxAnn{}
+		}
+		if a, ok := env.ann[v]; ok {
+			return a
+		}
+		if a, ok := w.st.varAnn[v]; ok {
+			return a
+		}
+		if a, ok := w.st.localAnn[v]; ok {
+			return a
+		}
+	case *ast.SelectorExpr:
+		if v, ok := w.info.Uses[x.Sel].(*types.Var); ok {
+			if a, ok := w.st.varAnn[v]; ok {
+				return a
+			}
+		}
+	case *ast.IndexExpr:
+		c := w.evalAnn(x.X, env)
+		if tv, ok := w.info.Types[x]; ok {
+			return w.stepAnn(c, tv.Type)
+		}
+	case *ast.SliceExpr:
+		a := w.evalAnn(x.X, env)
+		if x.Low != nil {
+			// s[k:] shifts positions: the subscript domain no longer lines
+			// up, only the element domain survives.
+			a.by = nil
+		}
+		a.val = nil
+		return a
+	case *ast.StarExpr:
+		return w.evalAnn(x.X, env)
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD {
+			return w.evalAnn(x.X, env)
+		}
+	case *ast.CallExpr:
+		if tv, ok := w.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			a := w.evalAnn(x.Args[0], env)
+			a.by, a.elem = nil, nil
+			return a
+		}
+		if id, ok := unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := w.info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "append":
+					if len(x.Args) > 0 {
+						return w.evalAnn(x.Args[0], env)
+					}
+				case "min", "max":
+					var m idxAnn
+					for i, arg := range x.Args {
+						a := w.evalAnn(arg, env)
+						if i == 0 {
+							m = a
+						} else {
+							m = meetAnn(m, a)
+						}
+					}
+					return m
+				}
+				return idxAnn{}
+			}
+		}
+		if u := w.st.cg.UnitOf(w.info, x.Fun); u != nil {
+			res := w.st.summaries[u.Index].results
+			if len(res) == 1 {
+				return res[0]
+			}
+		}
+	}
+	return idxAnn{}
+}
+
+// ---------------------------------------------------------------------------
+// Capacity-fact bounds.
+
+const idxUnknown = int64(-1)
+
+func clampAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+func clampMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+// bound computes an upper bound for an integer expression from constants
+// and declared domain capacities (len/cap of a domain=<d> container is
+// bounded by the domain's cap; a domain value by cap-1). Returns
+// idxUnknown when no fact applies. Bounds assume the non-negative index
+// convention for subtraction and modulo.
+func (w *idxWalker) bound(e ast.Expr, env *idxEnv) int64 {
+	e = unparen(e)
+	if tv, ok := w.info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return v
+		}
+		return idxUnknown
+	}
+	if a := w.evalAnn(e, env); a.val != nil && a.val.cap > 0 {
+		return a.val.cap - 1
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		ba, bb := w.bound(x.X, env), w.bound(x.Y, env)
+		switch x.Op {
+		case token.ADD:
+			if ba >= 0 && bb >= 0 {
+				return clampAdd(ba, bb)
+			}
+		case token.MUL:
+			if ba >= 0 && bb >= 0 {
+				return clampMul(ba, bb)
+			}
+		case token.SHL:
+			if ba >= 0 && bb >= 0 {
+				if bb >= 63 {
+					return math.MaxInt64
+				}
+				return clampMul(ba, int64(1)<<uint(bb))
+			}
+		case token.SUB, token.QUO:
+			return ba
+		case token.REM:
+			if bb > 0 {
+				if ba >= 0 && ba < bb-1 {
+					return ba
+				}
+				return bb - 1
+			}
+			return ba
+		case token.AND:
+			switch {
+			case ba >= 0 && bb >= 0:
+				if ba < bb {
+					return ba
+				}
+				return bb
+			case ba >= 0:
+				return ba
+			case bb >= 0:
+				return bb
+			}
+		}
+	case *ast.CallExpr:
+		if tv, ok := w.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			b := w.bound(x.Args[0], env)
+			if tmax, sized := intTypeMax(tv.Type); sized && b >= 0 && b > tmax {
+				// Conversion result is still bounded by the target type (it
+				// may have wrapped, but cannot exceed the type's maximum).
+				return tmax
+			}
+			return b
+		}
+		if id, ok := unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := w.info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "len", "cap":
+					if len(x.Args) == 1 {
+						if a := w.evalAnn(x.Args[0], env); a.by != nil && a.by.cap > 0 {
+							return a.by.cap
+						}
+					}
+				case "min":
+					best := idxUnknown
+					for _, arg := range x.Args {
+						if ba := w.bound(arg, env); ba >= 0 && (best < 0 || ba < best) {
+							best = ba
+						}
+					}
+					return best
+				case "max":
+					best := idxUnknown
+					for _, arg := range x.Args {
+						ba := w.bound(arg, env)
+						if ba < 0 {
+							return idxUnknown
+						}
+						if ba > best {
+							best = ba
+						}
+					}
+					return best
+				}
+			}
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD {
+			return w.bound(x.X, env)
+		}
+	}
+	return idxUnknown
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIndexSpaceGolden(t *testing.T) { runGoldenFixture(t, "indexspace", IndexSpace) }
+
+// TestIndexSpaceSeededMutants asserts each seeded mutant class is caught
+// and the clean variants stay silent.
+func TestIndexSpaceSeededMutants(t *testing.T) {
+	prog, facts, dir := loadFixture(t, "indexspace")
+	diags, err := RunAnalyzers(prog, facts, []*Analyzer{IndexSpace}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := formatDiags(dir, diags)
+	for _, want := range []string{
+		// SwappedSubscript: cell value into the net-indexed column.
+		"domain=net container subscripted with domain=cell value",
+		// NarrowDropped: no capacity fact, no guard.
+		"unguarded narrowing",
+		// OverflowProduct: nodes*fanout exceeds int32.
+		"index arithmetic may reach",
+		// LenProductNarrow: len-derived product truncated.
+		"narrowing overflow",
+		// CallMixup: inferred requirement crossed at the call site.
+		"subscripts domain=net containers",
+		// ReturnMixup: declared result domain violated.
+		"returned as",
+		// StoreMixup: element domain violated on store.
+		"stored in elem=net container",
+		// AppendMixup: element domain violated on append.
+		"appending domain=cell value to elem=net container",
+		// Annotation self-audit.
+		`unknown index domain "nosuch"`,
+		"duplicate //dtgp:indexdomain cell",
+		"alias target",
+		"attaches to no supported declaration",
+		"malformed //dtgp:index token",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("indexspace findings missing %q:\n%s", want, got)
+		}
+	}
+	// Clean variants: nothing may mention the alias domains (AliasClean),
+	// the within-cap narrowing (NarrowWithinCap), or the guarded forms.
+	for _, clean := range []string{"snode", "rcnode", "domain=tnode value", "domain=pin value"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("indexspace flagged a clean variant (%q):\n%s", clean, got)
+		}
+	}
+}
+
+// TestIndexSpaceSuppression: the //dtgp:allow(indexspace) read must land
+// in the audit stream, not the failure stream.
+func TestIndexSpaceSuppression(t *testing.T) {
+	prog, facts, _ := loadFixture(t, "indexspace")
+	_, suppressed, err := runAnalyzersFull(prog, facts, []*Analyzer{IndexSpace}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range suppressed {
+		if d.Check == "indexspace" && strings.Contains(d.Message, "domain=cell") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("AllowedMixup suppression missing from audit stream: %v", suppressed)
+	}
+}

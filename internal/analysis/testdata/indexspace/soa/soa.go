@@ -1,0 +1,186 @@
+// Package soa is the indexspace fixture: declared index domains, an
+// annotated SoA netlist, and a row of seeded mutants — a swapped cell/net
+// subscript, a dropped bounds guard before an int32 narrowing, an
+// overflowing nodes*fanout product, a cross-domain call argument, a
+// mis-domained store/append/return — next to clean variants (range
+// propagation, worklist pops, capacity-fact narrowing, domain aliases)
+// that must stay silent.
+//
+//dtgp:indexdomain cell cap=2000000
+//dtgp:indexdomain net cap=2100000
+//dtgp:indexdomain pin cap=8400000
+//dtgp:indexdomain tnode cap=16800000
+//dtgp:indexdomain fan cap=256
+//dtgp:indexdomain gidx
+//dtgp:indexdomain snode cap=8192
+//dtgp:indexdomain rcnode alias=snode
+package soa
+
+// Design is a flat SoA netlist slice bundle.
+type Design struct {
+	// NetOfCell maps each cell to its output net.
+	NetOfCell []int32 //dtgp:index domain=cell elem=net
+	// FirstPin maps each net to its first pin.
+	FirstPin []int32 //dtgp:index domain=net elem=pin
+	// CellOfPin maps each pin to its owning cell.
+	CellOfPin []int32 //dtgp:index domain=pin elem=cell
+}
+
+// Tree is an RC/Steiner pair sharing one node index space by construction.
+type Tree struct {
+	Parent []int32   //dtgp:index domain=snode elem=snode
+	RDelay []float64 //dtgp:index domain=rcnode
+}
+
+// CleanWalk exercises range propagation, elem-typed reads and worklist
+// pops without a single finding.
+func CleanWalk(d *Design) int32 {
+	var total int32
+	var work []int32 //dtgp:index elem=cell
+	for c := range d.NetOfCell {
+		work = append(work, int32(c))
+	}
+	for len(work) > 0 {
+		c := work[len(work)-1]
+		work = work[:len(work)-1]
+		n := d.NetOfCell[c]
+		p := d.FirstPin[n]
+		total += d.CellOfPin[p]
+	}
+	return total
+}
+
+// NarrowWithinCap narrows a tnode value whose capacity fact fits int32:
+// clean without any guard.
+//
+//dtgp:index t=tnode
+func NarrowWithinCap(t int) int32 {
+	return int32(t)
+}
+
+// AliasClean subscripts the rcnode column with an snode value: aliases
+// are one domain.
+//
+//dtgp:index s=snode
+func AliasClean(t *Tree, s int32) float64 {
+	return t.RDelay[t.Parent[s]]
+}
+
+// headPin is a correctly annotated accessor used by the clean callers.
+//
+//dtgp:index n=net return=pin
+func headPin(d *Design, n int32) int32 {
+	return d.FirstPin[n]
+}
+
+// ChainClean drives the annotated accessor with the right domain.
+//
+//dtgp:index c=cell
+func ChainClean(d *Design, c int32) int32 {
+	return d.CellOfPin[headPin(d, d.NetOfCell[c])]
+}
+
+// SwappedSubscript is the swapped cell/net index mutant: c is a cell
+// index but subscripts the net-indexed column.
+//
+//dtgp:index c=cell
+func SwappedSubscript(d *Design, c int32) int32 {
+	return d.FirstPin[c]
+}
+
+// NarrowDropped is the dropped-bounds-guard mutant: i spans a domain with
+// no capacity fact and is truncated without a dominating guard.
+//
+//dtgp:index i=gidx
+func NarrowDropped(i int) int32 {
+	return int32(i)
+}
+
+// NarrowGuarded keeps the guard: clean.
+//
+//dtgp:index i=gidx
+func NarrowGuarded(i, n int) int32 {
+	if i < n {
+		return int32(i)
+	}
+	return 0
+}
+
+// OverflowProduct is the overflowing nodes*fanout mutant: both factors
+// carry capacity facts whose product exceeds math.MaxInt32.
+//
+//dtgp:index nodes=tnode fanout=fan
+func OverflowProduct(nodes, fanout int32) int32 {
+	return nodes * fanout
+}
+
+// LenProductNarrow narrows a len-derived product that cannot fit: the
+// cell and net capacity facts multiply past int32.
+func LenProductNarrow(d *Design) int32 {
+	return int32(len(d.NetOfCell) * len(d.FirstPin))
+}
+
+// netHead is an unannotated helper: its parameter requirement (net) is
+// inferred from the subscript it performs.
+func netHead(d *Design, n int32) int32 {
+	return d.FirstPin[n]
+}
+
+// CallMixup passes a cell value where the callee subscripts net columns.
+//
+//dtgp:index c=cell
+func CallMixup(d *Design, c int32) int32 {
+	return netHead(d, c)
+}
+
+// ReturnMixup declares a net result but produces a cell value.
+//
+//dtgp:index p=pin return=net
+func ReturnMixup(d *Design, p int32) int32 {
+	return d.CellOfPin[p]
+}
+
+// StoreMixup stores a cell value into the net-elem column.
+//
+//dtgp:index c=cell
+func StoreMixup(d *Design, c int32) {
+	d.NetOfCell[c] = c
+}
+
+// AppendMixup appends a cell value to a net worklist.
+//
+//dtgp:index c=cell
+func AppendMixup(c int32) []int32 {
+	var queue []int32 //dtgp:index elem=net
+	queue = append(queue, c)
+	return queue
+}
+
+// AllowedMixup is a deliberate cross-domain read kept as a suppression
+// fixture for the audit stream.
+//
+//dtgp:index c=cell
+func AllowedMixup(d *Design, c int32) int32 {
+	return d.FirstPin[c] //dtgp:allow(indexspace) deliberate transpose probe
+}
+
+// BadDomain references an undeclared domain: the annotation itself is the
+// finding.
+type BadDomain struct {
+	Col []int32 //dtgp:index domain=nosuch
+}
+
+// The duplicate declaration below must be reported, not silently merged.
+//
+//dtgp:indexdomain cell cap=5
+
+// The alias below names a domain that does not exist.
+//
+//dtgp:indexdomain ghost alias=phantom
+
+// A dtgp:index directive that attaches to no supported declaration is a
+// finding too (here: a const).
+const answer = 42 //dtgp:index domain=cell
+
+// malformed carries a token that does not parse as key=value.
+var malformed []int32 //dtgp:index domain:cell

@@ -60,9 +60,9 @@ type sparseState struct {
 	domains [2][]int32
 
 	// Selection scratch.
-	selFlags     []bool
-	selEps       []int32
-	order        []int32
+	selFlags     []bool  //dtgp:index domain=endp
+	selEps       []int32 //dtgp:index elem=endp
+	order        []int32 //dtgp:index elem=endp
 	selCompactor *parallel.Compactor
 
 	// Cone marking state. buckets holds cone pins per level awaiting
@@ -72,19 +72,19 @@ type sparseState struct {
 	// so it is cached across passes: seedPins/prevSeedPins detect selection
 	// changes and coneValid gates the rebuild.
 	coneSet      bitset.Set
-	conePinList  []int32
-	buckets      [][]int32
-	groupOf      []int32
-	groupBase    []int32
+	conePinList  []int32   //dtgp:index elem=pin
+	buckets      [][]int32 //dtgp:index domain=level
+	groupOf      []int32   //dtgp:index domain=pin
+	groupBase    []int32   //dtgp:index domain=level
 	groupMark    bitset.Set
 	markedGroups []int32
-	levelGroups  [][]int32
+	levelGroups  [][]int32 //dtgp:index domain=level
 	netMark      bitset.Set
-	coneNets     []int32
+	coneNets     []int32 //dtgp:index elem=net
 	//dtgp:cached by=buildSparseState,backwardSparse
-	seedPins []int32
+	seedPins []int32 //dtgp:index elem=pin
 	//dtgp:cached by=buildSparseState,backwardSparse
-	prevSeedPins []int32
+	prevSeedPins []int32 //dtgp:index elem=pin
 	//dtgp:cached by=buildSparseState,backwardSparse
 	coneValid bool
 
@@ -93,20 +93,20 @@ type sparseState struct {
 	// distinct single-writer groups, hence two flag arrays), so the Elmore
 	// backward, the scatter and the end-of-pass accumulator re-zeroing all
 	// run over the touched list instead of scanning the whole cone.
-	netTouchedSink []bool
-	netTouchedDrv  []bool
-	touchedNets    []int32
+	netTouchedSink []bool  //dtgp:index domain=net
+	netTouchedDrv  []bool  //dtgp:index domain=net
+	touchedNets    []int32 //dtgp:index elem=net
 	cellMark       bitset.Set
-	touchedCells   []int32
+	touchedCells   []int32 //dtgp:index elem=cell
 
 	// Fig. 4 two-pass scatter state: per-net per-pin-slot gradient
 	// accumulators and the static cell→(net, slot) transpose in CSR form
 	// (the exact inverse of the serial loop's slot→cell attribution).
-	pinGX         [][]float64
-	pinGY         [][]float64
-	cellSlotStart []int32
-	cellSlotNet   []int32
-	cellSlotPos   []int32
+	pinGX         [][]float64 //dtgp:index domain=net
+	pinGY         [][]float64 //dtgp:index domain=net
+	cellSlotStart []int32     //dtgp:index domain=cell
+	cellSlotNet   []int32     //dtgp:index elem=net
+	cellSlotPos   []int32     //dtgp:index elem=npin
 
 	// pruneAbs is the absolute adjoint deadband of the current sparse pass
 	// (ConePrune × the largest seeded adjoint magnitude).
@@ -116,7 +116,7 @@ type sparseState struct {
 	// pass, reused with geometric decay for non-cone contributions. warm
 	// is false until the first full pass has filled it; prevFull records
 	// that the previous pass dirtied all accumulators.
-	staleX, staleY []float64
+	staleX, staleY []float64 //dtgp:index domain=cell
 	warm           bool
 	prevFull       bool
 
@@ -532,6 +532,7 @@ func (sb *sparseState) resetMarks() {
 // bucket and marks its backward group for the restricted sweep.
 //
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (t *Timer) coneAdd(pid int32) {
 	sb := t.sb
 	if !sb.coneSet.TryAdd(pid) {
@@ -551,6 +552,7 @@ func (t *Timer) coneAdd(pid int32) {
 // pass, and the touched-net reset re-zeroes exactly what a pass wrote.
 //
 //dtgp:hotpath
+//dtgp:index ni=net
 func (t *Timer) coneMarkNet(ni int32) {
 	sb := t.sb
 	if !sb.netMark.TryAdd(ni) {
@@ -643,6 +645,7 @@ func (t *Timer) sweepConeGroup(i int) {
 // form exactly one backward group.
 //
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (t *Timer) backwardNetSinkSparse(pid int32) {
 	sb := t.sb
 	eps := sb.pruneAbs
@@ -686,6 +689,7 @@ func (t *Timer) backwardNetSinkSparse(pid int32) {
 // exactly one backward group.
 //
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (t *Timer) backwardCellOutSparse(pid int32) {
 	sb := t.sb
 	eps := sb.pruneAbs

@@ -25,12 +25,14 @@ import (
 
 // holdState carries the early-mode arrays (allocated on first use).
 type holdState struct {
-	AT, Slew []float64 // earliest arrival / fastest slew (smoothed)
-	Valid    []bool
-	HardAT   []float64 // exact min tracked alongside
+	// AT/Slew are the earliest arrival / fastest slew (smoothed); HardAT
+	// tracks the exact min alongside.
+	AT, Slew []float64 //dtgp:index domain=tnode
+	Valid    []bool    //dtgp:index domain=tnode
+	HardAT   []float64 //dtgp:index domain=tnode
 	// Stored soft-min partition state (of the negated candidates).
-	atMax, atZ, slMax, slZ []float64
-	gAT, gSlew             []float64
+	atMax, atZ, slMax, slZ []float64 //dtgp:index domain=tnode
+	gAT, gSlew             []float64 //dtgp:index domain=tnode
 }
 
 func (t *Timer) ensureHold() {
@@ -56,6 +58,7 @@ func (t *Timer) ensureHold() {
 // (weights t1, t2 — Eq. 6) plus smoothed total hold slack (weight t3).
 // Gradients accumulate into CellGradX/CellGradY; SmTHS/EstTHS report the
 // hold objective.
+//
 //dtgp:hotpath
 func (t *Timer) EvaluateHold(t1, t2, t3 float64) float64 {
 	t.refreshNets()
@@ -67,6 +70,7 @@ func (t *Timer) EvaluateHold(t1, t2, t3 float64) float64 {
 
 // forwardEarly propagates earliest arrivals and fastest slews with
 // soft-min aggregation at cell outputs.
+//
 //dtgp:hotpath
 func (t *Timer) forwardEarly() {
 	g := t.G
@@ -126,6 +130,7 @@ func (t *Timer) forwardEarly() {
 //dtgp:hotpath
 //dtgp:forward(netprop-early)
 //dtgp:nondiff(HardAT)
+//dtgp:index pid=pin
 func (t *Timer) forwardEarlyNetSink(pid int32) {
 	ni := t.netOfSink[pid]
 	if ni < 0 || t.Nets[ni].Tree == nil {
@@ -156,6 +161,7 @@ func (t *Timer) forwardEarlyNetSink(pid int32) {
 //dtgp:hotpath
 //dtgp:forward(cellarc-early)
 //dtgp:nondiff(HardAT)
+//dtgp:index pid=pin
 func (t *Timer) forwardEarlyCellOut(pid int32) {
 	h := t.hold
 	gamma := t.Opts.Gamma
@@ -196,7 +202,9 @@ func (t *Timer) forwardEarlyCellOut(pid int32) {
 }
 
 // eachEarlyCandidate mirrors eachCandidate with early-mode input slews.
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (t *Timer) eachEarlyCandidate(pid int32, outTr timing.Transition, load float64, fn func(u int32, at, slew float64)) {
 	g := t.G
 	h := t.hold
@@ -220,6 +228,7 @@ func (t *Timer) eachEarlyCandidate(pid int32, outTr timing.Transition, load floa
 
 // SmTHS and EstTHS report the smoothed / hard total hold slack of the last
 // EvaluateHold call.
+//
 //dtgp:hotpath
 func (t *Timer) holdObjective(t3 float64, seed bool) float64 {
 	g := t.G
@@ -300,6 +309,7 @@ func holdConstraintTable(arc *liberty.TimingArc, dataTr timing.Transition) *libe
 }
 
 // backwardWithHold is backward() extended with the early-mode chain.
+//
 //dtgp:hotpath
 func (t *Timer) backwardWithHold(t1, t2, t3 float64) float64 {
 	h := t.hold
@@ -395,6 +405,7 @@ func (t *Timer) backwardWithHold(t1, t2, t3 float64) float64 {
 
 //dtgp:hotpath
 //dtgp:backward(netprop-early)
+//dtgp:index pid=pin
 func (t *Timer) backwardEarlyNetSink(pid int32) {
 	ni := t.netOfSink[pid]
 	if ni < 0 || t.Nets[ni].Tree == nil {
@@ -424,6 +435,7 @@ func (t *Timer) backwardEarlyNetSink(pid int32) {
 
 //dtgp:hotpath
 //dtgp:backward(cellarc-early)
+//dtgp:index pid=pin
 func (t *Timer) backwardEarlyCellOut(pid int32) {
 	h := t.hold
 	gamma := t.Opts.Gamma

@@ -22,6 +22,7 @@ func LSE(gamma float64, xs ...float64) float64 {
 
 // lseShifted returns the LSE value and the shifted partition function
 // Σ exp((x_i−m)/γ) together with... the max is recoverable as v − γ·log(z).
+//
 //dtgp:hotpath
 func lseShifted(gamma float64, xs []float64) (val, z float64) {
 	m := math.Inf(-1)
@@ -147,6 +148,7 @@ func SoftNegGrad(gamma, s float64) (float64, float64) {
 }
 
 // softplus computes log(1+exp(x)) without overflow.
+//
 //dtgp:hotpath
 func softplus(x float64) float64 {
 	if x > 30 {

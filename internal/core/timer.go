@@ -119,7 +119,7 @@ type PhaseTimes struct {
 // aggregation. Keyed by the runtime's worker id; padded so two workers'
 // slice headers never share a cache line.
 type fwdScratch struct {
-	u  []int32
+	u  []int32 //dtgp:index elem=tnode
 	at []float64
 	sl []float64
 	_  [56]byte
@@ -137,7 +137,7 @@ type epState struct {
 // bwdGroup is one single-writer unit of the reverse sweep: the net-sink
 // pins of one net, or the output pins of one cell, within one level.
 type bwdGroup struct {
-	pins  []int32
+	pins  []int32 //dtgp:index elem=pin
 	isNet bool
 }
 
@@ -156,35 +156,37 @@ type Timer struct {
 
 	// Nets carries the Steiner/RC state; rebuilt every SteinerPeriod
 	// evaluations and coordinate-refreshed otherwise.
-	Nets []timing.NetState
+	Nets []timing.NetState //dtgp:index domain=net
 
 	// Forward state per (pin, transition) index; smoothed late analysis.
-	AT, Slew []float64
-	Valid    []bool
+	AT, Slew []float64 //dtgp:index domain=tnode
+	Valid    []bool    //dtgp:index domain=tnode
 	// HardAT tracks the exact max alongside the LSE so WNS/TNS estimates
 	// are available without a separate exact pass.
-	HardAT []float64
+	HardAT []float64 //dtgp:index domain=tnode
 	// Stored LSE partition state for weight recomputation in backward.
-	atMax, atZ, slMax, slZ []float64
+	atMax, atZ, slMax, slZ []float64 //dtgp:index domain=tnode
 
 	// Backward accumulators.
-	gAT, gSlew []float64
-	gDelayNode [][]float64 // per net, per Steiner node: ∂f/∂Delay
-	gImpSq     [][]float64 // per net, per node: ∂f/∂Impulse²
-	gLoadRoot  []float64   // per net: ∂f/∂Load(root)
+	gAT, gSlew []float64 //dtgp:index domain=tnode
+	// gDelayNode is per net, per Steiner node: ∂f/∂Delay; gImpSq is per
+	// net, per node: ∂f/∂Impulse²; gLoadRoot is per net: ∂f/∂Load(root).
+	gDelayNode [][]float64 //dtgp:index domain=net
+	gImpSq     [][]float64 //dtgp:index domain=net
+	gLoadRoot  []float64   //dtgp:index domain=net
 	// netGrads are persistent per-net Elmore gradient buffers reused by
 	// BackwardInto; netGradUsed marks nets touched this pass.
-	netGrads    []*rctree.Grad
-	netGradUsed []bool
+	netGrads    []*rctree.Grad //dtgp:index domain=net
+	netGradUsed []bool         //dtgp:index domain=net
 
 	// Early-mode (hold) state, allocated on first EvaluateHold.
 	hold            *holdState
-	gDelayNodeEarly [][]float64
-	gImpSqEarly     [][]float64
-	gLoadRootEarly  []float64
+	gDelayNodeEarly [][]float64 //dtgp:index domain=net
+	gImpSqEarly     [][]float64 //dtgp:index domain=net
+	gLoadRootEarly  []float64   //dtgp:index domain=net
 
 	// Outputs of Evaluate.
-	CellGradX, CellGradY []float64
+	CellGradX, CellGradY []float64 //dtgp:index domain=cell
 	// SmTNS/SmWNS are the smoothed objective values TNS_γ, WNS_γ;
 	// EstTNS/EstWNS are hard-max estimates from the same pass. SmTHS and
 	// EstTHS report the hold objective when EvaluateHold is used.
@@ -195,18 +197,20 @@ type Timer struct {
 	evalCount int
 
 	// Precomputed structure.
-	netOfSink, posOfSink []int32
+	netOfSink []int32 //dtgp:index domain=pin elem=net
+	posOfSink []int32 //dtgp:index domain=pin elem=npin
 	// Per level: cell-output pins grouped by owning cell, and net-sink
 	// pins grouped by net, so backward distribution within a group is
 	// single-writer per fan-in location.
-	cellGroups [][][]int32
-	netGroups  [][][]int32
+	cellGroups [][][]int32 //dtgp:index domain=level
+	netGroups  [][][]int32 //dtgp:index domain=level
 	// bwdGroups merges both group kinds per level into one parallel phase
 	// (the write sets are disjoint: net groups update driver pins and
 	// per-net accumulators, cell groups update cell-input pins).
-	bwdGroups [][]bwdGroup
-	// Start pins and their constraint-derived AT/slew, fixed per design.
-	startPins          []int32
+	bwdGroups [][]bwdGroup //dtgp:index domain=level
+	// Start pins and their constraint-derived AT/slew, fixed per design
+	// (startAT/startSlew are positional companions of startPins).
+	startPins          []int32 //dtgp:index elem=pin
 	startAT, startSlew []float64
 
 	// Worker-local scratch and stored kernel closures. The closures are
@@ -214,7 +218,7 @@ type Timer struct {
 	// is passed through the cur* fields, keeping the steady state free of
 	// closure allocations.
 	scratch    []fwdScratch
-	curLevel   []int32
+	curLevel   []int32 //dtgp:index elem=pin
 	curBwd     []bwdGroup
 	fwdFn      func(w, lo, hi int)
 	bwdFn      func(i int)
@@ -232,13 +236,13 @@ type Timer struct {
 	// kernel. fullPass records that the current evaluation refreshed
 	// everything (first build, fence, or the dirty-density cutoff), so the
 	// forward sweep must run in full.
-	netMoved      []bool
-	dirtyNets     []int32
+	netMoved      []bool  //dtgp:index domain=net
+	dirtyNets     []int32 //dtgp:index elem=net
 	pinDirty      bitset.Set
-	pinChanged    []bool
-	levelBuckets  [][]int32
+	pinChanged    []bool    //dtgp:index domain=pin
+	levelBuckets  [][]int32 //dtgp:index domain=level
 	dirtyCount    int
-	curWork       []int32
+	curWork       []int32 //dtgp:index elem=pin
 	compactor     *parallel.Compactor
 	fullPass      bool
 	netMovedFn    func(w, lo, hi int)
@@ -248,9 +252,9 @@ type Timer struct {
 	// Objective scratch. wnsM/wnsZ are the shift and partition value of the
 	// inline endpoint softmin, stored so the sparse seeding can renormalise
 	// over a subset with the same shifted form.
-	epStates []epState
+	epStates []epState //dtgp:index domain=endp
 	sEps     []float64
-	epIdx    []int
+	epIdx    []int //dtgp:index elem=endp
 	wnsM     float64
 	wnsZ     float64
 
@@ -594,6 +598,7 @@ func (t *Timer) buildKernels() {
 
 // ensureScratch sizes per-worker candidate scratch to the runtime's current
 // worker count. Called from serial sections only.
+//
 //dtgp:hotpath
 func (t *Timer) ensureScratch() {
 	if n := parallel.Workers(); n > len(t.scratch) {
@@ -604,6 +609,7 @@ func (t *Timer) ensureScratch() {
 // refreshNets updates or rebuilds the Steiner/RC state and runs the Elmore
 // forward passes (Fig. 3 stages 1-2). In incremental mode only nets whose
 // pins moved beyond ε are touched.
+//
 //dtgp:hotpath
 func (t *Timer) refreshNets() {
 	if t.Opts.Incremental {
@@ -631,6 +637,7 @@ func (t *Timer) refreshNets() {
 // nets get the lazy refresh-or-rebuild plus Elmore forward. The first
 // evaluation and every FencePeriod-th evaluation instead refresh everything
 // (the fence that bounds sub-ε drift).
+//
 //dtgp:hotpath
 func (t *Timer) refreshNetsIncremental() {
 	if t.Nets == nil {
@@ -665,6 +672,7 @@ func (t *Timer) refreshNetsIncremental() {
 // objectives (Eq. 6). It returns the timing objective value
 // f = −t1·TNS_γ − t2·WNS_γ (non-negative when violations exist); its
 // gradient with respect to cell positions is left in CellGradX/CellGradY.
+//
 //dtgp:hotpath
 func (t *Timer) Evaluate(t1, t2 float64) float64 {
 	start := time.Now()
@@ -676,6 +684,7 @@ func (t *Timer) Evaluate(t1, t2 float64) float64 {
 
 // EvaluateValueOnly runs just the forward pass (for tests and finite
 // difference checks) and returns f without touching gradients.
+//
 //dtgp:hotpath
 func (t *Timer) EvaluateValueOnly(t1, t2 float64) float64 {
 	t.refreshNets()
@@ -737,9 +746,11 @@ func (t *Timer) forward() {
 // forwardNetSink applies Eq. 9 per transition. HardAT is the hard
 // (non-smoothed) arrival used only for reporting and is deliberately not
 // differentiated.
+//
 //dtgp:hotpath
 //dtgp:forward(netprop)
 //dtgp:nondiff(HardAT)
+//dtgp:index pid=pin
 func (t *Timer) forwardNetSink(pid int32) {
 	ni := t.netOfSink[pid]
 	if ni < 0 {
@@ -770,9 +781,11 @@ func (t *Timer) forwardNetSink(pid int32) {
 // into the worker's scratch so each LUT is evaluated once (the stable
 // two-pass LSE then runs over the cached values). HardAT is the hard
 // (non-smoothed) arrival, deliberately not differentiated.
+//
 //dtgp:hotpath
 //dtgp:forward(cellarc)
 //dtgp:nondiff(HardAT)
+//dtgp:index pid=pin
 func (t *Timer) forwardCellOut(pid int32, worker int) {
 	g := t.G
 	gamma := t.Opts.Gamma
@@ -843,6 +856,7 @@ func (t *Timer) forwardCellOut(pid int32, worker int) {
 // the recomputation itself runs on the pool. Work is proportional to the
 // dirty cone: levels outside it are skipped via their empty buckets, and
 // the sweep stops as soon as the outstanding count hits zero.
+//
 //dtgp:hotpath
 func (t *Timer) forwardIncremental() {
 	t.ensureScratch()
@@ -876,7 +890,9 @@ func (t *Timer) forwardIncremental() {
 }
 
 // markDirty queues pid for recomputation in its level's bucket (once).
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (t *Timer) markDirty(pid int32) {
 	if t.pinDirty.TryAdd(pid) {
 		li := t.G.Level[pid]
@@ -888,6 +904,7 @@ func (t *Timer) markDirty(pid int32) {
 // changedBeyond reports whether any of the three forward quantities moved by
 // more than eps. −Inf→−Inf (unreachable stays unreachable) compares as NaN
 // and correctly reads as unchanged; −Inf→finite is +Inf and propagates.
+//
 //dtgp:hotpath
 func changedBeyond(eps, a0, a1, b0, b1, c0, c1 float64) bool {
 	return math.Abs(a1-a0) > eps || math.Abs(b1-b0) > eps || math.Abs(c1-c0) > eps
@@ -898,7 +915,9 @@ func changedBeyond(eps, a0, a1, b0, b1, c0, c1 float64) bool {
 // outputs moved beyond PropagateEps. Wrapping the tagged kernel keeps a
 // single numeric implementation, so incremental and full sweeps are
 // bit-identical by construction.
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (t *Timer) forwardNetSinkInc(pid int32) {
 	r, f := timing.TIdx(pid, timing.Rise), timing.TIdx(pid, timing.Fall)
 	atR, slR, haR := t.AT[r], t.Slew[r], t.HardAT[r]
@@ -912,7 +931,9 @@ func (t *Timer) forwardNetSinkInc(pid int32) {
 }
 
 // forwardCellOutInc is the cell-output counterpart of forwardNetSinkInc.
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (t *Timer) forwardCellOutInc(pid int32, worker int) {
 	r, f := timing.TIdx(pid, timing.Rise), timing.TIdx(pid, timing.Fall)
 	atR, slR, haR := t.AT[r], t.Slew[r], t.HardAT[r]
@@ -928,7 +949,9 @@ func (t *Timer) forwardCellOutInc(pid int32, worker int) {
 // markFanouts dirties every pin whose forward value reads pid's outputs:
 // the other pins of the net pid drives (if any), and the To pins of the
 // cell arcs leaving pid.
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (t *Timer) markFanouts(pid int32) {
 	g := t.G
 	d := g.D
@@ -974,6 +997,7 @@ func inputTransitions(u liberty.Unateness, out timing.Transition) [2]int8 {
 }
 
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (t *Timer) driverLoadOf(pid int32) float64 {
 	net := t.G.D.Pins[pid].Net
 	if net < 0 || t.Nets[net].Tree == nil {
@@ -987,6 +1011,7 @@ func (t *Timer) driverLoadOf(pid int32) float64 {
 
 // softMin2Grad is the two-input smooth minimum with gradient weights,
 // arithmetically identical to SoftMinGrad(gamma, x0, x1) but allocation-free.
+//
 //dtgp:hotpath
 func softMin2Grad(gamma, x0, x1 float64) (v, w0, w1 float64) {
 	n0, n1 := -x0, -x1
@@ -1003,6 +1028,7 @@ func softMin2Grad(gamma, x0, x1 float64) (v, w0, w1 float64) {
 // objective computes the smoothed slack objective; when seed is true it
 // additionally spreads ∂f/∂slack into gAT/gSlew (the endpoint seeds of the
 // reverse sweep). All scratch is Timer-owned.
+//
 //dtgp:hotpath
 func (t *Timer) objective(t1, t2 float64, seed bool) (float64, bool) {
 	g := t.G
@@ -1117,7 +1143,9 @@ func (t *Timer) objective(t1, t2 float64, seed bool) (float64, bool) {
 // endpoint transition. For register endpoints the setup requirement depends
 // on the data slew through the constraint LUT, so the returned value is a
 // function of placement and the backward pass must chain through it.
+//
 //dtgp:hotpath
+//dtgp:index ti=tnode
 func (t *Timer) requiredAt(ep *timing.Endpoint, tr timing.Transition, ti int32) (float64, bool) {
 	switch ep.Kind {
 	case timing.EndFFData:
@@ -1146,13 +1174,13 @@ func constraintTable(arc *liberty.TimingArc, dataTr timing.Transition) *liberty.
 // backward seeds endpoint gradients and sweeps the levels in reverse,
 // applying Eq. 12 (cell arcs), Eq. 10 (net arcs) and Eq. 8 (Elmore), then
 // maps Steiner-node gradients onto cells via pin attribution (Fig. 4).
-//dtgp:hotpath
 // elmoreBackward runs the Elmore backward pass (Eq. 8) for nets [lo, hi)
 // into persistent per-net gradient buffers. It is the batch adjoint of
 // timing.ForwardAll: nets whose seeded gradients are all zero are skipped,
 // matching the sparsity of the reverse level sweep. Bound once as
 // t.elmoreFn so the hot loop dispatches without a per-call method value.
 //
+//dtgp:hotpath
 //dtgp:hotpath
 //dtgp:backward(elmore-batch)
 func (t *Timer) elmoreBackward(_, lo, hi int) {
@@ -1252,8 +1280,10 @@ func allZero(v []float64) bool {
 }
 
 // backwardNetSink applies Eq. 10 for every sink transition of a pin.
+//
 //dtgp:hotpath
 //dtgp:backward(netprop)
+//dtgp:index pid=pin
 func (t *Timer) backwardNetSink(pid int32) {
 	ni := t.netOfSink[pid]
 	if ni < 0 || t.Nets[ni].Tree == nil {
@@ -1284,8 +1314,10 @@ func (t *Timer) backwardNetSink(pid int32) {
 }
 
 // backwardCellOut applies Eq. 12 for every output transition of a pin.
+//
 //dtgp:hotpath
 //dtgp:backward(cellarc)
+//dtgp:index pid=pin
 func (t *Timer) backwardCellOut(pid int32) {
 	gamma := t.Opts.Gamma
 	netID := t.G.D.Pins[pid].Net

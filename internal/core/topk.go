@@ -44,6 +44,7 @@ func (t *Timer) selectTopK() {
 // vector.
 //
 //dtgp:hotpath
+//dtgp:index a=endp b=endp
 func (t *Timer) epLess(a, b int32) bool {
 	sa, sbv := t.epStates[a].sEp, t.epStates[b].sEp
 	if sa != sbv {
@@ -57,6 +58,7 @@ func (t *Timer) epLess(a, b int32) bool {
 // quickselect: median-of-three pivoting, no randomness.
 //
 //dtgp:hotpath
+//dtgp:index order=[]endp
 func (t *Timer) topkSelect(order []int32, k int) {
 	lo, hi := 0, len(order)
 	for hi-lo > 1 && k > lo && k < hi {
@@ -73,6 +75,7 @@ func (t *Timer) topkSelect(order []int32, k int) {
 // median-of-three pivot; returns the pivot's final position.
 //
 //dtgp:hotpath
+//dtgp:index order=[]endp
 func (t *Timer) epPartition(order []int32, lo, hi int) int {
 	mid := lo + (hi-lo)/2
 	if t.epLess(order[mid], order[lo]) {

@@ -69,7 +69,7 @@ type refiner struct {
 	// weighted makes swap costs use net weights (timing-aware mode).
 	weighted bool
 	// rows[y-key] holds cell indices sorted by x.
-	rowOf   map[int64][]int32
+	rowOf   map[int64][]int32 //dtgp:index elem=cell
 	rowKeys []int64
 }
 
@@ -215,6 +215,8 @@ func (r *refiner) globalSwapPass(candidates int) int {
 // width) exchanged positions: a's old slot now holds b and vice versa, and
 // the x-order within each row is unchanged because the coordinates swapped
 // exactly.
+//
+//dtgp:index a=cell b=cell
 func (r *refiner) swapEntries(a, b int32, rowA, rowB int64) {
 	if rowA == rowB {
 		cells := r.rowOf[rowA]
@@ -249,6 +251,8 @@ func (r *refiner) swapEntries(a, b int32, rowA, rowB int64) {
 // optimalRegion returns the point minimising the cell's connected-net
 // wirelength: the median of the bounding boxes of its nets computed
 // without the cell itself.
+//
+//dtgp:index ci=cell
 func (r *refiner) optimalRegion(ci int32) (geom.Point, bool) {
 	d := r.d
 	var xs, ys []float64
@@ -286,6 +290,8 @@ func (r *refiner) optimalRegion(ci int32) (geom.Point, bool) {
 }
 
 // nearestCells returns up to k cells from the candidate list closest to p.
+//
+//dtgp:index cands=[]cell return=[]cell
 func nearestCells(d *netlist.Design, cands []int32, p geom.Point, k int) []int32 {
 	type dc struct {
 		ci   int32
@@ -311,6 +317,8 @@ func nearestCells(d *netlist.Design, cands []int32, p geom.Point, k int) []int32
 // that shorten critical nets win even when raw HPWL would disagree — the
 // incremental timing-driven detailed placement setting of the ICCAD 2015
 // contest this paper evaluates on. Weights are restored afterwards.
+//
+//dtgp:index crit=net
 func RefineTimingAware(d *netlist.Design, crit []float64, alpha float64, opts Options) (*Result, error) {
 	if len(crit) != len(d.Nets) {
 		return nil, fmt.Errorf("detailed: criticality has %d entries, want %d", len(crit), len(d.Nets))

@@ -143,7 +143,7 @@ func Generate(p Params) (*netlist.Design, *sdc.Constraints, error) {
 	clkNet := b.AddNet("clknet")
 	b.Connect(clkNet, clkPort, "")
 
-	var inPorts []int32
+	var inPorts []int32 //dtgp:index elem=cell
 	for i := 0; i < p.NumInputs; i++ {
 		pi := b.AddInputPort(fmt.Sprintf("in%d", i), perimPos(portK, totalPorts))
 		portK++
@@ -152,7 +152,7 @@ func Generate(p Params) (*netlist.Design, *sdc.Constraints, error) {
 		signals = append(signals, signal{net: ni})
 		inPorts = append(inPorts, pi)
 	}
-	var outPorts []int32
+	var outPorts []int32 //dtgp:index elem=cell
 	for i := 0; i < p.NumOutputs; i++ {
 		po := b.AddOutputPort(fmt.Sprintf("out%d", i), perimPos(portK, totalPorts))
 		portK++

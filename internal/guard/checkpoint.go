@@ -28,7 +28,7 @@ type Checkpoint struct {
 	// NetWeights and NetVelocity snapshot the per-net weight state of the
 	// net-weighting flow (weights live on the design, velocity on the
 	// updater). Empty for designs without nets to reweight.
-	NetWeights, NetVelocity []float64
+	NetWeights, NetVelocity []float64 //dtgp:index domain=net
 	// Seed is the run's base RNG seed.
 	Seed int64
 

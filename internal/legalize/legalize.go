@@ -22,7 +22,7 @@ type Result struct {
 	Moved int
 	// Failed lists cells that could not be placed (die full); empty on
 	// success.
-	Failed []int32
+	Failed []int32 //dtgp:index elem=cell
 }
 
 // interval is a free span [lo, hi) within a row.
@@ -129,7 +129,7 @@ func Legalize(d *netlist.Design) (*Result, error) {
 		}
 	}
 
-	var order []int32
+	var order []int32 //dtgp:index elem=cell
 	for ci := range d.Cells {
 		c := &d.Cells[ci]
 		if c.Movable() && c.Class != netlist.ClassFiller {

@@ -116,7 +116,7 @@ type Pin struct {
 type TimingArc struct {
 	// From and To are indices into Cell.Pins. For checks, From is the
 	// clock pin and To the constrained data pin.
-	From, To int
+	From, To int //dtgp:index domain=lpin
 	Kind     ArcKind
 	Unate    Unateness
 
@@ -140,13 +140,15 @@ type Cell struct {
 	Area          float64
 	Width, Height float64
 	IsSequential  bool
-	Pins          []Pin
+	Pins          []Pin //dtgp:index domain=lpin
 	Arcs          []TimingArc
 
-	pinIndex map[string]int
+	pinIndex map[string]int //dtgp:index elem=lpin
 }
 
 // PinByName returns the index of the named pin, or -1.
+//
+//dtgp:index return=lpin
 func (c *Cell) PinByName(name string) int {
 	if c.pinIndex == nil {
 		c.buildIndex()
@@ -165,6 +167,8 @@ func (c *Cell) buildIndex() {
 }
 
 // Output returns the index of the first output pin, or -1.
+//
+//dtgp:index return=lpin
 func (c *Cell) Output() int {
 	for i := range c.Pins {
 		if c.Pins[i].Dir == DirOutput {
@@ -175,6 +179,8 @@ func (c *Cell) Output() int {
 }
 
 // ClockPin returns the index of the clock pin, or -1.
+//
+//dtgp:index return=lpin
 func (c *Cell) ClockPin() int {
 	for i := range c.Pins {
 		if c.Pins[i].IsClock {
@@ -185,6 +191,8 @@ func (c *Cell) ClockPin() int {
 }
 
 // Inputs returns the indices of all input pins (including clocks).
+//
+//dtgp:index return=[]lpin
 func (c *Cell) Inputs() []int {
 	var in []int
 	for i := range c.Pins {
@@ -208,12 +216,14 @@ type Library struct {
 	// DefaultMaxTransition caps propagated slews, in ps.
 	DefaultMaxTransition float64
 
-	Cells []Cell
+	Cells []Cell //dtgp:index domain=lcell
 
-	cellIndex map[string]int
+	cellIndex map[string]int //dtgp:index elem=lcell
 }
 
 // CellByName returns the index of the named cell master, or -1.
+//
+//dtgp:index return=lcell
 func (l *Library) CellByName(name string) int {
 	if l.cellIndex == nil {
 		l.BuildIndex()

@@ -48,8 +48,11 @@ func (b *Builder) fail(format string, args ...any) {
 	}
 }
 
-// AddCell instantiates a library cell and returns its index. Pins are
-// created from the library master with its physical offsets.
+// AddCell instantiates a library cell and returns its index (-1 on a
+// recorded error). Pins are created from the library master with its
+// physical offsets.
+//
+//dtgp:index return=cell
 func (b *Builder) AddCell(name, master string) int32 {
 	if b.err != nil {
 		return -1
@@ -92,6 +95,8 @@ func (b *Builder) AddCell(name, master string) int32 {
 }
 
 // AddFixedMacro adds an immovable blockage with no pins.
+//
+//dtgp:index return=cell
 func (b *Builder) AddFixedMacro(name string, r geom.Rect) int32 {
 	ci := int32(len(b.d.Cells))
 	b.d.Cells = append(b.d.Cells, Cell{
@@ -107,16 +112,21 @@ func (b *Builder) AddFixedMacro(name string, r geom.Rect) int32 {
 
 // AddInputPort adds a fixed primary input at pos. Its single pin drives
 // whatever net it is attached to.
+//
+//dtgp:index return=cell
 func (b *Builder) AddInputPort(name string, pos geom.Point) int32 {
 	return b.addPort(name, pos, PinOutput)
 }
 
 // AddOutputPort adds a fixed primary output at pos. Its single pin sinks
 // the attached net.
+//
+//dtgp:index return=cell
 func (b *Builder) AddOutputPort(name string, pos geom.Point) int32 {
 	return b.addPort(name, pos, PinInput)
 }
 
+//dtgp:index return=cell
 func (b *Builder) addPort(name string, pos geom.Point, dir PinDir) int32 {
 	if b.err != nil {
 		return -1
@@ -135,6 +145,8 @@ func (b *Builder) addPort(name string, pos geom.Point, dir PinDir) int32 {
 }
 
 // AddNet creates an empty net and returns its index.
+//
+//dtgp:index return=net
 func (b *Builder) AddNet(name string) int32 {
 	ni := int32(len(b.d.Nets))
 	b.d.Nets = append(b.d.Nets, Net{Name: name, Driver: -1, Weight: 1})
@@ -143,6 +155,8 @@ func (b *Builder) AddNet(name string) int32 {
 
 // Connect attaches the named pin of cell ci to net ni. Ports use pin name
 // "" (their only pin).
+//
+//dtgp:index ni=net ci=cell
 func (b *Builder) Connect(ni, ci int32, pinName string) *Builder {
 	if b.err != nil {
 		return b

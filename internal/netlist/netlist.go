@@ -62,14 +62,14 @@ const (
 type Cell struct {
 	Name string
 	// Lib indexes Design.Lib.Cells, or is -1 for ports and fillers.
-	Lib int32
+	Lib int32 //dtgp:index domain=lcell
 	// Pos is the lower-left corner in DBU.
 	Pos geom.Point
 	// W, H is the footprint (zero for ports).
 	W, H  float64
 	Class CellClass
-	// Pins lists this cell's pin ids.
-	Pins []int32
+	// Pins lists this cell's pin ids, positioned by library pin index.
+	Pins []int32 //dtgp:index domain=lpin elem=pin
 }
 
 // Fixed reports whether the placer may move the cell.
@@ -87,11 +87,11 @@ func (c *Cell) Center() geom.Point {
 // Pin is one pin instance.
 type Pin struct {
 	// Cell owns the pin.
-	Cell int32
+	Cell int32 //dtgp:index domain=cell
 	// Net is the net the pin connects to, or -1 when unconnected.
-	Net int32
+	Net int32 //dtgp:index domain=net
 	// LibPin indexes the owning cell's liberty pin list, or -1 for ports.
-	LibPin int32
+	LibPin int32 //dtgp:index domain=lpin
 	// Offset from the owning cell's lower-left corner.
 	Offset geom.Point
 	Dir    PinDir
@@ -102,8 +102,8 @@ type Net struct {
 	Name string
 	// Pins lists connected pin ids; Driver is the id of the driving pin or
 	// -1 for undriven (e.g. dangling) nets.
-	Pins   []int32
-	Driver int32
+	Pins   []int32 //dtgp:index domain=npin elem=pin
+	Driver int32   //dtgp:index domain=pin
 	// Weight is the net weight used by weighted wirelength; 1 by default.
 	Weight float64
 }
@@ -130,14 +130,14 @@ type Design struct {
 	Die  geom.Rect
 	Rows []Row
 
-	Cells []Cell
-	Nets  []Net
-	Pins  []Pin
+	Cells []Cell //dtgp:index domain=cell
+	Nets  []Net  //dtgp:index domain=net
+	Pins  []Pin  //dtgp:index domain=pin
 
 	Lib *liberty.Library
 
-	cellIndex map[string]int32
-	netIndex  map[string]int32
+	cellIndex map[string]int32 //dtgp:index elem=cell
+	netIndex  map[string]int32 //dtgp:index elem=net
 }
 
 // NumCells, NumNets and NumPins report the design size excluding fillers.
@@ -169,6 +169,8 @@ func (d *Design) NumNets() int { return len(d.Nets) }
 func (d *Design) NumPins() int { return len(d.Pins) }
 
 // CellByName returns the index of the named cell, or -1.
+//
+//dtgp:index return=cell
 func (d *Design) CellByName(name string) int32 {
 	if d.cellIndex == nil {
 		d.BuildIndex()
@@ -180,6 +182,8 @@ func (d *Design) CellByName(name string) int32 {
 }
 
 // NetByName returns the index of the named net, or -1.
+//
+//dtgp:index return=net
 func (d *Design) NetByName(name string) int32 {
 	if d.netIndex == nil {
 		d.BuildIndex()
@@ -203,6 +207,8 @@ func (d *Design) BuildIndex() {
 }
 
 // PinPos returns the absolute position of pin p.
+//
+//dtgp:index p=pin
 func (d *Design) PinPos(p int32) geom.Point {
 	pin := &d.Pins[p]
 	cell := &d.Cells[pin.Cell]
@@ -210,6 +216,8 @@ func (d *Design) PinPos(p int32) geom.Point {
 }
 
 // PinName returns a hierarchical "cell/pin" display name.
+//
+//dtgp:index p=pin
 func (d *Design) PinName(p int32) string {
 	pin := &d.Pins[p]
 	cell := &d.Cells[pin.Cell]
@@ -224,6 +232,8 @@ func (d *Design) PinName(p int32) string {
 
 // NetHPWL returns the half-perimeter wirelength of net n, zero for nets
 // with fewer than two pins.
+//
+//dtgp:index n=net
 func (d *Design) NetHPWL(n int32) float64 {
 	net := &d.Nets[n]
 	if len(net.Pins) < 2 {

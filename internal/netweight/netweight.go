@@ -44,10 +44,10 @@ type Updater struct {
 	// weight trajectory: only the reweight itself and a checkpoint restore
 	// may move it.
 	//dtgp:cached by=Update,RestoreVelocity
-	velocity []float64
+	velocity []float64 //dtgp:index domain=net
 	// crit is the persistent criticality buffer of Update (CriticalityInto
 	// target), so the steady-state reweight is allocation-free.
-	crit []float64
+	crit []float64 //dtgp:index domain=net
 	// Updates counts Update calls.
 	Updates int
 }
@@ -89,6 +89,7 @@ func Criticality(d *netlist.Design, res SlackSource) []float64 {
 // buffer so the periodic reweight allocates nothing once warm.
 //
 //dtgp:hotpath
+//dtgp:index crit=net
 func CriticalityInto(crit []float64, d *netlist.Design, res SlackSource) []float64 {
 	for ni := range crit {
 		crit[ni] = 0

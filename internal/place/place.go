@@ -8,6 +8,12 @@
 //   - ModeNetWeight  — momentum-based net weighting driven by a periodic
 //     exact STA ([24]);
 //   - ModeDiffTiming — the paper's differentiable-timing objective (Eq. 6).
+//
+// The engine's degree-of-freedom arrays are subscripted by the slot domain:
+// design cells first (slot i < nReal is cell i by construction), density
+// fillers after, so its capacity is the cell population plus as many fillers.
+//
+//dtgp:indexdomain slot cap=4000000
 package place
 
 import (
@@ -284,8 +290,8 @@ type engine struct {
 
 	// Degree-of-freedom slots: design cells first, fillers after.
 	nReal, nFill int
-	w, h         []float64 // per slot
-	movable      []bool
+	w, h         []float64 //dtgp:index domain=slot
+	movable      []bool    //dtgp:index domain=slot
 	// position vector z = [x..., y...], length 2*nSlots.
 	z []float64
 
@@ -301,8 +307,8 @@ type engine struct {
 	// makes the engine self-correcting across supervisor rollbacks.
 	staInc *timing.Incremental
 	//dtgp:cached by=incrementalSTA
-	staX, staY []float64
-	staMoved   []int32
+	staX, staY []float64 //dtgp:index domain=cell
+	staMoved   []int32   //dtgp:index elem=cell
 
 	lambda float64
 	// timing activation state
@@ -310,11 +316,14 @@ type engine struct {
 	tGrow        float64
 
 	// scratch
-	gradX, gradY   []float64
-	wlGX, wlGY     []float64 // wirelength gradient over real cells
-	dx, dy, dw, dh []float64 // density arrays over movable slots
-	dgx, dgy       []float64 // density gradient over movable slots
-	dSlot          []int32
+	gradX, gradY []float64 //dtgp:index domain=slot
+	// wlGX/wlGY are the wirelength gradient over real cells; dx..dh and
+	// dgx/dgy are density arrays over the compacted movable-slot positions
+	// (the dSlot list), which have no domain of their own.
+	wlGX, wlGY     []float64 //dtgp:index domain=cell
+	dx, dy, dw, dh []float64
+	dgx, dgy       []float64
+	dSlot          []int32   //dtgp:index elem=slot
 	mx, my, mw, mh []float64 // overflow arrays over real movable cells
 	nMov           int       // movable real (non-filler) cell count
 
@@ -375,8 +384,8 @@ func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, 
 	e.gradY = make([]float64, nSlots)
 	for ci := range d.Cells {
 		c := &d.Cells[ci]
-		e.w[ci], e.h[ci] = c.W, c.H
-		e.movable[ci] = c.Movable()
+		e.w[ci], e.h[ci] = c.W, c.H //dtgp:allow(indexspace) design cells occupy slots 0..nReal-1 in cell order by construction
+		e.movable[ci] = c.Movable() //dtgp:allow(indexspace) same cell-id/slot-prefix embedding
 		e.z[ci] = c.Pos.X
 		e.z[nSlots+ci] = c.Pos.Y
 	}
@@ -395,7 +404,7 @@ func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, 
 	sigma := math.Min(d.Die.W(), d.Die.H()) * 0.05
 	for ci := range d.Cells {
 		c := &d.Cells[ci]
-		if !e.movable[ci] || c.Class == netlist.ClassFiller {
+		if !e.movable[ci] || c.Class == netlist.ClassFiller { //dtgp:allow(indexspace) cell-id/slot-prefix embedding (see newEngine)
 			continue
 		}
 		e.z[ci] = geom.Clamp(cx+rng.NormFloat64()*sigma-c.W/2, d.Die.Lo.X, d.Die.Hi.X-c.W)
@@ -473,9 +482,9 @@ func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, 
 	}
 	// Overflow arrays over movable real (non-filler) cells.
 	for ci := range d.Cells {
-		if e.movable[ci] {
-			e.mw = append(e.mw, e.w[ci])
-			e.mh = append(e.mh, e.h[ci])
+		if e.movable[ci] { //dtgp:allow(indexspace) cell-id/slot-prefix embedding (see newEngine)
+			e.mw = append(e.mw, e.w[ci]) //dtgp:allow(indexspace) cell-id/slot-prefix embedding
+			e.mh = append(e.mh, e.h[ci]) //dtgp:allow(indexspace) cell-id/slot-prefix embedding
 		}
 	}
 	e.mx = make([]float64, len(e.mw))
@@ -490,7 +499,7 @@ func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, 
 func (e *engine) writePositions(z []float64) {
 	nSlots := e.nReal + e.nFill
 	for ci := range e.d.Cells {
-		if e.movable[ci] {
+		if e.movable[ci] { //dtgp:allow(indexspace) cell-id/slot-prefix embedding (see newEngine)
 			e.d.Cells[ci].Pos.X = z[ci]
 			e.d.Cells[ci].Pos.Y = z[nSlots+ci]
 		}

@@ -19,51 +19,59 @@ import (
 // underlying rsmt.Tree nodes; the root is the driver pin's node.
 type Tree struct {
 	N    int
-	Root int32
+	Root int32 //dtgp:index domain=rcnode
 	// Parent/Order are the rooted topology, re-derived from the Steiner
 	// tree by Rebuild only.
 	//dtgp:cached by=Rebuild
-	Parent []int32 // Parent[Root] = -1
+	Parent []int32 //dtgp:index domain=rcnode elem=rcnode
+	// Order is preorder: parents precede children.
 	//dtgp:cached by=Rebuild
-	Order []int32 // preorder: parents precede children
+	Order []int32 //dtgp:index elem=rcnode
 	// Res[u] is the resistance of the edge Parent[u]→u (kΩ); Res[Root]=0.
 	//dtgp:cached by=Rebuild,RefreshGeometry
-	Res []float64
+	Res []float64 //dtgp:index domain=rcnode
 	// Cap[u] is the lumped capacitance at u (fF): attached pin caps plus
 	// half the wire cap of each incident edge.
 	//dtgp:cached by=Rebuild,RefreshGeometry
-	Cap []float64
+	Cap []float64 //dtgp:index domain=rcnode
 
 	// Forward results (Eq. 7), valid only after a Forward over the current
 	// Res/Cap state.
+	// Load is downstream capacitance.
 	//dtgp:cached by=Forward,Rebuild
-	Load []float64 // downstream capacitance
+	Load []float64 //dtgp:index domain=rcnode
+	// Delay is the Elmore delay from root.
 	//dtgp:cached by=Forward,Rebuild
-	Delay []float64 // Elmore delay from root
+	Delay []float64 //dtgp:index domain=rcnode
+	// LDelay is Σ_subtree Cap·Delay (slew intermediate).
 	//dtgp:cached by=Forward,Rebuild
-	LDelay []float64 // Σ_subtree Cap·Delay (slew intermediate)
+	LDelay []float64 //dtgp:index domain=rcnode
+	// Beta is the second moment accumulator.
 	//dtgp:cached by=Forward,Rebuild
-	Beta []float64 // second moment accumulator
+	Beta []float64 //dtgp:index domain=rcnode
+	// Impulse is sqrt(2·Beta − Delay²), the slew impulse.
 	//dtgp:cached by=Forward,Rebuild
-	Impulse []float64 // sqrt(2·Beta − Delay²), the slew impulse
+	Impulse []float64 //dtgp:index domain=rcnode
 
 	// Geometry bookkeeping for the coordinate gradient.
 	st       *rsmt.Tree
 	rPerUnit float64
 	cPerUnit float64
+	// edgeLen is the length of edge Parent[u]→u.
 	//dtgp:cached by=Rebuild,RefreshGeometry
-	edgeLen []float64 // length of edge Parent[u]→u
+	edgeLen []float64 //dtgp:index domain=rcnode
 }
 
 // Grad holds the backward sweep results.
 type Grad struct {
-	Beta, LDelay, Delay, Load []float64
-	Cap                       []float64 // ∂f/∂Cap(u)
-	Res                       []float64 // ∂f/∂Res(parent→u)
+	Beta, LDelay, Delay, Load []float64 //dtgp:index domain=rcnode
+	// Cap is ∂f/∂Cap(u); Res is ∂f/∂Res(parent→u).
+	Cap []float64 //dtgp:index domain=rcnode
+	Res []float64 //dtgp:index domain=rcnode
 	// X, Y are ∂f/∂(node coordinate) after mapping RC gradients through
 	// the wire geometry; redistribute Steiner entries with
 	// rsmt.Tree.XPin/YPin.
-	X, Y []float64
+	X, Y []float64 //dtgp:index domain=rcnode
 }
 
 // buildScratch holds the CSR adjacency buffers used while orienting the
@@ -79,6 +87,8 @@ var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
 // extracts RC values. pinCap[i] is the attached pin capacitance of Steiner
 // node i (input pin caps at sink nodes, 0 at the driver and pure Steiner
 // nodes). rPerUnit/cPerUnit are wire RC densities per DBU.
+//
+//dtgp:index root=rcnode pinCap=rcnode
 func Build(st *rsmt.Tree, root int32, pinCap []float64, rPerUnit, cPerUnit float64) (*Tree, error) {
 	t := &Tree{}
 	if err := t.Rebuild(st, root, pinCap, rPerUnit, cPerUnit); err != nil {
@@ -90,7 +100,9 @@ func Build(st *rsmt.Tree, root int32, pinCap []float64, rPerUnit, cPerUnit float
 // Rebuild re-extracts the RC tree in place (new topology, reused slices).
 // Steady-state periodic Steiner rebuilds reuse the previous extraction's
 // memory entirely.
+//
 //dtgp:hotpath
+//dtgp:index root=rcnode pinCap=rcnode
 func (t *Tree) Rebuild(st *rsmt.Tree, root int32, pinCap []float64, rPerUnit, cPerUnit float64) error {
 	n := st.NumNodes()
 	if n == 0 {
@@ -196,6 +208,7 @@ func (t *Tree) Rebuild(st *rsmt.Tree, root int32, pinCap []float64, rPerUnit, cP
 
 // RefreshGeometry recomputes edge RC after node coordinates changed but the
 // topology did not (the Steiner-reuse fast path, §3.6).
+//
 //dtgp:hotpath
 func (t *Tree) RefreshGeometry() {
 	st := t.st
@@ -224,6 +237,7 @@ func (t *Tree) RefreshGeometry() {
 
 // Forward runs the four Elmore DP passes (Eq. 7) and the impulse extraction
 // (Eq. 7e).
+//
 //dtgp:hotpath
 //dtgp:forward(elmore)
 func (t *Tree) Forward() {
@@ -296,8 +310,10 @@ func (t *Tree) Backward(gradDelay, gradImpulseSq []float64, gradLoadRoot float64
 // BackwardInto is Backward writing into a caller-owned Grad, growing its
 // slices on first use and reusing them afterwards. Steady-state callers
 // (the timer's per-net gradient buffers) pay zero allocations per sweep.
+//
 //dtgp:hotpath
 //dtgp:backward(elmore)
+//dtgp:index gradDelay=rcnode gradImpulseSq=rcnode
 func (t *Tree) BackwardInto(g *Grad, gradDelay, gradImpulseSq []float64, gradLoadRoot float64) {
 	n := t.N
 	if cap(g.Beta) < n {
@@ -391,6 +407,7 @@ func (t *Tree) BackwardInto(g *Grad, gradDelay, gradImpulseSq []float64, gradLoa
 //
 //	∂f/∂L(e) = r·∇Res(e) + (c/2)·(∇Cap(p) + ∇Cap(u))
 //	∂L/∂x_u = sign(x_u − x_p), ∂L/∂x_p = −sign(x_u − x_p)   (same for y)
+//
 //dtgp:hotpath
 func (t *Tree) geometryGrad(g *Grad) {
 	st := t.st

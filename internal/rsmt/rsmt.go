@@ -26,7 +26,7 @@ import (
 // are needed for RC extraction).
 type Tree struct {
 	//dtgp:cached by=BuildInto,UpdateFromPins
-	X, Y []float64
+	X, Y []float64 //dtgp:index domain=snode
 	//dtgp:cached by=BuildInto
 	NumPins int
 	// Edges connect node indices; the tree has len(X)-1 edges when
@@ -37,13 +37,14 @@ type Tree struct {
 	// y) coordinate determines node i's x (resp. y). For pins these are
 	// the identity.
 	//dtgp:cached by=BuildInto
-	XPin, YPin []int32
+	XPin, YPin []int32 //dtgp:index domain=snode elem=npin
 }
 
 // NumNodes returns the node count including Steiner points.
 func (t *Tree) NumNodes() int { return len(t.X) }
 
 // Length returns the total rectilinear wirelength.
+//
 //dtgp:hotpath
 func (t *Tree) Length() float64 {
 	total := 0.0
@@ -56,7 +57,9 @@ func (t *Tree) Length() float64 {
 // UpdateFromPins refreshes all node coordinates from new pin locations
 // without rebuilding topology — the paper's Steiner-reuse strategy (§3.6):
 // Steiner points move along with the pins that own their branches.
+//
 //dtgp:hotpath
+//dtgp:index px=npin py=npin
 func (t *Tree) UpdateFromPins(px, py []float64) {
 	for i := range t.X {
 		t.X[i] = px[t.XPin[i]]
@@ -94,7 +97,9 @@ func Build(px, py []float64) *Tree {
 // BuildInto rebuilds t in place over new pin coordinates, reusing its slice
 // capacity. With a warm tree and the pooled construction scratch, a rebuild
 // allocates nothing in steady state. Returns t.
+//
 //dtgp:hotpath
+//dtgp:index px=npin py=npin
 func BuildInto(t *Tree, px, py []float64) *Tree {
 	n := len(px)
 	// The previous Edges backing is owned by t; keep it aside so the final
@@ -131,6 +136,7 @@ func BuildInto(t *Tree, px, py []float64) *Tree {
 }
 
 //dtgp:hotpath
+//dtgp:index a=snode b=snode
 func dist(t *Tree, a, b int32) float64 {
 	return math.Abs(t.X[a]-t.X[b]) + math.Abs(t.Y[a]-t.Y[b])
 }
@@ -164,6 +170,7 @@ func (s *mstScratch) ensure(n int) {
 // mstEdges computes a rectilinear minimum spanning tree over nodes [0, n)
 // of t with Prim's algorithm (O(n²), fine for net degrees seen in practice).
 // The returned slice aliases the scratch and is valid until the next call.
+//
 //dtgp:hotpath
 func mstEdges(t *Tree, n int, s *mstScratch) [][2]int32 {
 	if n < 2 {
@@ -208,6 +215,7 @@ func mstEdges(t *Tree, n int, s *mstScratch) [][2]int32 {
 // pts, and records it in the scratch's best slots when strictly better (so
 // the empty subset — the plain MST — wins ties and useless degree-2 Steiner
 // candidates are avoided). Nodes are rolled back before returning.
+//
 //dtgp:hotpath
 func tryExact(t *Tree, s *buildScratch, pts []hanan, bestLen *float64) {
 	base := len(t.X)
@@ -232,6 +240,7 @@ func tryExact(t *Tree, s *buildScratch, pts []hanan, bestLen *float64) {
 // buildExact finds an optimal RSMT for 3–4 pins by enumerating Hanan-grid
 // Steiner point subsets of size ≤ n−2 and taking the spanning tree of
 // pins ∪ subset with minimum length.
+//
 //dtgp:hotpath
 func buildExact(t *Tree, s *buildScratch) {
 	n := t.NumPins
@@ -304,6 +313,7 @@ func buildExact(t *Tree, s *buildScratch) {
 // pointless; degree-0/1 are dead). Pins are never removed. The edge list is
 // filtered in place: every iteration removes at least one more edge than it
 // adds, so the write index never catches the read index.
+//
 //dtgp:hotpath
 func pruneDegenerate(t *Tree, edges [][2]int32, s *buildScratch) [][2]int32 {
 	for {
@@ -366,6 +376,7 @@ func pruneDegenerate(t *Tree, edges [][2]int32, s *buildScratch) [][2]int32 {
 // u with two neighbours v, w, the Hanan point s = (med(xu,xv,xw),
 // med(yu,yv,yw)) replaces edges (u,v),(u,w) with (u,s),(v,s),(w,s); the
 // insertion with the largest positive gain is applied repeatedly.
+//
 //dtgp:hotpath
 func buildHeuristic(t *Tree, s *buildScratch) {
 	n := t.NumPins
@@ -455,6 +466,7 @@ func median3(a, b, c float64) float64 {
 // median3Owner returns the median of three values together with the node
 // that contributed it (ties resolved toward the first occurrence, which
 // keeps attribution deterministic — the same order a stable sort yields).
+//
 //dtgp:hotpath
 func median3Owner(a, b, c float64, na, nb, nc int32) (float64, int32) {
 	v0, n0, v1, n1, v2, n2 := a, na, b, nb, c, nc

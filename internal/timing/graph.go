@@ -31,20 +31,22 @@ func (t Transition) String() string {
 }
 
 // TIdx flattens a (pin, transition) pair into an array index.
+//
+//dtgp:index pin=pin return=tnode
 func TIdx(pin int32, tr Transition) int32 { return 2*pin + int32(tr) }
 
 // ArcRef is one cell delay arc instantiated on design pins.
 type ArcRef struct {
 	// FromPin is the design pin id of the arc input.
-	FromPin int32
+	FromPin int32 //dtgp:index domain=pin
 	// Arc points into the library cell's arc list.
 	Arc *liberty.TimingArc
 }
 
 // CheckRef is a setup or hold check instantiated on design pins.
 type CheckRef struct {
-	DataPin int32
-	ClkPin  int32
+	DataPin int32 //dtgp:index domain=pin
+	ClkPin  int32 //dtgp:index domain=pin
 	Arc     *liberty.TimingArc
 }
 
@@ -59,7 +61,7 @@ const (
 
 // Endpoint is a timing endpoint where slack is measured.
 type Endpoint struct {
-	Pin   int32
+	Pin   int32 //dtgp:index domain=pin
 	Kind  EndpointKind
 	Setup *CheckRef // nil for ports
 	Hold  *CheckRef // nil for ports
@@ -76,32 +78,32 @@ type Graph struct {
 	Con *sdc.Constraints
 
 	// ArcsInto[p] lists the cell delay arcs driving output pin p.
-	ArcsInto [][]ArcRef
+	ArcsInto [][]ArcRef //dtgp:index domain=pin
 	// Checks lists all setup/hold checks.
 	Checks []CheckRef
 	// Endpoints lists slack measurement points.
-	Endpoints []Endpoint
+	Endpoints []Endpoint //dtgp:index domain=endp
 
 	// IsClockPin marks register clock pins (fixed AT/slew, ideal clock).
-	IsClockPin []bool
+	IsClockPin []bool //dtgp:index domain=pin
 	// IsClockNet marks nets excluded from timing propagation.
-	IsClockNet []bool
+	IsClockNet []bool //dtgp:index domain=net
 	// IsStart marks pins with externally fixed arrival (PI ports, clock
 	// pins).
-	IsStart []bool
+	IsStart []bool //dtgp:index domain=pin
 	// IsNetSink marks pins whose arrival comes through a net arc.
-	IsNetSink []bool
+	IsNetSink []bool //dtgp:index domain=pin
 	// IsCellOut marks pins whose arrival comes through cell arcs.
-	IsCellOut []bool
+	IsCellOut []bool //dtgp:index domain=pin
 
 	// Level[p] is the topological level of pin p (-1 for pins outside the
 	// timing universe); Levels groups pins by level in ascending order.
-	Level  []int32
-	Levels [][]int32
+	Level  []int32   //dtgp:index domain=pin elem=level
+	Levels [][]int32 //dtgp:index domain=level
 
 	// SinkCap[p] is the capacitance a net sees at sink pin p: library
 	// input-pin capacitance, or the SDC load for output ports.
-	SinkCap []float64
+	SinkCap []float64 //dtgp:index domain=pin
 }
 
 // NewGraph builds the timing graph for a design under constraints.
@@ -274,9 +276,9 @@ func NewGraph(d *netlist.Design, con *sdc.Constraints) (*Graph, error) {
 func (g *Graph) levelize() error {
 	d := g.D
 	nPins := len(d.Pins)
-	indeg := make([]int32, nPins)
+	indeg := make([]int32, nPins) //dtgp:index domain=pin
 	// Fan-out adjacency.
-	fanout := make([][]int32, nPins)
+	fanout := make([][]int32, nPins) //dtgp:index domain=pin
 	addEdge := func(u, v int32) {
 		fanout[u] = append(fanout[u], v)
 		indeg[v]++
@@ -304,7 +306,7 @@ func (g *Graph) levelize() error {
 	for i := range g.Level {
 		g.Level[i] = -1
 	}
-	var queue []int32
+	var queue []int32 //dtgp:index elem=pin
 	for pi := int32(0); pi < int32(nPins); pi++ {
 		if indeg[pi] == 0 {
 			// Only pins that can ever carry an arrival matter; isolated

@@ -22,38 +22,39 @@ import (
 // clients (swap evaluation in timing-driven detailed placement) need.
 type Incremental struct {
 	G    *Graph
-	Nets []NetState
+	Nets []NetState //dtgp:index domain=net
 
 	// AT and Slew are the late arrival state (exact max aggregation).
-	AT, Slew []float64
-	Valid    []bool
+	AT, Slew []float64 //dtgp:index domain=tnode
+	Valid    []bool    //dtgp:index domain=tnode
 	// RATLate is the maintained late required-time state, min-pulled from
 	// endpoint seeds exactly as Result.propagateRequired computes it, so
 	// per-pin slacks (PinSlack) stay current after every MoveCells batch.
-	RATLate []float64
+	RATLate []float64 //dtgp:index domain=tnode
 
 	// EndpointSlack per endpoint index (min over transitions).
-	EndpointSlack []float64
+	EndpointSlack []float64 //dtgp:index domain=endp
 	// WNS and TNS over endpoints.
 	WNS, TNS float64
 
-	netOfSink, posOfSink []int32
+	netOfSink []int32 //dtgp:index domain=pin elem=net
+	posOfSink []int32 //dtgp:index domain=pin elem=npin
 	// endpointOf maps a pin to its endpoint index, or -1.
-	endpointOf []int32
+	endpointOf []int32 //dtgp:index domain=pin elem=endp
 	// Pending propagation state: work holds dirty pins sorted by
 	// (level, pid), inDirty is their membership bitset. An explicit
 	// worklist instead of a map keyed set makes the drain order
 	// deterministic by construction (map iteration order would otherwise
 	// leak into the re-evaluation schedule) and avoids per-move map churn.
-	work    []int32
+	work    []int32 //dtgp:index elem=pin
 	inDirty bitset.Set
 	// ratWork/inRatDirty are the reverse (required-time) worklist, drained
 	// in (-level, pid) order after the forward drain.
-	ratWork    []int32
+	ratWork    []int32 //dtgp:index elem=pin
 	inRatDirty bitset.Set
 	// netWork/netTouched collect the incident nets of a move batch in
 	// first-touched order.
-	netWork    []int32
+	netWork    []int32 //dtgp:index elem=net
 	netTouched bitset.Set
 	derate     float64
 	clkSlew    float64
@@ -73,13 +74,13 @@ type Incremental struct {
 // counting-sort-by-level path over the persistent counts/starts/scratch
 // buffers, so no call allocates.
 type workSorter struct {
-	w     []int32
-	level []int32
+	w     []int32 //dtgp:index elem=pin
+	level []int32 //dtgp:index domain=pin elem=level
 	desc  bool
 	// Counting-sort state: counts/starts are per-level (len = number of
 	// levels), scratch holds the scattered worklist (cap = number of pins).
-	counts, starts []int32
-	scratch        []int32
+	counts, starts []int32 //dtgp:index domain=level
+	scratch        []int32 //dtgp:index elem=pin
 }
 
 func (s *workSorter) less(i, j int) bool {
@@ -178,7 +179,9 @@ func (inc *Incremental) WorstSlack() float64 { return inc.WNS }
 // PinSlack returns the late (setup) slack at a (pin, transition), +Inf when
 // the pin carries no constrained arrival — arithmetically identical to
 // Result.PinSlack on the maintained state.
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (inc *Incremental) PinSlack(pid int32, tr Transition) float64 {
 	t := TIdx(pid, tr)
 	if !inc.Valid[t] || math.IsInf(inc.RATLate[t], 1) {
@@ -188,6 +191,7 @@ func (inc *Incremental) PinSlack(pid int32, tr Transition) float64 {
 }
 
 // fullForward runs the complete late propagation from scratch.
+//
 //dtgp:hotpath
 func (inc *Incremental) fullForward() {
 	g := inc.G
@@ -217,6 +221,7 @@ func (inc *Incremental) fullForward() {
 }
 
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (inc *Incremental) initStart(pid int32) {
 	g := inc.G
 	var at, slew float64
@@ -244,7 +249,9 @@ func (inc *Incremental) initStart(pid int32) {
 
 // evalNetSink recomputes a sink pin; returns true when its AT/slew moved by
 // more than Epsilon.
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (inc *Incremental) evalNetSink(pid int32) bool {
 	ni := inc.netOfSink[pid]
 	if ni < 0 || inc.Nets[ni].Tree == nil {
@@ -274,7 +281,9 @@ func (inc *Incremental) evalNetSink(pid int32) bool {
 }
 
 // evalCellOut recomputes a cell output pin (exact max aggregation).
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (inc *Incremental) evalCellOut(pid int32) bool {
 	g := inc.G
 	load := 0.0
@@ -327,6 +336,7 @@ func (inc *Incremental) evalCellOut(pid int32) bool {
 }
 
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (inc *Incremental) driverLoadOf(pid int32) float64 {
 	if net := inc.G.D.Pins[pid].Net; net >= 0 && inc.Nets[net].Tree != nil {
 		return inc.Nets[net].DriverLoad()
@@ -337,7 +347,9 @@ func (inc *Incremental) driverLoadOf(pid int32) float64 {
 // seedRAT returns the endpoint required time of (pid, tr), or +Inf when pid
 // is not a constrained endpoint — the seed Result.propagateRequired writes
 // before the backward pull.
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (inc *Incremental) seedRAT(pid int32, tr Transition) float64 {
 	ei := inc.endpointOf[pid]
 	if ei < 0 {
@@ -367,7 +379,9 @@ func (inc *Incremental) seedRAT(pid int32, tr Transition) float64 {
 // Result.pullRequired, term by term, so maintained and from-scratch RATs
 // agree bitwise (exact min is insensitive to pull order). Returns true when
 // either transition moved by more than Epsilon.
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (inc *Incremental) evalRAT(pid int32) bool {
 	g := inc.G
 	d := g.D
@@ -448,6 +462,7 @@ func (inc *Incremental) evalRAT(pid int32) bool {
 // fullRequired recomputes every pin's required time from scratch, highest
 // level first (a pin's fanouts are strictly deeper, so their RATs are final
 // when the pin is evaluated).
+//
 //dtgp:hotpath
 func (inc *Incremental) fullRequired() {
 	for i := range inc.RATLate {
@@ -465,7 +480,9 @@ func (inc *Incremental) fullRequired() {
 // incident nets' interconnect is re-extracted and arrival changes propagate
 // forward; required times propagate backward; endpoint metrics are
 // refreshed.
+//
 //dtgp:hotpath
+//dtgp:index cells=[]cell
 func (inc *Incremental) MoveCells(cells []int32) {
 	g := inc.G
 	d := g.D
@@ -511,7 +528,9 @@ func (inc *Incremental) MoveCells(cells []int32) {
 }
 
 // markDirty appends pid to the worklist unless it is already pending.
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (inc *Incremental) markDirty(pid int32) {
 	if inc.inDirty.TryAdd(pid) {
 		inc.work = append(inc.work, pid)
@@ -521,6 +540,7 @@ func (inc *Incremental) markDirty(pid int32) {
 // propagate drains the dirty worklist in (level, pid) order, re-evaluating
 // pins and expanding to fanouts when values changed. The order is total, so
 // the drain schedule — not just the final values — is deterministic.
+//
 //dtgp:hotpath
 func (inc *Incremental) propagate() {
 	g := inc.G
@@ -578,7 +598,9 @@ func (inc *Incremental) propagate() {
 }
 
 // markRATDirty appends pid to the reverse worklist unless already pending.
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (inc *Incremental) markRATDirty(pid int32) {
 	if inc.inRatDirty.TryAdd(pid) {
 		inc.ratWork = append(inc.ratWork, pid)
@@ -591,6 +613,7 @@ func (inc *Incremental) markRATDirty(pid int32) {
 // strictly shallower, so insertion always lands beyond head and the pending
 // tail stays sorted. Runs after the forward drain (evalRAT reads final
 // slews).
+//
 //dtgp:hotpath
 func (inc *Incremental) propagateRAT() {
 	if len(inc.ratWork) == 0 {
@@ -623,7 +646,9 @@ func (inc *Incremental) propagateRAT() {
 }
 
 // insertRatPending inserts pid into the sorted pending region ratWork[from:].
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (inc *Incremental) insertRatPending(from int, pid int32) {
 	tail := inc.ratWork[from:]
 	i := from + sort.Search(len(tail), func(i int) bool { return !inc.beforeRAT(tail[i], pid) })
@@ -633,7 +658,9 @@ func (inc *Incremental) insertRatPending(from int, pid int32) {
 }
 
 // beforeRAT is the reverse drain order: descending level, then pin id.
+//
 //dtgp:hotpath
+//dtgp:index a=pin b=pin
 func (inc *Incremental) beforeRAT(a, b int32) bool {
 	la, lb := inc.G.Level[a], inc.G.Level[b]
 	if la != lb {
@@ -706,6 +733,7 @@ func sortHybrid(s *workSorter) {
 // and is fast on the small, mostly-ordered dirty sets incremental moves
 // produce; batches that dirty most of the graph fall back to sort.Sort via
 // sortHybrid.
+//
 //dtgp:hotpath
 func (inc *Incremental) sortWork() {
 	inc.fwdSorter.w = inc.work
@@ -713,7 +741,9 @@ func (inc *Incremental) sortWork() {
 }
 
 // before is the worklist drain order: topological level, then pin id.
+//
 //dtgp:hotpath
+//dtgp:index a=pin b=pin
 func (inc *Incremental) before(a, b int32) bool {
 	la, lb := inc.G.Level[a], inc.G.Level[b]
 	if la != lb {
@@ -723,7 +753,9 @@ func (inc *Incremental) before(a, b int32) bool {
 }
 
 // insertPending inserts pid into the sorted pending region work[from:].
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (inc *Incremental) insertPending(from int, pid int32) {
 	tail := inc.work[from:]
 	i := from + sort.Search(len(tail), func(i int) bool { return !inc.before(tail[i], pid) })
@@ -735,6 +767,7 @@ func (inc *Incremental) insertPending(from int, pid int32) {
 // recomputeMetrics refreshes endpoint slacks and WNS/TNS from the
 // maintained arrival and required-time state, mirroring
 // Result.computeSlacks's setup side bitwise.
+//
 //dtgp:hotpath
 func (inc *Incremental) recomputeMetrics() {
 	g := inc.G

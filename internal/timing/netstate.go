@@ -12,7 +12,7 @@ import (
 // the RC tree with Elmore results (§3.3 step 2). It is shared between the
 // exact STA engine and the differentiable timer.
 type NetState struct {
-	Net int32
+	Net int32 //dtgp:index domain=net
 	// Tree is the Steiner topology; nil for clock, degenerate (<2 pins)
 	// and undriven nets.
 	//dtgp:cached by=buildNetStateInto
@@ -23,11 +23,11 @@ type NetState struct {
 	// Node[k] is the Steiner-tree node of net pin k (net.Pins[k]); the
 	// driver's node is the RC root.
 	//dtgp:cached by=buildNetStateInto
-	Node []int32
+	Node []int32 //dtgp:index domain=npin elem=snode
 	// PinOfNode[j] maps tree node j back to the design pin id, or -1 for
 	// Steiner points.
 	//dtgp:cached by=buildNetStateInto
-	PinOfNode []int32
+	PinOfNode []int32 //dtgp:index domain=snode elem=pin
 	// px, py are scratch coordinate buffers reused by RefreshNetState so
 	// the steady-state geometry update is allocation-free; pinCap is the
 	// per-node capacitance scratch for RC re-extraction. Between refreshes
@@ -53,14 +53,19 @@ type NetState struct {
 }
 
 // SinkDelay returns the Elmore delay from the driver to net pin k.
+//
 //dtgp:hotpath
+//dtgp:index k=npin
 func (ns *NetState) SinkDelay(k int) float64 { return ns.RC.Delay[ns.Node[k]] }
 
 // SinkImpulse returns the slew impulse at net pin k.
+//
 //dtgp:hotpath
+//dtgp:index k=npin
 func (ns *NetState) SinkImpulse(k int) float64 { return ns.RC.Impulse[ns.Node[k]] }
 
 // DriverLoad returns the total capacitive load seen by the driver.
+//
 //dtgp:hotpath
 func (ns *NetState) DriverLoad() float64 { return ns.RC.Load[ns.RC.Root] }
 
@@ -79,6 +84,7 @@ func BuildNetStates(g *Graph) []NetState {
 // reusing each NetState's buffers (coordinate scratch, node maps, RC
 // storage). The periodic topology rebuild is allocation-free once warm.
 // states must have one entry per design net.
+//
 //dtgp:hotpath
 func RebuildNetStates(g *Graph, states []NetState) {
 	parallel.ForGuided(len(states), 8, parallel.CostHeavy, func(_, lo, hi int) {
@@ -89,6 +95,7 @@ func RebuildNetStates(g *Graph, states []NetState) {
 }
 
 //dtgp:hotpath
+//dtgp:index ni=net
 func buildNetStateInto(g *Graph, ni int32, ns *NetState) {
 	d := g.D
 	ns.Net = ni
@@ -140,8 +147,8 @@ func buildNetStateInto(g *Graph, ni int32, ns *NetState) {
 	node := ns.Node[:np]
 	ns.Node = node
 	for k, pid := range net.Pins {
-		node[k] = int32(k) // rsmt keeps pins as nodes 0..NumPins-1 in order
-		pinOfNode[k] = pid
+		node[k] = int32(k) //dtgp:allow(indexspace) rsmt keeps pins as nodes 0..NumPins-1 in order, so a net-pin position IS its Steiner node id
+		pinOfNode[k] = pid //dtgp:allow(indexspace) same pin-position/node-id embedding as the line above
 		if pid != net.Driver {
 			pinCap[k] = g.SinkCap[pid]
 		}
@@ -190,6 +197,7 @@ func RebuildNetStatesMoved(g *Graph, states []NetState) {
 // current pin positions without rebuilding Steiner topology (§3.6: reuse
 // the stored Steiner points, moving them along with their attributed pins).
 // Allocation-free after the first call on a given NetState.
+//
 //dtgp:hotpath
 func RefreshNetState(g *Graph, ns *NetState) {
 	if ns.Tree == nil {
@@ -275,6 +283,7 @@ func RefreshNetStateLazy(g *Graph, ns *NetState, distortionLimit float64) {
 }
 
 // RefreshNetStates updates every net from current pin positions.
+//
 //dtgp:hotpath
 func RefreshNetStates(g *Graph, states []NetState) {
 	parallel.ForGuided(len(states), 16, parallel.CostDefault, func(_, lo, hi int) {

@@ -17,7 +17,7 @@ import (
 
 // candidate is one fan-in option of a (pin, transition) node.
 type candidate struct {
-	pred    int32 // TIdx of the predecessor
+	pred    int32 //dtgp:index domain=tnode
 	arrival float64
 	delay   float64
 }
@@ -30,14 +30,15 @@ type pathEnum struct {
 	r *Result
 	// cands caches sorted fan-in candidates per TIdx node; haveCands marks
 	// nodes whose (possibly empty) candidate list is already computed.
-	cands     [][]candidate
-	haveCands []bool
+	cands     [][]candidate //dtgp:index domain=tnode
+	haveCands []bool        //dtgp:index domain=tnode
 	// devIdx is the deviation index per TIdx node of the entry currently
 	// being materialised; 0 (the canonical worst predecessor) when the
 	// entry carries no deviation for that node. Reset after each use.
-	devIdx []int32
+	devIdx []int32 //dtgp:index domain=tnode
 	// netOf/posOf locate each sink pin's net state (computed once).
-	netOf, posOf []int32
+	netOf []int32 //dtgp:index domain=pin elem=net
+	posOf []int32 //dtgp:index domain=pin elem=npin
 }
 
 // newPathEnum sizes the slice-indexed enumeration state for one result.
@@ -55,6 +56,8 @@ func newPathEnum(r *Result) *pathEnum {
 
 // candidatesOf returns the fan-in candidates of node t, sorted by arrival
 // descending (index 0 = the canonical worst predecessor).
+//
+//dtgp:index t=tnode
 func (pe *pathEnum) candidatesOf(t int32) []candidate {
 	if pe.haveCands[t] {
 		return pe.cands[t]
@@ -116,7 +119,7 @@ func (pe *pathEnum) clearDevs(devs []deviation) {
 
 // deviation switches node t from candidate 0 to candidate idx.
 type deviation struct {
-	node int32
+	node int32 //dtgp:index domain=tnode
 	idx  int
 }
 
@@ -124,7 +127,7 @@ type deviation struct {
 // ordered from the endpoint toward the source.
 type enumEntry struct {
 	slack float64
-	endT  int32
+	endT  int32 //dtgp:index domain=tnode
 	devs  []deviation
 }
 
@@ -144,6 +147,8 @@ func (h *entryHeap) Pop() any {
 
 // chainOf materialises the node chain of an entry from the endpoint to a
 // start pin, honouring its deviations.
+//
+//dtgp:index return=[]tnode
 func (pe *pathEnum) chainOf(e enumEntry) []int32 {
 	pe.setDevs(e.devs)
 	defer pe.clearDevs(e.devs)

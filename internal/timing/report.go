@@ -9,7 +9,7 @@ import (
 
 // PathStep is one pin on a traced timing path.
 type PathStep struct {
-	Pin        int32
+	Pin        int32 //dtgp:index domain=pin
 	Transition Transition
 	AT         float64
 	Slew       float64
@@ -41,6 +41,8 @@ func (r *Result) WorstPath() Path {
 }
 
 // EndpointPath traces the worst late path into endpoint ei.
+//
+//dtgp:index ei=endp
 func (r *Result) EndpointPath(ei int) Path {
 	ep := &r.G.Endpoints[ei]
 	// Pick the worse transition at the endpoint.

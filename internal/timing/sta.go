@@ -13,25 +13,25 @@ var inf = math.Inf(1)
 // Result holds a full exact STA of one placement snapshot.
 type Result struct {
 	G    *Graph
-	Nets []NetState
+	Nets []NetState //dtgp:index domain=net
 
 	// Per (pin, transition) arrays, indexed with TIdx.
-	ATLate, SlewLate   []float64
-	ATEarly, SlewEarly []float64
-	Valid              []bool
+	ATLate, SlewLate   []float64 //dtgp:index domain=tnode
+	ATEarly, SlewEarly []float64 //dtgp:index domain=tnode
+	Valid              []bool    //dtgp:index domain=tnode
 
 	// Required arrival times (setup uses late, hold uses early).
-	RATLate, RATEarly []float64
+	RATLate, RATEarly []float64 //dtgp:index domain=tnode
 
 	// PredLate[t] is the worst late predecessor of t (a TIdx), -1 at
 	// starts; PredDelayLate is the arc delay taken.
-	PredLate      []int32
-	PredDelayLate []float64
+	PredLate      []int32   //dtgp:index domain=tnode elem=tnode
+	PredDelayLate []float64 //dtgp:index domain=tnode
 
 	// Per-endpoint setup and hold slacks (min over transitions); hold is
 	// +Inf for endpoints without hold checks.
-	EndpointSetup []float64
-	EndpointHold  []float64
+	EndpointSetup []float64 //dtgp:index domain=endp
+	EndpointHold  []float64 //dtgp:index domain=endp
 
 	// derateLate and derateEarly scale arc delays per set_timing_derate.
 	derateLate, derateEarly float64
@@ -94,6 +94,8 @@ func AnalyzeWithNets(g *Graph, nets []NetState) *Result {
 
 // sinkLocator precomputes, for every net-sink pin, its net state index and
 // its position within the net's pin list.
+//
+//dtgp:index return=pin[]net return2=pin[]npin
 func (r *Result) sinkLocator() (netOf, posOf []int32) {
 	d := r.G.D
 	netOf = make([]int32, len(d.Pins))
@@ -172,7 +174,9 @@ func (r *Result) propagateArrival() {
 
 // propNetSink applies the net arc (Eq. 9): AT(v) = AT(u) + Delay(v),
 // Slew(v) = sqrt(Slew(u)² + Impulse(v)²).
+//
 //dtgp:hotpath
+//dtgp:index pid=pin ni=net pos=npin
 func (r *Result) propNetSink(pid, ni, pos int32) {
 	if ni < 0 {
 		return
@@ -200,6 +204,7 @@ func (r *Result) propNetSink(pid, ni, pos int32) {
 
 // arcCombos returns the input transitions feeding an output transition
 // under the arc's unateness.
+//
 //dtgp:hotpath
 func arcCombos(u liberty.Unateness, out Transition) [2]int8 {
 	// Returned entries are input transitions; -1 marks unused slots.
@@ -215,6 +220,7 @@ func arcCombos(u liberty.Unateness, out Transition) [2]int8 {
 
 // delayTable returns the delay and transition LUTs producing the given
 // output transition.
+//
 //dtgp:hotpath
 func delayTable(arc *liberty.TimingArc, out Transition) (delay, trans *liberty.LUT) {
 	if out == Rise {
@@ -224,7 +230,9 @@ func delayTable(arc *liberty.TimingArc, out Transition) (delay, trans *liberty.L
 }
 
 // driverLoadOf returns the capacitive load on an output pin's net.
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (r *Result) driverLoadOf(pid int32) float64 {
 	net := r.G.D.Pins[pid].Net
 	if net < 0 || r.Nets[net].Tree == nil {
@@ -235,7 +243,9 @@ func (r *Result) driverLoadOf(pid int32) float64 {
 
 // propCellOut applies all cell arcs into an output pin (Eq. 11 with exact
 // max/min instead of LSE).
+//
 //dtgp:hotpath
+//dtgp:index pid=pin
 func (r *Result) propCellOut(pid int32) {
 	g := r.G
 	load := r.driverLoadOf(pid)
@@ -364,7 +374,9 @@ func (r *Result) propagateRequired() {
 }
 
 // pullRequired updates RAT of pin u from its fanouts.
+//
 //dtgp:hotpath
+//dtgp:index u=pin
 func (r *Result) pullRequired(u int32) {
 	g := r.G
 	d := g.D
@@ -521,6 +533,8 @@ func (r *Result) WorstSlack() float64 { return r.WNS }
 
 // PinSlack returns the late (setup) slack at a (pin, transition), +Inf when
 // the pin carries no constrained arrival.
+//
+//dtgp:index pid=pin
 func (r *Result) PinSlack(pid int32, tr Transition) float64 {
 	t := TIdx(pid, tr)
 	if !r.Valid[t] || math.IsInf(r.RATLate[t], 1) {

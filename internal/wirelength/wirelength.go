@@ -42,10 +42,10 @@ type Model struct {
 	Gamma float64
 
 	// Per-pin gradient scratch, accumulated into cells by Evaluate.
-	pinGradX, pinGradY []float64
+	pinGradX, pinGradY []float64 //dtgp:index domain=pin
 	// Per-net totals, reduced serially in net order so the result is
 	// independent of the parallel schedule.
-	totals  []float64
+	totals  []float64 //dtgp:index domain=net
 	scratch []wlScratch
 	evalFn  func(w, lo, hi int)
 }
@@ -78,6 +78,7 @@ func NewModel(d *netlist.Design, gamma float64) *Model {
 //dtgp:hotpath
 //dtgp:forward(wa-wirelength)
 //dtgp:backward(wa-wirelength)
+//dtgp:index gradX=cell gradY=cell
 func (m *Model) Evaluate(gradX, gradY []float64) float64 {
 	d := m.D
 	if n := parallel.Workers(); n > len(m.scratch) {
@@ -107,7 +108,9 @@ func (m *Model) Evaluate(gradX, gradY []float64) float64 {
 
 // evalNet computes one net's weighted WA wirelength and its pin gradients.
 // Safe to run concurrently across nets: each net touches only its own pins.
+//
 //dtgp:hotpath
+//dtgp:index ni=net
 func (m *Model) evalNet(ni int32, sc *wlScratch) float64 {
 	d := m.D
 	net := &d.Nets[ni]
@@ -121,6 +124,7 @@ func (m *Model) evalNet(ni int32, sc *wlScratch) float64 {
 
 // axis evaluates the WA length of one net along one axis, accumulating pin
 // gradients scaled by the net weight.
+//
 //dtgp:hotpath
 func (m *Model) axis(net *netlist.Net, isX bool, sc *wlScratch) float64 {
 	d := m.D
