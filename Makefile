@@ -3,7 +3,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build vet vet-budget vet-fixtures test race bench bench-smoke check fuzz-smoke chaos-smoke
+.PHONY: build vet vet-budget vet-fixtures test race bench bench-smoke bench-scale bench-scale-smoke check fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,30 @@ bench-smoke:
 			{ echo "bench-smoke: BENCH_backward.json is stale: recorded benchmark $$name no longer runs" >&2; exit 1; }; \
 	done
 
+# Scale smoke: run the harness end-to-end at a toy size (proves gen → arena
+# engine build → timing-driven stepping → RSS/JSON plumbing still compose),
+# then gate the committed scaling record the same way bench-smoke gates
+# BENCH_backward.json: every point name recorded in BENCH_scale.json must
+# still be in the default sweep, so renaming or dropping a point without
+# re-measuring fails loudly. The full sweep (bench-scale) is manual — its
+# paper-scale anchors take minutes, not CI seconds.
+bench-scale-smoke:
+	$(GO) run ./cmd/dtgp-bench -experiment scale -cells 2000 -iters 2 -q > /tmp/bench_scale_smoke.json
+	@grep -q '"name": "cells-2000"' /tmp/bench_scale_smoke.json || \
+		{ echo "bench-scale-smoke: harness produced no cells-2000 row" >&2; exit 1; }
+	$(GO) run ./cmd/dtgp-bench -experiment scale -list > /tmp/bench_scale_points.txt
+	@for name in $$(grep -o '"name": "[^"]*"' BENCH_scale.json | sed -e 's/"name": "//' -e 's/"$$//'); do \
+		grep -qx "$$name" /tmp/bench_scale_points.txt || \
+			{ echo "bench-scale-smoke: BENCH_scale.json is stale: recorded point $$name is not in the default sweep" >&2; exit 1; }; \
+	done
+
+# Full scaling sweep: regenerates the committed cells-vs-time trajectory
+# (50k, 200k and the two paper-scale anchors at 10 timing-driven iterations
+# each). Budget about 10 minutes; run manually after touching the timer,
+# net-state builders or the arena.
+bench-scale:
+	$(GO) run ./cmd/dtgp-bench -experiment scale -iters 10 -out BENCH_scale.json
+
 # check is the full pre-merge gate: compile, static analysis, the whole test
 # suite, the race detector over the quick (-short) suite, the chaos/resume
 # robustness matrix, the benchmark smoke, and the parser+codec fuzz smoke.
@@ -85,6 +109,7 @@ check: build vet
 	$(GO) test -race -short ./...
 	$(MAKE) chaos-smoke
 	$(MAKE) bench-smoke
+	$(MAKE) bench-scale-smoke
 	$(MAKE) fuzz-smoke
 
 # Full benchmark sweep with allocation stats, repeated for stable medians.

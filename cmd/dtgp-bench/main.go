@@ -9,6 +9,7 @@
 //	dtgp-bench -experiment ablation-steiner
 //	dtgp-bench -experiment ablation-gamma
 //	dtgp-bench -experiment ablation-weights
+//	dtgp-bench -experiment scale -cells 50000,superblue-1.9M -iters 10 -out BENCH_scale.json
 //	dtgp-bench -experiment all
 package main
 
@@ -24,12 +25,16 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "table3", "table2 | table3 | figure8 | ablation-steiner | ablation-gamma | ablation-weights | all")
+		experiment = flag.String("experiment", "table3", "table2 | table3 | figure8 | ablation-steiner | ablation-gamma | ablation-weights | scale | all")
 		scale      = flag.Int("scale", 256, "preset scale divisor")
 		factor     = flag.Float64("factor", 0.7, "clock period as a fraction of the WL flow's critical delay")
 		presets    = flag.String("presets", "", "comma-separated subset of benchmarks (default all)")
-		out        = flag.String("out", "", "output file for figure8 CSV (default stdout)")
+		out        = flag.String("out", "", "output file for figure8 CSV / scale JSON (default stdout)")
 		quiet      = flag.Bool("q", false, "suppress progress output")
+		cells      = flag.String("cells", report.DefaultScaleSpec, "scale sweep points: cell counts (50000, 200k) and/or preset names")
+		iters      = flag.Int("iters", 10, "timing-driven iterations per scale point")
+		noArena    = flag.Bool("no-arena", false, "scale sweep on the legacy heap-allocation path")
+		list       = flag.Bool("list", false, "print the scale sweep's canonical point names and exit")
 	)
 	flag.Parse()
 
@@ -104,6 +109,33 @@ func main() {
 				return err
 			}
 			fmt.Println(report.AblationMarkdown("Ablation A3 — TNS/WNS objective weights (Eq. 6)", rows))
+		case "scale":
+			specs, err := report.ParseScaleSpecs(*cells)
+			if err != nil {
+				return err
+			}
+			if *list {
+				for _, sp := range specs {
+					fmt.Println(sp.Name)
+				}
+				return nil
+			}
+			rep, err := report.RunScaleSweep(specs, *iters, *noArena, opts.Logf)
+			if err != nil {
+				return err
+			}
+			js, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			if *out != "" {
+				if err := os.WriteFile(*out, js, 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+			} else {
+				os.Stdout.Write(js)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

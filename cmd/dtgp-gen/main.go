@@ -17,7 +17,7 @@ import (
 
 func main() {
 	var (
-		preset = flag.String("preset", "", "superblue preset name (overrides -cells)")
+		preset = flag.String("preset", "", "superblue preset name or paper-scale alias like superblue-1.9M (overrides -cells)")
 		scale  = flag.Int("scale", 256, "preset scale divisor")
 		cells  = flag.Int("cells", 4000, "target cell count for custom designs")
 		seed   = flag.Int64("seed", 1, "generator seed for custom designs")

@@ -108,13 +108,15 @@ const (
 
 // GenerateBenchmark synthesises a scaled superblue-like benchmark by preset
 // name ("superblue1" … "superblue18"); scale divides the paper's cell count
-// (256 ⇒ superblue1 ≈ 4.7k cells).
+// (256 ⇒ superblue1 ≈ 4.7k cells). Paper-scale aliases ("superblue-0.8M",
+// "superblue-1.9M") generate the named size regardless of scale.
 func GenerateBenchmark(preset string, scale int) (*Design, *Constraints, error) {
-	p, ok := gen.PresetByName(preset)
+	p, sc, ok := gen.ResolvePresetSpec(preset, scale)
 	if !ok {
-		return nil, nil, fmt.Errorf("dtgp: unknown preset %q (have %v)", preset, gen.PresetNames())
+		return nil, nil, fmt.Errorf("dtgp: unknown preset %q (have %v and aliases %v)",
+			preset, gen.PresetNames(), gen.PaperScaleAliasNames())
 	}
-	return gen.Generate(p.Params(scale))
+	return gen.Generate(p.Params(sc))
 }
 
 // BenchmarkNames lists the available superblue presets in paper order.

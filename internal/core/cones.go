@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"dtgp/internal/arena"
 	"dtgp/internal/bitset"
 	"dtgp/internal/parallel"
 	"dtgp/internal/rctree"
@@ -154,26 +155,44 @@ func (t *Timer) buildSparseState() {
 		k := g.Endpoints[ei].Kind
 		sb.domains[k] = append(sb.domains[k], int32(ei))
 	}
+	// All fixed-size sparse-state arrays carve from the arena when one is
+	// configured (construction is serial; nil arena = plain make). The
+	// per-level buckets and group lists are windows into two slabs, like
+	// the timer's levelBuckets.
+	a := t.Opts.Arena
 	nEps := len(g.Endpoints)
-	sb.selFlags = make([]bool, nEps)
-	sb.selEps = make([]int32, 0, nEps)
-	sb.order = make([]int32, nEps)
+	sb.selFlags = arena.Make[bool](a, nEps)
+	sb.selEps = arena.MakeCap[int32](a, 0, nEps)
+	sb.order = arena.Make[int32](a, nEps)
 	sb.selCompactor = parallel.NewCompactor(4 * parallel.Workers())
 
 	nPins := len(d.Pins)
 	sb.coneSet.Grow(nPins)
-	sb.conePinList = make([]int32, 0, nPins)
+	sb.conePinList = arena.MakeCap[int32](a, 0, nPins)
 	sb.buckets = make([][]int32, len(g.Levels))
 	sb.levelGroups = make([][]int32, len(t.bwdGroups))
-	for li, level := range g.Levels {
-		sb.buckets[li] = make([]int32, 0, len(level))
-		sb.levelGroups[li] = make([]int32, 0, len(t.bwdGroups[li]))
+	{
+		totalPins, totalGroups := 0, 0
+		for li, level := range g.Levels {
+			totalPins += len(level)
+			totalGroups += len(t.bwdGroups[li])
+		}
+		pinSlab := arena.Make[int32](a, totalPins)     //dtgp:index elem=pin
+		groupSlab := arena.Make[int32](a, totalGroups) //dtgp:index elem=bwdgroup
+		po, go_ := 0, 0
+		for li, level := range g.Levels {
+			sb.buckets[li] = pinSlab[po : po : po+len(level)]
+			po += len(level)
+			ng := len(t.bwdGroups[li])
+			sb.levelGroups[li] = groupSlab[go_ : go_ : go_+ng]
+			go_ += ng
+		}
 	}
-	sb.groupOf = make([]int32, nPins)
+	sb.groupOf = arena.Make[int32](a, nPins)
 	for i := range sb.groupOf {
 		sb.groupOf[i] = -1
 	}
-	sb.groupBase = make([]int32, len(t.bwdGroups)+1)
+	sb.groupBase = arena.Make[int32](a, len(t.bwdGroups)+1)
 	nGroups := 0
 	for li := range t.bwdGroups {
 		sb.groupBase[li] = int32(nGroups)
@@ -188,29 +207,39 @@ func (t *Timer) buildSparseState() {
 	}
 	sb.groupBase[len(t.bwdGroups)] = int32(nGroups)
 	sb.groupMark.Grow(nGroups)
-	sb.markedGroups = make([]int32, 0, nGroups)
+	sb.markedGroups = arena.MakeCap[int32](a, 0, nGroups)
 	sb.netMark.Grow(len(d.Nets))
-	sb.coneNets = make([]int32, 0, len(d.Nets))
-	sb.seedPins = make([]int32, 0, nEps)
-	sb.prevSeedPins = make([]int32, 0, nEps)
-	sb.netTouchedSink = make([]bool, len(d.Nets))
-	sb.netTouchedDrv = make([]bool, len(d.Nets))
-	sb.touchedNets = make([]int32, 0, len(d.Nets))
+	sb.coneNets = arena.MakeCap[int32](a, 0, len(d.Nets))
+	sb.seedPins = arena.MakeCap[int32](a, 0, nEps)
+	sb.prevSeedPins = arena.MakeCap[int32](a, 0, nEps)
+	sb.netTouchedSink = arena.Make[bool](a, len(d.Nets))
+	sb.netTouchedDrv = arena.Make[bool](a, len(d.Nets))
+	sb.touchedNets = arena.MakeCap[int32](a, 0, len(d.Nets))
 	sb.cellMark.Grow(len(d.Cells))
-	sb.touchedCells = make([]int32, 0, len(d.Cells))
+	sb.touchedCells = arena.MakeCap[int32](a, 0, len(d.Cells))
 
+	// Per-net pin-gradient buffers: exact sizes, so the jagged views are
+	// windows into two slabs.
 	sb.pinGX = make([][]float64, len(d.Nets))
 	sb.pinGY = make([][]float64, len(d.Nets))
 	nSlots := 0
 	for ni := range d.Nets {
-		net := &d.Nets[ni]
-		sb.pinGX[ni] = make([]float64, len(net.Pins))
-		sb.pinGY[ni] = make([]float64, len(net.Pins))
-		nSlots += len(net.Pins)
+		nSlots += len(d.Nets[ni].Pins)
+	}
+	{
+		gxSlab := arena.Make[float64](a, nSlots)
+		gySlab := arena.Make[float64](a, nSlots)
+		off := 0
+		for ni := range d.Nets {
+			np := len(d.Nets[ni].Pins)
+			sb.pinGX[ni] = gxSlab[off : off+np : off+np]
+			sb.pinGY[ni] = gySlab[off : off+np : off+np]
+			off += np
+		}
 	}
 	// Cell→(net, slot) transpose in (net, slot) order: counting sort into
 	// CSR so the gather pass sums each cell's slots in a fixed order.
-	sb.cellSlotStart = make([]int32, len(d.Cells)+1)
+	sb.cellSlotStart = arena.Make[int32](a, len(d.Cells)+1)
 	for ni := range d.Nets {
 		for _, pid := range d.Nets[ni].Pins {
 			sb.cellSlotStart[d.Pins[pid].Cell+1]++
@@ -219,8 +248,8 @@ func (t *Timer) buildSparseState() {
 	for ci := 0; ci < len(d.Cells); ci++ {
 		sb.cellSlotStart[ci+1] += sb.cellSlotStart[ci]
 	}
-	sb.cellSlotNet = make([]int32, nSlots)
-	sb.cellSlotPos = make([]int32, nSlots)
+	sb.cellSlotNet = arena.Make[int32](a, nSlots)
+	sb.cellSlotPos = arena.Make[int32](a, nSlots)
 	fill := make([]int32, len(d.Cells))
 	for ni := range d.Nets {
 		for k, pid := range d.Nets[ni].Pins {
@@ -231,8 +260,8 @@ func (t *Timer) buildSparseState() {
 			sb.cellSlotPos[s] = int32(k)
 		}
 	}
-	sb.staleX = make([]float64, len(d.Cells))
-	sb.staleY = make([]float64, len(d.Cells))
+	sb.staleX = arena.Make[float64](a, len(d.Cells))
+	sb.staleY = arena.Make[float64](a, len(d.Cells))
 
 	// The per-net accumulator outer arrays must exist before the first
 	// cone marking (resetTasks builds them lazily otherwise).

@@ -354,15 +354,26 @@ func (t *Timer) backwardWithHold(t1, t2, t3 float64) float64 {
 	}
 	f += t.holdObjective(t3, true)
 
+	// Net groups precede cell groups within each level's bwdGroups, so the
+	// two passes below visit pins in exactly the order the old jagged
+	// netGroups/cellGroups iteration did.
 	g := t.G
 	for li := len(g.Levels) - 1; li >= 0; li-- {
-		for _, group := range t.netGroups[li] {
-			for _, pid := range group {
+		for gi := range t.bwdGroups[li] {
+			grp := &t.bwdGroups[li][gi]
+			if !grp.isNet {
+				continue
+			}
+			for _, pid := range grp.pins {
 				t.backwardEarlyNetSink(pid)
 			}
 		}
-		for _, group := range t.cellGroups[li] {
-			for _, pid := range group {
+		for gi := range t.bwdGroups[li] {
+			grp := &t.bwdGroups[li][gi]
+			if grp.isNet {
+				continue
+			}
+			for _, pid := range grp.pins {
 				t.backwardEarlyCellOut(pid)
 			}
 		}

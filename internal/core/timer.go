@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
+	"dtgp/internal/arena"
 	"dtgp/internal/bitset"
 	"dtgp/internal/liberty"
 	"dtgp/internal/parallel"
@@ -80,6 +82,13 @@ type Options struct {
 	// sub-cone. 0 disables pruning (pure structural cones); values are
 	// clamped to 0.1. Ignored by the full pass, which stays exact.
 	ConePrune float64
+
+	// Arena, when non-nil, backs the timer's large SoA buffers (forward
+	// state, gradients, CSR group storage, level buckets) and the per-net
+	// Steiner/RC buffers with chunked slab storage (DESIGN.md §13). All
+	// values are bit-identical to the heap path — only the backing storage
+	// differs. nil keeps the legacy plain-make allocation (-no-arena).
+	Arena *arena.Arena
 }
 
 // DefaultOptions mirrors the paper's §4 hyperparameters, with incremental
@@ -135,11 +144,34 @@ type epState struct {
 }
 
 // bwdGroup is one single-writer unit of the reverse sweep: the net-sink
-// pins of one net, or the output pins of one cell, within one level.
+// pins of one net, or the output pins of one cell, within one level. pins
+// is a window into the timer's groupPins slab (see buildGroups); the struct
+// itself carries a slice header, so []bwdGroup stays on the GC heap.
 type bwdGroup struct {
 	pins  []int32 //dtgp:index elem=pin
 	isNet bool
 }
+
+// fwdSpan is one entry of the locality-aware forward schedule: the level
+// range [lo, hi). A fused span runs its levels serially inline; an unfused
+// span is a single large level dispatched on the pool in guided tiles.
+type fwdSpan struct {
+	lo, hi int32 //dtgp:index domain=level
+	fused  bool
+}
+
+// fwdTileGrain is the minimum guided-chunk size for large forward levels,
+// in pins. Each pin's kernel touches a handful of SoA arrays at 2·pid, so
+// ~512 consecutive pins are a few cache-resident KB per array — large
+// enough to amortise chunk claiming, small enough to load-balance the
+// LUT-heavy tail.
+const fwdTileGrain = 512
+
+// fuseMaxLevel is the level size below which the pool would run the level
+// serially anyway (parallel cutoff minParallelWork / CostHeavy = 2^15/512).
+// Runs of such levels are fused into one serial span: same execution, no
+// per-level dispatch barrier.
+const fuseMaxLevel = 64
 
 // Timer is the differentiable STA engine (Fig. 3). A single Evaluate call
 // runs the full forward propagation (pin locations → Steiner/Elmore → level
@@ -195,19 +227,30 @@ type Timer struct {
 	SmTHS, EstTHS  float64
 
 	evalCount int
+	// netGradSized records that preSizeNetGrad already carved the per-net
+	// accumulators from the arena (the lazy heap growth in resetTasks
+	// remains as the no-arena path and the fallback for grown nets).
+	netGradSized bool
 
 	// Precomputed structure.
 	netOfSink []int32 //dtgp:index domain=pin elem=net
 	posOfSink []int32 //dtgp:index domain=pin elem=npin
-	// Per level: cell-output pins grouped by owning cell, and net-sink
-	// pins grouped by net, so backward distribution within a group is
-	// single-writer per fan-in location.
-	cellGroups [][][]int32 //dtgp:index domain=level
-	netGroups  [][][]int32 //dtgp:index domain=level
-	// bwdGroups merges both group kinds per level into one parallel phase
-	// (the write sets are disjoint: net groups update driver pins and
-	// per-net accumulators, cell groups update cell-input pins).
+	// bwdGroups holds, per level, the single-writer units of the reverse
+	// sweep: net-sink pins grouped by net first, then cell-output pins
+	// grouped by cell (the write sets are disjoint: net groups update
+	// driver pins and per-net accumulators, cell groups update cell-input
+	// pins, so both kinds run in one parallel phase per level). Storage is
+	// CSR-style: every group's pin list is a window into the groupPins
+	// slab and the per-level group slices are windows into one flat group
+	// array — the jagged shape is only in the slice headers.
 	bwdGroups [][]bwdGroup //dtgp:index domain=level
+	groupPins []int32      //dtgp:index elem=pin
+	// fwdSpans is the locality-aware forward schedule: maximal runs of
+	// consecutive small levels are fused into one serial span (they are
+	// below the pool's parallel cutoff, so fusing removes per-level
+	// dispatch barriers without changing what runs where), and each large
+	// level is dispatched on the pool in cache-sized contiguous tiles.
+	fwdSpans []fwdSpan
 	// Start pins and their constraint-derived AT/slew, fixed per design
 	// (startAT/startSlew are positional companions of startPins).
 	startPins          []int32 //dtgp:index elem=pin
@@ -305,25 +348,30 @@ func NewTimer(g *timing.Graph, opts Options) *Timer {
 			opts.ConePrune = 0.1
 		}
 	}
+	// The big per-tnode/per-net/per-cell SoA arrays carve from the arena
+	// when one is configured (a nil arena is plain make, the legacy path).
+	// Slices of pointer-bearing types (netGrads, epStates) stay on the GC
+	// heap by construction: the arena's type set rejects them.
+	a := opts.Arena
 	n2 := 2 * len(g.D.Pins)
 	t := &Timer{
 		G:           g,
 		Opts:        opts,
-		AT:          make([]float64, n2),
-		Slew:        make([]float64, n2),
-		Valid:       make([]bool, n2),
-		HardAT:      make([]float64, n2),
-		atMax:       make([]float64, n2),
-		atZ:         make([]float64, n2),
-		slMax:       make([]float64, n2),
-		slZ:         make([]float64, n2),
-		gAT:         make([]float64, n2),
-		gSlew:       make([]float64, n2),
-		gLoadRoot:   make([]float64, len(g.D.Nets)),
+		AT:          arena.Make[float64](a, n2),
+		Slew:        arena.Make[float64](a, n2),
+		Valid:       arena.Make[bool](a, n2),
+		HardAT:      arena.Make[float64](a, n2),
+		atMax:       arena.Make[float64](a, n2),
+		atZ:         arena.Make[float64](a, n2),
+		slMax:       arena.Make[float64](a, n2),
+		slZ:         arena.Make[float64](a, n2),
+		gAT:         arena.Make[float64](a, n2),
+		gSlew:       arena.Make[float64](a, n2),
+		gLoadRoot:   arena.Make[float64](a, len(g.D.Nets)),
 		netGrads:    make([]*rctree.Grad, len(g.D.Nets)),
-		netGradUsed: make([]bool, len(g.D.Nets)),
-		CellGradX:   make([]float64, len(g.D.Cells)),
-		CellGradY:   make([]float64, len(g.D.Cells)),
+		netGradUsed: arena.Make[bool](a, len(g.D.Nets)),
+		CellGradX:   arena.Make[float64](a, len(g.D.Cells)),
+		CellGradY:   arena.Make[float64](a, len(g.D.Cells)),
 		epStates:    make([]epState, len(g.Endpoints)),
 		clockSlew:   20,
 		period:      math.Inf(1),
@@ -334,8 +382,8 @@ func NewTimer(g *timing.Graph, opts Options) *Timer {
 			t.period = g.Con.Period
 		}
 	}
-	t.netOfSink = make([]int32, len(g.D.Pins))
-	t.posOfSink = make([]int32, len(g.D.Pins))
+	t.netOfSink = arena.Make[int32](a, len(g.D.Pins))
+	t.posOfSink = arena.Make[int32](a, len(g.D.Pins))
 	for i := range t.netOfSink {
 		t.netOfSink[i] = -1
 	}
@@ -356,6 +404,7 @@ func NewTimer(g *timing.Graph, opts Options) *Timer {
 		}
 	}
 	t.buildGroups()
+	t.buildSchedule()
 	t.buildStartPins()
 	t.buildKernels()
 	if opts.Incremental {
@@ -397,59 +446,179 @@ func (t *Timer) Cone() ConeStats {
 // incremental steady state never grows them.
 func (t *Timer) buildIncState() {
 	g := t.G
-	t.netMoved = make([]bool, len(g.D.Nets))
-	t.dirtyNets = make([]int32, len(g.D.Nets))
-	t.pinChanged = make([]bool, len(g.D.Pins))
+	a := t.Opts.Arena
+	t.netMoved = arena.Make[bool](a, len(g.D.Nets))
+	t.dirtyNets = arena.Make[int32](a, len(g.D.Nets))
+	t.pinChanged = arena.Make[bool](a, len(g.D.Pins))
 	t.pinDirty.Grow(len(g.D.Pins))
-	t.levelBuckets = make([][]int32, len(g.Levels))
-	for k, level := range g.Levels {
-		t.levelBuckets[k] = make([]int32, 0, len(level))
-	}
+	t.buildLevelBuckets()
 	t.compactor = parallel.NewCompactor(4 * parallel.Workers())
 }
 
+// buildLevelBuckets carves every level's dirty bucket out of one slab sized
+// by the levelisation in a single pass: bucket k is a zero-length window of
+// capacity len(Levels[k]) (a bucket can never exceed its level), so the
+// per-level make calls of the old build collapse to two allocations on the
+// heap path and zero steady-state growth either way. Pinned by an
+// AllocsPerRun guard in timer_alloc_test.go.
+func (t *Timer) buildLevelBuckets() {
+	g := t.G
+	total := 0
+	for _, level := range g.Levels {
+		total += len(level)
+	}
+	slab := arena.Make[int32](t.Opts.Arena, total) //dtgp:index elem=pin
+	t.levelBuckets = make([][]int32, len(g.Levels))
+	off := 0
+	for k, level := range g.Levels {
+		t.levelBuckets[k] = slab[off : off : off+len(level)]
+		off += len(level)
+	}
+}
+
+// buildGroups lays the reverse-sweep groups out in CSR form: one global
+// groupPins slab holds every grouped pin, one flat []bwdGroup holds every
+// group, and bwdGroups[li] is a window into it. Two passes over the
+// levelisation — count, then fill — replace the per-level maps of the old
+// jagged build with epoch-stamped direct-indexed scratch; group order is
+// unchanged (per level: nets in first-seen pin order, then cells in
+// first-seen pin order, each group's pins in level order), so the parallel
+// schedule and every serial fallback order are bit-identical.
 func (t *Timer) buildGroups() {
 	g := t.G
 	d := g.D
-	t.cellGroups = make([][][]int32, len(g.Levels))
-	t.netGroups = make([][][]int32, len(g.Levels))
-	t.bwdGroups = make([][]bwdGroup, len(g.Levels))
+	nLevels := len(g.Levels)
+
+	// Epoch-stamped scratch: xEpoch[key] == stamp means key was already
+	// seen in the level the stamp encodes, and xIdxOf[key] is its group
+	// index local to that level's net or cell groups. Pass 2 re-walks the
+	// levels with stamps offset by nLevels, so no re-initialisation is
+	// needed between passes.
+	netEpoch := make([]int32, len(d.Nets))
+	cellEpoch := make([]int32, len(d.Cells))
+	for i := range netEpoch {
+		netEpoch[i] = -1
+	}
+	for i := range cellEpoch {
+		cellEpoch[i] = -1
+	}
+	netIdxOf := make([]int32, len(d.Nets))
+	cellIdxOf := make([]int32, len(d.Cells))
+
+	// Pass 1: per-group pin counts in final group order, plus per-level
+	// group counts (net groups first, then cell groups).
+	var sizes []int32
+	levelBase := make([]int32, nLevels+1)   // group id of each level's first group
+	netGroupsOf := make([]int32, nLevels)   // net-group count per level
+	netScratch := make([]int32, 0, 64)      // per-level net-group sizes
+	cellScratch := make([]int32, 0, 64)     // per-level cell-group sizes
 	for li, level := range g.Levels {
-		// Groups are built in first-seen pin order (maps are used for key
-		// lookup only, never iterated), so group order — and with it the
-		// parallel schedule and any serial fallback order — is a pure
-		// function of the levelisation.
-		cellIdx := map[int32]int{}
-		netIdx := map[int32]int{}
+		stamp := int32(li)
+		netScratch, cellScratch = netScratch[:0], cellScratch[:0]
 		for _, pid := range level {
 			switch {
 			case g.IsStart[pid]:
 			case g.IsNetSink[pid]:
 				if ni := t.netOfSink[pid]; ni >= 0 {
-					k, ok := netIdx[ni]
-					if !ok {
-						k = len(t.netGroups[li])
-						netIdx[ni] = k
-						t.netGroups[li] = append(t.netGroups[li], nil)
+					if netEpoch[ni] != stamp {
+						netEpoch[ni] = stamp
+						netIdxOf[ni] = int32(len(netScratch))
+						netScratch = append(netScratch, 0)
 					}
-					t.netGroups[li][k] = append(t.netGroups[li][k], pid)
+					netScratch[netIdxOf[ni]]++
 				}
 			case g.IsCellOut[pid]:
 				ci := d.Pins[pid].Cell
-				k, ok := cellIdx[ci]
-				if !ok {
-					k = len(t.cellGroups[li])
-					cellIdx[ci] = k
-					t.cellGroups[li] = append(t.cellGroups[li], nil)
+				if cellEpoch[ci] != stamp {
+					cellEpoch[ci] = stamp
+					cellIdxOf[ci] = int32(len(cellScratch))
+					cellScratch = append(cellScratch, 0)
 				}
-				t.cellGroups[li][k] = append(t.cellGroups[li][k], pid)
+				cellScratch[cellIdxOf[ci]]++
 			}
 		}
-		for _, pins := range t.netGroups[li] {
-			t.bwdGroups[li] = append(t.bwdGroups[li], bwdGroup{pins: pins, isNet: true})
+		levelBase[li] = int32(len(sizes))
+		netGroupsOf[li] = int32(len(netScratch))
+		sizes = append(sizes, netScratch...)
+		sizes = append(sizes, cellScratch...)
+	}
+	totalGroups := len(sizes)
+	levelBase[nLevels] = int32(totalGroups)
+
+	// Prefix-sum the group sizes into slab offsets.
+	offsets := make([]int32, totalGroups+1)
+	for i, n := range sizes {
+		offsets[i+1] = offsets[i] + n
+	}
+	totalPins := int(offsets[totalGroups])
+
+	t.groupPins = arena.Make[int32](t.Opts.Arena, totalPins)
+	groups := make([]bwdGroup, totalGroups) // slice headers → GC heap
+	t.bwdGroups = make([][]bwdGroup, nLevels)
+	fill := sizes // reuse as per-group fill cursors
+	for i := range fill {
+		fill[i] = 0
+	}
+
+	// Pass 2: place each grouped pin at its slab position.
+	for li, level := range g.Levels {
+		stamp := int32(nLevels + li)
+		base := levelBase[li]
+		nNet := netGroupsOf[li]
+		// Local group indices restart at 0 each level, mirroring pass 1.
+		netScratch, cellScratch = netScratch[:0], cellScratch[:0]
+		for _, pid := range level {
+			var gi int32 = -1
+			switch {
+			case g.IsStart[pid]:
+			case g.IsNetSink[pid]:
+				if ni := t.netOfSink[pid]; ni >= 0 {
+					if netEpoch[ni] != stamp {
+						netEpoch[ni] = stamp
+						netIdxOf[ni] = int32(len(netScratch))
+						netScratch = append(netScratch, 0)
+					}
+					gi = base + netIdxOf[ni]
+				}
+			case g.IsCellOut[pid]:
+				ci := d.Pins[pid].Cell
+				if cellEpoch[ci] != stamp {
+					cellEpoch[ci] = stamp
+					cellIdxOf[ci] = int32(len(cellScratch))
+					cellScratch = append(cellScratch, 0)
+				}
+				gi = base + nNet + cellIdxOf[ci]
+			}
+			if gi >= 0 {
+				t.groupPins[offsets[gi]+fill[gi]] = pid
+				fill[gi]++
+			}
 		}
-		for _, pins := range t.cellGroups[li] {
-			t.bwdGroups[li] = append(t.bwdGroups[li], bwdGroup{pins: pins})
+		for k := base; k < levelBase[li+1]; k++ {
+			lo, hi := offsets[k], offsets[k+1]
+			groups[k] = bwdGroup{
+				pins:  t.groupPins[lo:hi:hi],
+				isNet: k-base < nNet,
+			}
+		}
+		t.bwdGroups[li] = groups[base:levelBase[li+1]:levelBase[li+1]]
+	}
+}
+
+// buildSchedule precomputes the forward span list; see fwdSpan.
+func (t *Timer) buildSchedule() {
+	levels := t.G.Levels
+	for li := 0; li < len(levels); {
+		if len(levels[li]) < fuseMaxLevel {
+			j := li + 1
+			for j < len(levels) && len(levels[j]) < fuseMaxLevel {
+				j++
+			}
+			t.fwdSpans = append(t.fwdSpans, fwdSpan{lo: int32(li), hi: int32(j), fused: true})
+			li = j
+		} else {
+			t.fwdSpans = append(t.fwdSpans, fwdSpan{lo: int32(li), hi: int32(li + 1)})
+			li++
 		}
 	}
 }
@@ -596,6 +765,32 @@ func (t *Timer) buildKernels() {
 	}
 }
 
+// preSizeNetGrad carves the per-net backward accumulators (gDelayNode,
+// gImpSq) from the arena at each net's Steiner-node capacity bound, so the
+// cap checks in resetTasks never allocate. Called serially right after the
+// first net-state build (the arena is not thread-safe); a nil arena keeps
+// the lazy heap growth in resetTasks.
+func (t *Timer) preSizeNetGrad() {
+	a := t.Opts.Arena
+	if a == nil || t.netGradSized {
+		return
+	}
+	t.netGradSized = true
+	d := t.G.D
+	if t.gDelayNode == nil { // buildSparseState may have made the outers
+		t.gDelayNode = make([][]float64, len(d.Nets))
+		t.gImpSq = make([][]float64, len(d.Nets))
+	}
+	for ni := range d.Nets {
+		if t.Nets[ni].Tree == nil {
+			continue
+		}
+		m := 2*len(d.Nets[ni].Pins) - 2
+		t.gDelayNode[ni] = arena.MakeCap[float64](a, 0, m)
+		t.gImpSq[ni] = arena.MakeCap[float64](a, 0, m)
+	}
+}
+
 // ensureScratch sizes per-worker candidate scratch to the runtime's current
 // worker count. Called from serial sections only.
 //
@@ -617,7 +812,8 @@ func (t *Timer) refreshNets() {
 		return
 	}
 	if t.Nets == nil {
-		t.Nets = timing.BuildNetStates(t.G)
+		t.Nets = timing.BuildNetStatesArena(t.G, t.Opts.Arena)
+		t.preSizeNetGrad()
 		t.fullPass = true
 	} else if t.evalCount%t.Opts.SteinerPeriod == 0 {
 		// Periodic topology rebuild reuses each net's buffers in place.
@@ -641,7 +837,8 @@ func (t *Timer) refreshNets() {
 //dtgp:hotpath
 func (t *Timer) refreshNetsIncremental() {
 	if t.Nets == nil {
-		t.Nets = timing.BuildNetStates(t.G)
+		t.Nets = timing.BuildNetStatesArena(t.G, t.Opts.Arena)
+		t.preSizeNetGrad()
 		t.evalCount++
 		parallel.ForGuided(len(t.Nets), 16, parallel.CostDefault, t.fwdNetsFn)
 		t.fullPass = true
@@ -735,11 +932,22 @@ func (t *Timer) forward() {
 		}
 	}
 
-	// Cell-output pins do several LUT evaluations each, so levels are
-	// dispatched at CostHeavy.
-	for _, level := range t.G.Levels {
-		t.curLevel = level
-		parallel.ForWorker(len(level), parallel.CostHeavy, t.fwdFn)
+	// Walk the precomputed span schedule: fused spans of small levels run
+	// serially inline (no dispatch barrier per level), large levels are
+	// dispatched in cache-sized contiguous tiles. Level pin lists are in
+	// ascending pin order (the levelisation appends pins in index order),
+	// so tiles touch the SoA arrays in memory order. Cell-output pins do
+	// several LUT evaluations each, hence CostHeavy.
+	for _, sp := range t.fwdSpans {
+		if sp.fused {
+			for li := sp.lo; li < sp.hi; li++ {
+				t.curLevel = t.G.Levels[li]
+				t.fwdFn(0, 0, len(t.curLevel))
+			}
+			continue
+		}
+		t.curLevel = t.G.Levels[sp.lo]
+		parallel.ForGuided(len(t.curLevel), fwdTileGrain, parallel.CostHeavy, t.fwdFn)
 	}
 }
 
@@ -874,8 +1082,13 @@ func (t *Timer) forwardIncremental() {
 		if len(bucket) == 0 {
 			continue
 		}
+		// Buckets fill in fanout-discovery order; sorting restores memory
+		// order for the SoA reads (values are order-independent: each
+		// kernel writes only its own pin). Guided tiles then mirror the
+		// full sweep's locality-aware dispatch.
+		slices.Sort(bucket)
 		t.curWork = bucket
-		parallel.ForWorker(len(bucket), parallel.CostHeavy, t.fwdIncFn)
+		parallel.ForGuided(len(bucket), fwdTileGrain, parallel.CostHeavy, t.fwdIncFn)
 		t.dirtyCount -= len(bucket)
 		for _, pid := range bucket {
 			t.pinDirty.Remove(pid)

@@ -29,14 +29,47 @@ var Presets = []Preset{
 	{"superblue18", 768068, 771542, 2559143, 118},
 }
 
-// PresetByName finds a preset.
+// PresetByName finds a preset by canonical name or paper-scale alias.
 func PresetByName(name string) (Preset, bool) {
+	if canon, ok := paperScaleAliases[name]; ok {
+		name = canon
+	}
 	for _, p := range Presets {
 		if p.Name == name {
 			return p, true
 		}
 	}
 	return Preset{}, false
+}
+
+// paperScaleAliases name the scaling-trajectory anchor designs by their
+// Table 2 cell count rounded to 0.1M. Unlike canonical preset names they
+// promise a specific size, so ResolvePresetSpec pins them to scale 1.
+var paperScaleAliases = map[string]string{
+	"superblue-0.8M": "superblue4",
+	"superblue-1.9M": "superblue7",
+}
+
+// PaperScaleAliasNames lists the aliases, sorted.
+func PaperScaleAliasNames() []string {
+	names := make([]string, 0, len(paperScaleAliases))
+	for name := range paperScaleAliases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ResolvePresetSpec resolves a preset name for generation. Canonical names
+// ("superblue4") keep the caller's scale divisor; paper-scale aliases
+// ("superblue-0.8M") force scale 1 — the name IS the cell count.
+func ResolvePresetSpec(name string, scale int) (Preset, int, bool) {
+	if canon, ok := paperScaleAliases[name]; ok {
+		p, _ := PresetByName(canon)
+		return p, 1, true
+	}
+	p, ok := PresetByName(name)
+	return p, scale, ok
 }
 
 // PresetNames returns the benchmark names in paper order.

@@ -1,0 +1,39 @@
+package gen
+
+import "testing"
+
+func TestPaperScaleAliases(t *testing.T) {
+	cases := []struct {
+		alias, canon string
+		cells        int
+	}{
+		{"superblue-0.8M", "superblue4", 795645},
+		{"superblue-1.9M", "superblue7", 1931639},
+	}
+	for _, c := range cases {
+		p, ok := PresetByName(c.alias)
+		if !ok || p.Name != c.canon {
+			t.Fatalf("PresetByName(%q) = %v, %v; want %s", c.alias, p.Name, ok, c.canon)
+		}
+		// The alias names a size: scale must be pinned to 1 even when the
+		// caller asks for a divisor.
+		rp, scale, ok := ResolvePresetSpec(c.alias, 256)
+		if !ok || rp.Name != c.canon || scale != 1 {
+			t.Fatalf("ResolvePresetSpec(%q, 256) = %v, %d, %v; want %s at scale 1",
+				c.alias, rp.Name, scale, ok, c.canon)
+		}
+		if got := rp.Params(scale).NumCells; got != c.cells {
+			t.Fatalf("%s resolves to %d cells, want %d", c.alias, got, c.cells)
+		}
+		// Canonical names keep the caller's divisor.
+		if _, scale, _ := ResolvePresetSpec(c.canon, 256); scale != 256 {
+			t.Fatalf("ResolvePresetSpec(%q, 256) rescaled to %d", c.canon, scale)
+		}
+	}
+	if names := PaperScaleAliasNames(); len(names) != 2 || names[0] != "superblue-0.8M" {
+		t.Fatalf("alias names = %v", names)
+	}
+	if _, _, ok := ResolvePresetSpec("superblue-9.9M", 1); ok {
+		t.Fatal("unknown alias resolved")
+	}
+}

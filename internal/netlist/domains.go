@@ -12,7 +12,9 @@
 // construction, hence the rcnode alias). npin is a net-local pin position
 // (an index into one Net.Pins list). endp indexes the timing endpoints
 // (at most one per pin). lcell/lpin index the bound Liberty library and
-// one library cell's pin list.
+// one library cell's pin list. bwdgroup indexes the CSR backward groups of
+// one evaluation (at most one net group per timed net plus one cell group
+// per cell, summed over levels).
 //
 //dtgp:indexdomain cell cap=2000000
 //dtgp:indexdomain net cap=2100000
@@ -23,6 +25,7 @@
 //dtgp:indexdomain rcnode alias=snode
 //dtgp:indexdomain npin cap=4096
 //dtgp:indexdomain endp cap=8400000
+//dtgp:indexdomain bwdgroup cap=4100000
 //dtgp:indexdomain lcell cap=65536
 //dtgp:indexdomain lpin cap=1024
 package netlist

@@ -138,6 +138,10 @@ type Design struct {
 
 	cellIndex map[string]int32 //dtgp:index elem=cell
 	netIndex  map[string]int32 //dtgp:index elem=net
+
+	// compacted records that Compact already re-laid the pin lists into a
+	// flat slab; see compact.go.
+	compacted bool
 }
 
 // NumCells, NumNets and NumPins report the design size excluding fillers.

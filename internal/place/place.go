@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dtgp/internal/arena"
 	"dtgp/internal/core"
 	"dtgp/internal/density"
 	"dtgp/internal/detailed"
@@ -172,6 +173,17 @@ type Options struct {
 	// DetailedPasses > 0 runs detailed-placement refinement after
 	// legalization (intra-row + global swaps).
 	DetailedPasses int
+	// NoArena disables the chunked arena behind the netlist/timing SoA
+	// builders, keeping the legacy per-slice heap allocation (the -no-arena
+	// A/B flag). Results are bit-identical either way; the arena only
+	// changes backing storage and allocation count.
+	NoArena bool
+	// Arena, when non-nil (and NoArena unset), is reused as the run's slab
+	// storage instead of allocating a fresh one: it is Reset and re-carved,
+	// so the slabs of a previous run on the same arena are recycled. The
+	// caller must not touch the previous run's engine after handing its
+	// arena to a new run. nil allocates a private arena per run.
+	Arena *arena.Arena
 	// Quiet suppresses progress output via Logf.
 	Logf func(format string, args ...any)
 }
@@ -300,6 +312,9 @@ type engine struct {
 	graph *timing.Graph
 	timer *core.Timer
 	nwUp  *netweight.Updater
+	// arena backs the netlist/timer/net-state SoA storage for this run
+	// (nil with Options.NoArena).
+	arena *arena.Arena
 	// staInc is the lazily built incremental exact-STA engine backing the
 	// net-weighting hook; staX/staY snapshot the cell positions it has
 	// seen, staMoved is the per-call moved-cell scratch. Position-diffing
@@ -341,6 +356,21 @@ type engine struct {
 	stopFlag atomic.Bool
 }
 
+// arenaChunkSize picks the slab size from the design size: roughly 1/16th
+// of the expected total SoA footprint (~4 KB per cell across netlist,
+// timer and net states), clamped to [1 MiB, 64 MiB]. Small test designs get
+// small slabs; a 2M-cell design carves from tens of 64 MiB slabs.
+func arenaChunkSize(cells int) int {
+	size := cells * 256
+	if size < 1<<20 {
+		return 1 << 20
+	}
+	if size > 1<<26 {
+		return 1 << 26
+	}
+	return size
+}
+
 func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, error) {
 	if len(d.Cells) == 0 {
 		return nil, fmt.Errorf("place: empty design")
@@ -350,6 +380,22 @@ func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, 
 	}
 	e := &engine{d: d, con: con, opts: opts}
 	e.nReal = len(d.Cells)
+
+	// Slab storage for the big SoA surfaces (netlist pin lists, timer
+	// state, per-net Steiner/RC buffers). A reused arena is reset first:
+	// its slabs are recycled for this run's carving. Compact is idempotent,
+	// so a design re-placed with its pin lists already flat keeps them —
+	// re-copying into a freshly reset slab would alias source and
+	// destination.
+	if !opts.NoArena {
+		e.arena = opts.Arena
+		if e.arena == nil {
+			e.arena = arena.New(arenaChunkSize(e.nReal))
+		} else {
+			e.arena.Reset()
+		}
+		d.Compact(e.arena)
+	}
 
 	// Fillers occupy the whitespace so the density system has a
 	// well-defined equilibrium (ePlace §filler insertion).
@@ -451,6 +497,7 @@ func newEngine(d *netlist.Design, con *sdc.Constraints, opts Options) (*engine, 
 			tOpts.Incremental = !opts.ExactRefresh
 			tOpts.SparseBackward = !opts.FullBackward
 			tOpts.TopK = opts.TimingTopK
+			tOpts.Arena = e.arena
 			e.timer = core.NewTimer(g, tOpts)
 		}
 		if opts.Mode == ModeNetWeight {

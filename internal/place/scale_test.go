@@ -1,0 +1,164 @@
+package place
+
+import (
+	"testing"
+
+	"dtgp/internal/arena"
+	"dtgp/internal/gen"
+	"dtgp/internal/netlist"
+	"dtgp/internal/sdc"
+)
+
+func genCopy(t *testing.T, cells int, seed int64) (*netlist.Design, *sdc.Constraints) {
+	t.Helper()
+	d, con, err := gen.Generate(gen.DefaultParams("scale", cells, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, con
+}
+
+func presetCopy(t *testing.T, name string, scale int) (*netlist.Design, *sdc.Constraints) {
+	t.Helper()
+	pre, ok := gen.PresetByName(name)
+	if !ok {
+		t.Fatalf("preset %q missing", name)
+	}
+	d, con, err := gen.Generate(pre.Params(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, con
+}
+
+func positionsOf(d *netlist.Design) [][2]float64 {
+	out := make([][2]float64, len(d.Cells))
+	for ci := range d.Cells {
+		out[ci] = [2]float64{d.Cells[ci].Pos.X, d.Cells[ci].Pos.Y}
+	}
+	return out
+}
+
+func samePositions(t *testing.T, a, b [][2]float64, label string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: cell counts differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: cell %d position differs: %v vs %v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// runAB runs the full flow on two independently generated copies of the
+// same design — arena on vs -no-arena — and demands bitwise-identical
+// results: the arena changes backing storage, never values.
+func runAB(t *testing.T, mk func() (*netlist.Design, *sdc.Constraints), opts Options) {
+	t.Helper()
+	dA, conA := mk()
+	dN, conN := mk()
+	oN := opts
+	oN.NoArena = true
+	resA, err := Run(dA, conA, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resN, err := Run(dN, conN, oN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.HPWL != resN.HPWL || resA.WNS != resN.WNS || resA.TNS != resN.TNS {
+		t.Fatalf("metrics diverge: arena HPWL=%v WNS=%v TNS=%v, heap HPWL=%v WNS=%v TNS=%v",
+			resA.HPWL, resA.WNS, resA.TNS, resN.HPWL, resN.WNS, resN.TNS)
+	}
+	samePositions(t, positionsOf(dA), positionsOf(dN), "final placement")
+}
+
+func TestRunArenaBitIdentity256(t *testing.T) {
+	opts := quickOpts(ModeDiffTiming)
+	runAB(t, func() (*netlist.Design, *sdc.Constraints) {
+		return genCopy(t, 256, 11)
+	}, opts)
+}
+
+func TestRunArenaBitIdentityPreset(t *testing.T) {
+	opts := quickOpts(ModeDiffTiming)
+	opts.MaxIters = 300
+	runAB(t, func() (*netlist.Design, *sdc.Constraints) {
+		return presetCopy(t, "superblue4", 1024)
+	}, opts)
+}
+
+// TestScaleBenchArenaBitIdentity drives the benchmark entry itself on both
+// allocation paths: per-iteration positions must stay bitwise equal, and the
+// stats record must be coherent.
+func TestScaleBenchArenaBitIdentity(t *testing.T) {
+	const iters = 5
+	dA, conA := genCopy(t, 256, 12)
+	dN, conN := genCopy(t, 256, 12)
+	opts := DefaultOptions(ModeDiffTiming)
+	stA, err := RunScaleBench(dA, conA, opts, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oN := opts
+	oN.NoArena = true
+	stN, err := RunScaleBench(dN, conN, oN, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePositions(t, positionsOf(dA), positionsOf(dN), "scale-bench placement")
+	if len(stA.IterSec) != iters || len(stN.IterSec) != iters {
+		t.Fatalf("iteration records: %d and %d, want %d", len(stA.IterSec), len(stN.IterSec), iters)
+	}
+	if stA.BuildSec <= 0 || stA.SecPerIter <= 0 {
+		t.Fatalf("non-positive timings: build=%v s/iter=%v", stA.BuildSec, stA.SecPerIter)
+	}
+	if stA.Arena.UsedBytes == 0 {
+		t.Error("arena-backed run reports zero arena usage")
+	}
+	if stN.Arena.UsedBytes != 0 {
+		t.Errorf("-no-arena run reports arena usage %d", stN.Arena.UsedBytes)
+	}
+}
+
+// TestScaleBenchSharedArenaReuse runs the bench twice through one caller
+// owned arena: the second run must reset and re-carve the same slabs (no
+// chunk growth) and still produce bitwise-identical placements — the
+// reset-and-reuse contract a sweep over scale points relies on.
+func TestScaleBenchSharedArenaReuse(t *testing.T) {
+	const iters = 4
+	a := arena.New(1 << 20)
+	opts := DefaultOptions(ModeDiffTiming)
+	opts.Arena = a
+
+	d1, con1 := genCopy(t, 300, 13)
+	if _, err := RunScaleBench(d1, con1, opts, iters); err != nil {
+		t.Fatal(err)
+	}
+	chunksAfterFirst := a.Stats().Chunks
+
+	d2, con2 := genCopy(t, 300, 13)
+	if _, err := RunScaleBench(d2, con2, opts, iters); err != nil {
+		t.Fatal(err)
+	}
+	samePositions(t, positionsOf(d1), positionsOf(d2), "arena-reuse placement")
+
+	st := a.Stats()
+	if st.Resets != 2 {
+		t.Errorf("arena resets = %d, want 2 (one per engine build)", st.Resets)
+	}
+	if st.Chunks > chunksAfterFirst {
+		t.Errorf("arena grew from %d to %d chunks on reuse — re-carve is not slab-stable",
+			chunksAfterFirst, st.Chunks)
+	}
+
+	// A third run against a fresh arena must agree with the reused one.
+	d3, con3 := genCopy(t, 300, 13)
+	o3 := DefaultOptions(ModeDiffTiming)
+	if _, err := RunScaleBench(d3, con3, o3, iters); err != nil {
+		t.Fatal(err)
+	}
+	samePositions(t, positionsOf(d2), positionsOf(d3), "fresh-vs-reused placement")
+}

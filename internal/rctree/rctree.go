@@ -97,6 +97,31 @@ func Build(st *rsmt.Tree, root int32, pinCap []float64, rPerUnit, cPerUnit float
 	return t, nil
 }
 
+// PreSize points the tree's per-node storage at caller-provided backing
+// with room for m nodes: parent and order must have capacity ≥ m and f
+// length 8*m (one backing array for all eight float64 slices, mirroring
+// Rebuild's own layout). A later Rebuild with n ≤ m nodes then reuses this
+// storage via its cap check instead of allocating — the hook the arena
+// pre-size pass uses to keep the parallel net-state fill allocation-free.
+//
+//dtgp:index parent=rcnode order=rcnode
+func (t *Tree) PreSize(m int, parent, order []int32, f []float64) {
+	if cap(parent) < m || cap(order) < m || len(f) != 8*m {
+		panic(fmt.Sprintf("rctree: PreSize(%d) with cap %d/%d and len %d",
+			m, cap(parent), cap(order), len(f)))
+	}
+	t.Parent = parent[:m]
+	t.Order = order[:0]
+	t.Res = f[0*m : 1*m : 1*m]
+	t.Cap = f[1*m : 2*m : 2*m]
+	t.Load = f[2*m : 3*m : 3*m]
+	t.Delay = f[3*m : 4*m : 4*m]
+	t.LDelay = f[4*m : 5*m : 5*m]
+	t.Beta = f[5*m : 6*m : 6*m]
+	t.Impulse = f[6*m : 7*m : 7*m]
+	t.edgeLen = f[7*m : 8*m : 8*m]
+}
+
 // Rebuild re-extracts the RC tree in place (new topology, reused slices).
 // Steady-state periodic Steiner rebuilds reuse the previous extraction's
 // memory entirely.

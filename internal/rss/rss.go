@@ -1,0 +1,49 @@
+// Package rss reports the process's peak resident set size, the memory
+// column of the scaling trajectory in BENCH_scale.json. Linux reads the
+// kernel's high-water mark (VmHWM from /proc/self/status); platforms
+// without procfs report zero rather than guessing, so callers must treat
+// 0 as "unknown", not "tiny".
+//
+// VmHWM is monotonic for the life of the process: it never decreases when
+// memory is freed. A harness that measures several workloads in one
+// process must therefore run them in ascending size order (each point's
+// working set then dominates the previous high-water mark) or fork one
+// process per point.
+package rss
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// PeakBytes returns the peak resident set size of the current process in
+// bytes, or 0 when the platform offers no way to read it. The line in
+// /proc/self/status reads "VmHWM:     123456 kB"; the kernel always emits
+// kB. Opening procfs simply fails outside linux, which is the portable
+// no-op fallback.
+func PeakBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

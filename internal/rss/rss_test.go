@@ -1,0 +1,31 @@
+package rss
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPeakBytes(t *testing.T) {
+	got := PeakBytes()
+	if runtime.GOOS != "linux" {
+		if got != 0 {
+			t.Fatalf("non-linux PeakBytes = %d, want 0 (unknown)", got)
+		}
+		return
+	}
+	// A running Go test binary has certainly touched more than 1 MiB and
+	// far less than 1 TiB.
+	if got < 1<<20 || got > 1<<40 {
+		t.Fatalf("PeakBytes = %d, outside plausible range", got)
+	}
+	// Monotonic: allocating must never lower the high-water mark.
+	sink := make([]byte, 64<<20)
+	for i := range sink {
+		sink[i] = byte(i)
+	}
+	after := PeakBytes()
+	runtime.KeepAlive(sink)
+	if after < got {
+		t.Fatalf("PeakBytes decreased %d -> %d", got, after)
+	}
+}

@@ -1,0 +1,69 @@
+package timing
+
+import (
+	"dtgp/internal/arena"
+	"dtgp/internal/rctree"
+	"dtgp/internal/rsmt"
+)
+
+// maxSteinerNodes bounds the Steiner-tree node count of a net with np pins:
+// a rectilinear Steiner minimum tree has at most np−2 Steiner points, so at
+// most 2·np−2 nodes total. Every per-node buffer pre-sized at this bound
+// survives any later topology rebuild without growing. (If the heuristic
+// ever exceeded the bound, the cap-checked builders would fall back to a
+// plain heap allocation for that net — graceful, not corrupting.)
+//
+//dtgp:index np=npin return=snode
+func maxSteinerNodes(np int) int { return 2*np - 2 }
+
+// PreSizeNetStates carves every timed net's Steiner/RC buffers from the
+// arena at their capacity bounds, in one serial pass (the arena is not
+// thread-safe; this is the only place net-state memory is carved). The
+// parallel fills in RebuildNetStates then run entirely inside these
+// capacities — their cap checks never trigger — so a 2M-net design's
+// interconnect state is a handful of slabs instead of ~20M small slices.
+// A nil arena is a no-op: the builders keep their lazy heap allocation.
+func PreSizeNetStates(g *Graph, a *arena.Arena, states []NetState) {
+	if a == nil {
+		return
+	}
+	d := g.D
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		if g.IsClockNet[ni] || net.Driver < 0 || len(net.Pins) < 2 {
+			continue
+		}
+		np := len(net.Pins)
+		m := maxSteinerNodes(np)
+		ns := &states[ni]
+		ns.px = arena.Make[float64](a, np)
+		ns.py = arena.Make[float64](a, np)
+		ns.pinCap = arena.MakeCap[float64](a, 0, m)
+		ns.PinOfNode = arena.MakeCap[int32](a, 0, m)
+		ns.Node = arena.MakeCap[int32](a, 0, np)
+		ns.Tree = &rsmt.Tree{
+			X:     arena.MakeCap[float64](a, 0, m),
+			Y:     arena.MakeCap[float64](a, 0, m),
+			XPin:  arena.MakeCap[int32](a, 0, m),
+			YPin:  arena.MakeCap[int32](a, 0, m),
+			Edges: arena.MakeCap[[2]int32](a, 0, m),
+		}
+		ns.RC = &rctree.Tree{}
+		ns.RC.PreSize(m,
+			arena.MakeCap[int32](a, 0, m),
+			arena.MakeCap[int32](a, 0, m),
+			arena.Make[float64](a, 8*m))
+	}
+}
+
+// BuildNetStatesArena is BuildNetStates with arena-backed per-net buffers:
+// a serial pre-size pass carves capacity-bounded storage, then the regular
+// parallel extraction fills it. Results are bit-identical to
+// BuildNetStates; only the backing storage differs. nil arena degrades to
+// exactly BuildNetStates.
+func BuildNetStatesArena(g *Graph, a *arena.Arena) []NetState {
+	states := make([]NetState, len(g.D.Nets))
+	PreSizeNetStates(g, a, states)
+	RebuildNetStates(g, states)
+	return states
+}
